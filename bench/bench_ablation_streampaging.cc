@@ -1,0 +1,98 @@
+// Ablation E (paper §8, future work): stream-paging. "the current stretch
+// driver implementation is immature and could be extended to handle
+// additional pipelining via a 'stream-paging' scheme."
+//
+// The extension speculatively pages the next sequential page into a staged
+// frame while the application processes the current one, so a sequential
+// fault is satisfied from memory instead of stalling on the USD. Disk
+// bandwidth still bounds throughput, but the per-fault stall time collapses
+// and throughput rises because the fault path and the disk overlap.
+#include <cstdio>
+
+#include "src/core/system.h"
+#include "src/core/workloads.h"
+
+namespace nemesis {
+namespace {
+
+struct RunResult {
+  double mbps = 0.0;
+  double mean_stall_us = 0.0;
+  uint64_t prefetch_hits = 0;
+  uint64_t prefetch_issued = 0;
+  uint64_t faults = 0;
+};
+
+RunResult RunOne(bool stream_paging, uint64_t frames, SimDuration measure) {
+  System system;
+  AppConfig cfg;
+  cfg.name = stream_paging ? "stream" : "demand";
+  cfg.contract = {frames, 0};
+  cfg.driver_max_frames = frames;
+  cfg.stretch_bytes = 4 * kMiB;
+  cfg.swap_bytes = 16 * kMiB;
+  cfg.stream_paging = stream_paging;
+  cfg.usd_depth = stream_paging ? 2 : 1;  // the staged read pipelines
+  cfg.disk_qos = QosSpec{Milliseconds(250), Milliseconds(100), false, Milliseconds(10)};
+  // An application that does real work per page (e.g. decoding a media
+  // stream): ~1.6 ms of CPU per 8 KiB page, comparable to a cached disk
+  // read. This is the regime stream-paging targets — processing of page i
+  // overlaps the speculative read of page i+1.
+  cfg.costs.per_byte_cpu = Nanoseconds(200);
+  AppDomain* app = system.CreateApp(cfg);
+
+  bool primed = false;
+  app->SpawnWorkload(SequentialPass(*app, AccessType::kWrite, &primed), "prime");
+  system.sim().RunUntil(Seconds(600));
+  if (!primed) {
+    std::fprintf(stderr, "priming failed\n");
+    return RunResult{};
+  }
+  const uint64_t faults_before = app->vmem().faults_taken();
+  const SimDuration stall_before = app->vmem().fault_stall_time();
+
+  uint64_t bytes = 0;
+  bool ok = false;
+  const SimTime until = system.sim().Now() + measure;
+  app->SpawnWorkload(SequentialAccessLoop(*app, AccessType::kRead, until, &bytes, &ok), "loop");
+  system.sim().RunUntil(until);
+
+  RunResult result;
+  result.mbps = static_cast<double>(bytes) * 8.0 / 1e6 / ToSeconds(measure);
+  result.faults = app->vmem().faults_taken() - faults_before;
+  const SimDuration stall = app->vmem().fault_stall_time() - stall_before;
+  result.mean_stall_us =
+      result.faults > 0 ? ToMicroseconds(stall) / static_cast<double>(result.faults) : 0.0;
+  result.prefetch_hits = app->paged_driver()->prefetch_hits();
+  result.prefetch_issued = app->paged_driver()->prefetch_issued();
+  return result;
+}
+
+}  // namespace
+}  // namespace nemesis
+
+int main() {
+  using namespace nemesis;
+  std::printf("=== Ablation E: stream-paging (the paper's future-work extension) ===\n");
+  std::printf("Single app, 100 ms / 250 ms disk guarantee, sequential read through swap.\n\n");
+  std::printf("  frames  mode     Mbit/s  mean_fault_stall_us  prefetch_hits/issued\n");
+  bool ok = true;
+  for (const uint64_t frames : {2ull, 4ull, 8ull}) {
+    const RunResult demand = RunOne(false, frames, Seconds(60));
+    const RunResult stream = RunOne(true, frames, Seconds(60));
+    std::printf("  %6llu  demand  %7.2f  %19.1f  %10s\n",
+                static_cast<unsigned long long>(frames), demand.mbps, demand.mean_stall_us, "-");
+    std::printf("  %6llu  stream  %7.2f  %19.1f  %10llu/%llu\n",
+                static_cast<unsigned long long>(frames), stream.mbps, stream.mean_stall_us,
+                static_cast<unsigned long long>(stream.prefetch_hits),
+                static_cast<unsigned long long>(stream.prefetch_issued));
+    if (stream.mbps < demand.mbps * 1.1 || stream.mean_stall_us > demand.mean_stall_us * 0.8 ||
+        stream.prefetch_hits < stream.prefetch_issued / 2) {
+      ok = false;
+    }
+  }
+  std::printf("\n  shape check: %s (stream-paging overlaps disk reads with page processing:\n"
+              "  higher throughput, much lower per-fault stall)\n",
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,120 @@
+// Exposure in action (paper §3's Appel–Li use cases): incremental
+// checkpointing built on the FOR/FOW software dirty-bit mechanism that
+// Nemesis exposes to applications (footnote 8).
+//
+// The application snapshots its stretch, re-arms dirty tracking with the
+// ArmDirtyTracking syscall, keeps mutating a sparse subset of pages, and at
+// each checkpoint copies only the pages whose dirty bit is set — reading the
+// user-visible page table directly, with no kernel round trip per page.
+//
+//   $ ./examples/checkpoint
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "src/base/random.h"
+#include "src/core/system.h"
+#include "src/core/workloads.h"
+
+using namespace nemesis;
+
+namespace {
+
+struct CheckpointStats {
+  std::vector<size_t> pages_copied;  // per checkpoint
+  bool verified = false;
+};
+
+Task Run(AppDomain* app, CheckpointStats* stats, bool* done) {
+  System& system = app->system();
+  Stretch* stretch = app->stretch();
+  const size_t pages = stretch->page_count();
+  const size_t page_size = stretch->page_size();
+  std::vector<uint8_t> snapshot(stretch->length(), 0);
+  Random rng(99);
+
+  // Populate the whole stretch.
+  bool ok = false;
+  TaskHandle fill = app->sim().Spawn(
+      app->vmem().AccessRange(stretch->base(), stretch->length(), AccessType::kWrite, &ok,
+                              nullptr),
+      "fill");
+  co_await Join(fill);
+
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    // Checkpoint: copy dirty pages (all of them in epoch 0), then re-arm.
+    size_t copied = 0;
+    for (size_t i = 0; i < pages; ++i) {
+      auto t = system.kernel().syscalls().Trans(stretch->PageBase(i));
+      if (!t.has_value() || !t->dirty) {
+        continue;
+      }
+      bool read_ok = false;
+      TaskHandle h = app->sim().Spawn(
+          app->vmem().Read(stretch->PageBase(i),
+                           std::span<uint8_t>(snapshot.data() + i * page_size, page_size),
+                           &read_ok),
+          "copy");
+      co_await Join(h);
+      ++copied;
+      (void)system.kernel().syscalls().ArmDirtyTracking(app->id(), &app->pdom(),
+                                                        stretch->PageBase(i));
+    }
+    stats->pages_copied.push_back(copied);
+
+    // Mutate a small random subset of pages before the next checkpoint.
+    for (int touch = 0; touch < 4; ++touch) {
+      const size_t page = rng.NextBelow(pages);
+      bool w_ok = false;
+      TaskHandle h = app->sim().Spawn(
+          app->vmem().AccessRange(stretch->PageBase(page), 64, AccessType::kWrite, &w_ok,
+                                  nullptr),
+          "mutate");
+      co_await Join(h);
+    }
+  }
+
+  // Verify: the snapshot of a never-again-touched page matches memory.
+  std::vector<uint8_t> current(page_size);
+  bool r_ok = false;
+  TaskHandle h = app->sim().Spawn(app->vmem().Read(stretch->PageBase(0), current, &r_ok),
+                                  "verify");
+  co_await Join(h);
+  stats->verified =
+      r_ok && std::memcmp(current.data(), snapshot.data(), page_size) == 0;
+  *done = true;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Incremental checkpointing via exposed dirty bits ===\n\n");
+  System system;
+  AppConfig cfg;
+  cfg.name = "ckpt";
+  cfg.driver = AppConfig::DriverKind::kNailed;  // keep pages resident
+  cfg.contract = {64, 0};
+  cfg.stretch_bytes = 64 * kDefaultPageSize;
+  AppDomain* app = system.CreateApp(cfg);
+
+  CheckpointStats stats;
+  bool done = false;
+  app->SpawnWorkload(Run(app, &stats, &done), "checkpointer");
+  system.sim().RunUntil(Seconds(30));
+
+  std::printf("checkpoint  pages_copied (of %zu)\n", app->stretch()->page_count());
+  for (size_t i = 0; i < stats.pages_copied.size(); ++i) {
+    std::printf("  %7zu  %12zu%s\n", i, stats.pages_copied[i],
+                i == 0 ? "  (full: first epoch copies everything)" : "");
+  }
+  const bool incremental =
+      stats.pages_copied.size() == 5 && stats.pages_copied[0] == app->stretch()->page_count();
+  bool later_small = true;
+  for (size_t i = 1; i < stats.pages_copied.size(); ++i) {
+    later_small = later_small && stats.pages_copied[i] <= 4;
+  }
+  std::printf("\nsnapshot consistent with memory: %s\n", stats.verified ? "yes" : "NO");
+  std::printf("incremental (later epochs copy only touched pages): %s\n",
+              (incremental && later_small) ? "yes" : "NO");
+  return (done && stats.verified && incremental && later_small) ? 0 : 1;
+}

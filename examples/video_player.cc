@@ -1,0 +1,115 @@
+// The paper's motivating scenario (§5): "an application which plays a
+// motion-JPEG video from disk should not be adversely affected by a
+// compilation started in the background."
+//
+// A continuous-media player reads one video frame from its own disk partition
+// every 40 ms (25 fps) under a USD guarantee, while a "compiler" domain with
+// a tiny memory contract pages furiously through the same disk. The player's
+// deadline-miss count stays near zero because the USD firewalls its disk
+// slice from the compiler's paging.
+//
+//   $ ./examples/video_player
+#include <cstdio>
+#include <vector>
+
+#include "src/core/system.h"
+#include "src/core/workloads.h"
+
+using namespace nemesis;
+
+namespace {
+
+struct PlayerStats {
+  uint64_t frames_played = 0;
+  uint64_t deadline_misses = 0;
+  SimDuration worst_latency = 0;
+};
+
+// Plays `fps` frames per second: each frame is one page-sized read that must
+// complete before the next frame tick.
+Task VideoPlayer(Simulator& sim, UsdClient* client, Extent extent, int fps, SimTime until,
+                 PlayerStats* stats) {
+  const SimDuration frame_interval = Seconds(1) / fps;
+  const uint32_t frame_blocks = 16;  // one 8 KiB frame slice per tick
+  uint64_t cursor = 0;
+  SimTime next_tick = sim.Now();
+  while (sim.Now() < until) {
+    next_tick += frame_interval;
+    const SimTime issue = sim.Now();
+    co_await client->AcquireSlot();
+    UsdRequest req;
+    req.id = stats->frames_played;
+    req.lba = extent.start + cursor;
+    req.nblocks = frame_blocks;
+    req.is_write = false;
+    cursor = (cursor + frame_blocks) % (extent.length - frame_blocks);
+    client->Push(std::move(req));
+    (void)co_await client->ReceiveReply();
+    const SimDuration latency = sim.Now() - issue;
+    stats->worst_latency = std::max(stats->worst_latency, latency);
+    ++stats->frames_played;
+    if (sim.Now() > next_tick) {
+      ++stats->deadline_misses;
+      next_tick = sim.Now();  // resynchronise
+    } else {
+      co_await SleepFor(sim, next_tick - sim.Now());
+    }
+  }
+}
+
+PlayerStats Run(bool with_compiler, SimDuration duration) {
+  System system;
+  // The player reserves 8 ms per 20 ms period. The SHORT PERIOD is the point:
+  // QoS in Nemesis specifies not just how much disk but WHEN — a client that
+  // goes idle between frames receives a fresh allocation every 20 ms, so a
+  // frame read issued at any tick waits at most one short period. (With a
+  // 250 ms period the same 40% reservation would add up to 250 ms of latency
+  // and miss most 25 fps deadlines.)
+  auto player_client = system.usd().OpenClient(
+      "video", QosSpec{Milliseconds(20), Milliseconds(8), false, Milliseconds(2)}, 2);
+  const Extent video_extent{3000000, 600000};
+  (*player_client)->AddExtent(video_extent);
+  PlayerStats stats;
+  system.sim().Spawn(
+      VideoPlayer(system.sim(), *player_client, video_extent, 25, duration, &stats), "player");
+
+  if (with_compiler) {
+    // The "compiler": greedy paging through 2 frames with its own guarantee.
+    AppConfig cc;
+    cc.name = "cc1";
+    cc.contract = {2, 0};
+    cc.driver_max_frames = 2;
+    cc.stretch_bytes = 4 * kMiB;
+    cc.swap_bytes = 16 * kMiB;
+    cc.disk_qos = QosSpec{Milliseconds(250), Milliseconds(100), false, Milliseconds(10)};
+    AppDomain* compiler = system.CreateApp(cc);
+    static uint64_t bytes = 0;
+    static bool ok = false;
+    compiler->SpawnWorkload(
+        SequentialAccessLoop(*compiler, AccessType::kWrite, duration, &bytes, &ok), "compile");
+  }
+  system.sim().RunUntil(duration);
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Continuous-media isolation: video player vs background compile ===\n\n");
+  const SimDuration duration = Seconds(30);
+  const PlayerStats alone = Run(false, duration);
+  const PlayerStats contended = Run(true, duration);
+
+  std::printf("player alone:      %llu frames, %llu deadline misses, worst latency %.2f ms\n",
+              static_cast<unsigned long long>(alone.frames_played),
+              static_cast<unsigned long long>(alone.deadline_misses),
+              ToMilliseconds(alone.worst_latency));
+  std::printf("player + compiler: %llu frames, %llu deadline misses, worst latency %.2f ms\n",
+              static_cast<unsigned long long>(contended.frames_played),
+              static_cast<unsigned long long>(contended.deadline_misses),
+              ToMilliseconds(contended.worst_latency));
+  const bool ok = contended.deadline_misses <= alone.deadline_misses + 2 &&
+                  contended.frames_played >= alone.frames_played * 95 / 100;
+  std::printf("\nQoS firewalling holds: %s\n", ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

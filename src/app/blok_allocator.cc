@@ -1,0 +1,67 @@
+#include "src/app/blok_allocator.h"
+
+#include <algorithm>
+
+#include "src/base/assert.h"
+
+namespace nemesis {
+
+BlokAllocator::BlokAllocator(uint64_t total_bloks, uint64_t bloks_per_chunk) : total_(total_bloks) {
+  NEM_ASSERT(total_bloks > 0);
+  NEM_ASSERT(bloks_per_chunk > 0);
+  // Build the singly linked list of bitmap structures.
+  std::unique_ptr<Chunk>* tail = &head_;
+  for (uint64_t base = 0; base < total_bloks; base += bloks_per_chunk) {
+    const uint64_t bits = std::min(bloks_per_chunk, total_bloks - base);
+    *tail = std::make_unique<Chunk>(base, bits);
+    tail = &(*tail)->next;
+  }
+  hint_ = head_.get();
+}
+
+std::optional<uint64_t> BlokAllocator::Alloc() {
+  // Start from the hint; the chunks before it are known to be full.
+  for (Chunk* c = hint_; c != nullptr; c = c->next.get()) {
+    auto bit = c->map.FindFirstClear();
+    if (bit.has_value()) {
+      c->map.Set(*bit);
+      ++allocated_;
+      hint_ = c;
+      return c->base + *bit;
+    }
+  }
+  return std::nullopt;
+}
+
+void BlokAllocator::Free(uint64_t blok) {
+  Chunk* c = FindChunk(blok);
+  NEM_ASSERT_MSG(c != nullptr, "blok out of range");
+  NEM_ASSERT_MSG(c->map.Test(blok - c->base), "double free of blok");
+  c->map.Clear(blok - c->base);
+  --allocated_;
+  // The freed blok may lie before the current hint.
+  if (c->base < hint_->base) {
+    hint_ = c;
+  }
+}
+
+bool BlokAllocator::IsAllocated(uint64_t blok) const {
+  const Chunk* c = FindChunk(blok);
+  NEM_ASSERT_MSG(c != nullptr, "blok out of range");
+  return c->map.Test(blok - c->base);
+}
+
+const BlokAllocator::Chunk* BlokAllocator::FindChunk(uint64_t blok) const {
+  for (const Chunk* c = head_.get(); c != nullptr; c = c->next.get()) {
+    if (blok >= c->base && blok < c->base + c->map.size()) {
+      return c;
+    }
+  }
+  return nullptr;
+}
+
+BlokAllocator::Chunk* BlokAllocator::FindChunk(uint64_t blok) {
+  return const_cast<Chunk*>(static_cast<const BlokAllocator*>(this)->FindChunk(blok));
+}
+
+}  // namespace nemesis

@@ -1,0 +1,54 @@
+// Swap-space blok allocator (paper §6.6): the paged stretch driver "keeps
+// track of swap space as a bitmap of bloks — a blok is a contiguous set of
+// disk blocks which is a multiple of the size of a page. A (singly) linked
+// list of bitmap structures is maintained, and bloks are allocated first
+// fit — a hint pointer is maintained to the earliest structure which is known
+// to have free bloks."
+#ifndef SRC_APP_BLOK_ALLOCATOR_H_
+#define SRC_APP_BLOK_ALLOCATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "src/base/bitmap.h"
+
+namespace nemesis {
+
+class BlokAllocator {
+ public:
+  // `total_bloks` bloks of swap, organised into chained bitmap structures of
+  // `bloks_per_chunk` entries each.
+  explicit BlokAllocator(uint64_t total_bloks, uint64_t bloks_per_chunk = 1024);
+
+  // First-fit allocation starting from the hint chunk.
+  std::optional<uint64_t> Alloc();
+
+  void Free(uint64_t blok);
+
+  bool IsAllocated(uint64_t blok) const;
+  uint64_t total() const { return total_; }
+  uint64_t allocated() const { return allocated_; }
+  uint64_t free_count() const { return total_ - allocated_; }
+
+ private:
+  struct Chunk {
+    uint64_t base;  // first blok index covered by this chunk
+    Bitmap map;
+    std::unique_ptr<Chunk> next;
+
+    Chunk(uint64_t base_in, uint64_t bits) : base(base_in), map(bits) {}
+  };
+
+  const Chunk* FindChunk(uint64_t blok) const;
+  Chunk* FindChunk(uint64_t blok);
+
+  uint64_t total_;
+  uint64_t allocated_ = 0;
+  std::unique_ptr<Chunk> head_;
+  Chunk* hint_ = nullptr;  // earliest chunk known to have free bloks
+};
+
+}  // namespace nemesis
+
+#endif  // SRC_APP_BLOK_ALLOCATOR_H_

@@ -1,0 +1,29 @@
+// Shared environment handed to application-level components: the simulator,
+// kernel (for syscalls and fault dispatch), the system allocators, physical
+// memory, and the identity (domain + protection domain) the component acts as.
+#ifndef SRC_APP_DRIVER_ENV_H_
+#define SRC_APP_DRIVER_ENV_H_
+
+#include "src/hw/phys_mem.h"
+#include "src/kernel/kernel.h"
+#include "src/mm/frames_allocator.h"
+#include "src/mm/prot_domain.h"
+#include "src/sim/simulator.h"
+
+namespace nemesis {
+
+struct DriverEnv {
+  Simulator* sim = nullptr;
+  Kernel* kernel = nullptr;
+  FramesAllocator* frames = nullptr;
+  PhysicalMemory* phys = nullptr;
+  DomainId domain = kNoDomain;
+  ProtectionDomain* pdom = nullptr;
+
+  TranslationSyscalls& syscalls() const { return kernel->syscalls(); }
+  size_t page_size() const { return phys->page_size(); }
+};
+
+}  // namespace nemesis
+
+#endif  // SRC_APP_DRIVER_ENV_H_

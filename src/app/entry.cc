@@ -1,0 +1,70 @@
+#include "src/app/entry.h"
+
+#include <utility>
+
+#include "src/base/assert.h"
+
+namespace nemesis {
+
+Entry::Entry(Simulator& sim, Domain& domain, size_t num_workers)
+    : sim_(sim), domain_(domain), num_workers_(num_workers), work_cv_(sim) {
+  NEM_ASSERT(num_workers >= 1);
+}
+
+Entry::~Entry() { Stop(); }
+
+void Entry::Attach(EndpointId ep, Domain::NotificationHandler handler) {
+  domain_.SetNotificationHandler(ep, std::move(handler));
+}
+
+void Entry::QueueJob(Job job) {
+  jobs_.push_back(std::move(job));
+  work_cv_.NotifyAll();
+}
+
+void Entry::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  tasks_.push_back(sim_.Spawn(ActivationLoop(), domain_.name() + "/entry-activations"));
+  for (size_t i = 0; i < num_workers_; ++i) {
+    tasks_.push_back(sim_.Spawn(Worker(), domain_.name() + "/entry-worker"));
+  }
+}
+
+void Entry::Stop() {
+  for (auto& t : tasks_) {
+    t.Kill();
+  }
+  tasks_.clear();
+  started_ = false;
+}
+
+Task Entry::ActivationLoop() {
+  for (;;) {
+    if (!domain_.alive()) {
+      co_return;
+    }
+    if (!domain_.HasPendingEvents()) {
+      co_await domain_.activation_condition().Wait();
+      continue;
+    }
+    domain_.DispatchPendingEvents();
+  }
+}
+
+Task Entry::Worker() {
+  for (;;) {
+    while (jobs_.empty()) {
+      co_await work_cv_.Wait();
+    }
+    Job job = std::move(jobs_.front());
+    jobs_.pop_front();
+    TaskHandle h = sim_.Spawn(job(), domain_.name() + "/entry-job");
+    co_await Join(h);
+    ++jobs_run_;
+  }
+}
+
+}  // namespace nemesis

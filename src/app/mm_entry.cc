@@ -1,0 +1,204 @@
+#include "src/app/mm_entry.h"
+
+#include <utility>
+
+#include "src/base/assert.h"
+#include "src/base/log.h"
+
+namespace nemesis {
+
+MmEntry::MmEntry(DriverEnv env, Domain& domain, StretchAllocator& salloc, size_t num_workers)
+    : env_(env), domain_(domain), salloc_(salloc), num_workers_(num_workers),
+      resolved_cv_(*env.sim), work_cv_(*env.sim) {
+  NEM_ASSERT(num_workers >= 1);
+}
+
+MmEntry::~MmEntry() { Stop(); }
+
+void MmEntry::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  revoke_endpoint_ = domain_.AllocEndpoint();
+  domain_.SetNotificationHandler(domain_.fault_endpoint(),
+                                 [this](EndpointId, uint64_t) { OnFaultEvent(); });
+  domain_.SetNotificationHandler(revoke_endpoint_,
+                                 [this](EndpointId, uint64_t) { OnRevokeEvent(); });
+  tasks_.push_back(env_.sim->Spawn(ActivationLoop(), domain_.name() + "/activations"));
+  for (size_t i = 0; i < num_workers_; ++i) {
+    tasks_.push_back(env_.sim->Spawn(Worker(), domain_.name() + "/mm-worker"));
+  }
+}
+
+void MmEntry::Stop() {
+  for (auto& t : tasks_) {
+    t.Kill();
+  }
+  tasks_.clear();
+  started_ = false;
+}
+
+void MmEntry::BindDriver(Stretch* stretch, StretchDriver* driver) {
+  NEM_ASSERT(stretch != nullptr);
+  drivers_[stretch->sid()] = driver;
+  if (driver != nullptr) {
+    NEM_ASSERT_MSG(driver->Bind(stretch).ok(), "stretch driver bind failed");
+  }
+}
+
+StretchDriver* MmEntry::DriverFor(Sid sid) const {
+  auto it = drivers_.find(sid);
+  return it != drivers_.end() ? it->second : nullptr;
+}
+
+void MmEntry::SetCustomHandler(FaultType type, CustomFaultHandler handler) {
+  custom_handlers_[static_cast<uint8_t>(type)] = std::move(handler);
+}
+
+bool MmEntry::ConsumeFailure(Vpn vpn) {
+  auto it = failed_.find(vpn);
+  if (it == failed_.end()) {
+    return false;
+  }
+  failed_.erase(it);
+  return true;
+}
+
+void MmEntry::NotifyRevocation(uint64_t k, SimTime /*deadline*/) {
+  pending_revoke_k_ += k;
+  env_.kernel->SendEvent(domain_.id(), revoke_endpoint_);
+}
+
+void MmEntry::CompleteFault(Vpn vpn, FaultResult result) {
+  pending_.erase(vpn);
+  if (result == FaultResult::kFailure) {
+    failed_.insert(vpn);
+    ++faults_failed_;
+  }
+  resolved_cv_.NotifyAll();
+}
+
+void MmEntry::OnFaultEvent() {
+  // Runs inside the activation handler: activations are off and no IDC may be
+  // performed — only the fast-path driver attempt.
+  while (!domain_.fault_queue().empty()) {
+    const FaultRecord fault = domain_.fault_queue().front();
+    domain_.fault_queue().pop_front();
+    const Vpn vpn = fault.va / env_.page_size();
+
+    Stretch* stretch = salloc_.FindByAddr(fault.va);
+    if (stretch == nullptr) {
+      // Fault outside any stretch: unresolvable.
+      failed_.insert(vpn);
+      ++faults_failed_;
+      resolved_cv_.NotifyAll();
+      continue;
+    }
+    if (pending_.count(vpn) != 0) {
+      // Another thread already faulted here; it is being handled.
+      continue;
+    }
+
+    // Custom per-fault-type handlers take precedence over driver dispatch.
+    auto custom = custom_handlers_.find(static_cast<uint8_t>(fault.type));
+    if (custom != custom_handlers_.end()) {
+      pending_.insert(vpn);
+      const FaultResult r = custom->second(fault, *stretch);
+      ++faults_fast_path_;
+      if (r == FaultResult::kRetry) {
+        NEM_UNREACHABLE("custom fault handlers must resolve in the fast path");
+      }
+      CompleteFault(vpn, r);
+      continue;
+    }
+
+    StretchDriver* driver = DriverFor(stretch->sid());
+    if (driver == nullptr) {
+      failed_.insert(vpn);
+      ++faults_failed_;
+      resolved_cv_.NotifyAll();
+      continue;
+    }
+
+    pending_.insert(vpn);
+    // "the memory fault notification handler demultiplexes the stretch to the
+    // stretch driver, and invokes this in an initial attempt to satisfy the
+    // fault" — the fast path.
+    const FaultResult r = driver->HandleFault(fault, *stretch);
+    if (r == FaultResult::kRetry) {
+      // "the handler blocks the faulting thread, unblocks a worker thread,
+      // and returns."
+      jobs_.push_back(Job{Job::Kind::kFault, fault, stretch, driver, 0});
+      work_cv_.NotifyAll();
+    } else {
+      ++faults_fast_path_;
+      CompleteFault(vpn, r);
+    }
+  }
+}
+
+void MmEntry::OnRevokeEvent() {
+  if (pending_revoke_k_ == 0) {
+    return;
+  }
+  jobs_.push_back(Job{Job::Kind::kRevoke, FaultRecord{}, nullptr, nullptr, pending_revoke_k_});
+  pending_revoke_k_ = 0;
+  work_cv_.NotifyAll();
+}
+
+Task MmEntry::ActivationLoop() {
+  for (;;) {
+    if (!domain_.alive()) {
+      co_return;
+    }
+    if (!domain_.HasPendingEvents()) {
+      co_await domain_.activation_condition().Wait();
+      continue;
+    }
+    // The domain has been activated: run notification handlers with
+    // activations off, then "enter the ULTS" (worker/faulting coroutines are
+    // resumed through their conditions).
+    domain_.DispatchPendingEvents();
+  }
+}
+
+Task MmEntry::Worker() {
+  for (;;) {
+    while (jobs_.empty()) {
+      co_await work_cv_.Wait();
+    }
+    Job job = std::move(jobs_.front());
+    jobs_.pop_front();
+
+    if (job.kind == Job::Kind::kFault) {
+      const Vpn vpn = job.fault.va / env_.page_size();
+      FaultResult result = FaultResult::kFailure;
+      // The driver's slow path runs as its own task so that it can perform
+      // IDC (frames negotiation, USD transactions).
+      TaskHandle h = env_.sim->Spawn(job.driver->ResolveFault(job.fault, job.stretch, &result),
+                                     domain_.name() + "/resolve");
+      co_await Join(h);
+      ++faults_worker_;
+      CompleteFault(vpn, result);
+    } else {
+      // "If handling a revocation notification, it cycles through each
+      // stretch driver requesting that it relinquish frames until enough have
+      // been freed."
+      uint64_t freed = 0;
+      std::unordered_set<StretchDriver*> seen;
+      for (auto& [sid, driver] : drivers_) {
+        if (driver == nullptr || freed >= job.revoke_k || !seen.insert(driver).second) {
+          continue;
+        }
+        TaskHandle h = env_.sim->Spawn(driver->RelinquishFrames(job.revoke_k - freed, &freed),
+                                       domain_.name() + "/relinquish");
+        co_await Join(h);
+      }
+      ++revocations_handled_;
+      env_.frames->RevocationComplete(domain_.id());
+    }
+  }
+}
+
+}  // namespace nemesis

@@ -1,0 +1,123 @@
+// The MMEntry (paper §6.5): the entry — notification handler plus worker
+// threads — that coordinates a domain's stretch drivers.
+//
+//   * On a memory-fault event it demultiplexes the faulting stretch to the
+//     bound stretch driver and invokes it: first the fast path inside the
+//     notification handler (activations off, no IDC), then, if that returns
+//     Retry, from a worker thread where IDC is possible.
+//   * On a revocation notification from the frames allocator it cycles
+//     through the domain's stretch drivers requesting that they relinquish
+//     frames until enough have been freed, then replies to the allocator.
+//
+// Faulting threads synchronise through resolved_cv(): they re-probe their
+// address and wait while the fault is pending (concurrent faults on one page
+// are deduplicated here).
+#ifndef SRC_APP_MM_ENTRY_H_
+#define SRC_APP_MM_ENTRY_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/app/driver_env.h"
+#include "src/app/stretch_driver.h"
+#include "src/kernel/domain.h"
+#include "src/mm/stretch_allocator.h"
+#include "src/sim/sync.h"
+
+namespace nemesis {
+
+class MmEntry {
+ public:
+  // Handler for a fault type, overriding driver dispatch (Table 1's appel
+  // benchmarks override the access-violation fault with a custom handler).
+  using CustomFaultHandler = std::function<FaultResult(const FaultRecord&, Stretch&)>;
+
+  MmEntry(DriverEnv env, Domain& domain, StretchAllocator& salloc, size_t num_workers = 1);
+  ~MmEntry();
+  MmEntry(const MmEntry&) = delete;
+  MmEntry& operator=(const MmEntry&) = delete;
+
+  // Installs the notification handlers and spawns the activation loop and
+  // worker threads.
+  void Start();
+
+  // Stops all tasks (used on domain kill).
+  void Stop();
+
+  // "Before the virtual address may be referred to the stretch must be bound
+  // to a stretch driver."
+  void BindDriver(Stretch* stretch, StretchDriver* driver);
+  StretchDriver* DriverFor(Sid sid) const;
+
+  void SetCustomHandler(FaultType type, CustomFaultHandler handler);
+
+  // --- Faulting-thread interface -------------------------------------------
+
+  Condition& resolved_cv() { return resolved_cv_; }
+  bool IsPending(Vpn vpn) const { return pending_.count(vpn) != 0; }
+  // Returns true (and clears the flag) if the last resolution of `vpn` failed.
+  bool ConsumeFailure(Vpn vpn);
+
+  // --- Revocation interface -------------------------------------------------
+
+  // Called (by the system wiring) when the frames allocator starts an
+  // intrusive revocation against this domain; sends the event that the
+  // notification handler picks up.
+  void NotifyRevocation(uint64_t k, SimTime deadline);
+
+  // --- Stats ----------------------------------------------------------------
+
+  uint64_t faults_fast_path() const { return faults_fast_path_; }
+  uint64_t faults_worker() const { return faults_worker_; }
+  uint64_t faults_failed() const { return faults_failed_; }
+  uint64_t revocations_handled() const { return revocations_handled_; }
+
+ private:
+  struct Job {
+    enum class Kind { kFault, kRevoke } kind;
+    FaultRecord fault;
+    Stretch* stretch = nullptr;
+    StretchDriver* driver = nullptr;
+    uint64_t revoke_k = 0;
+  };
+
+  void OnFaultEvent();
+  void OnRevokeEvent();
+  Task ActivationLoop();
+  Task Worker();
+  void CompleteFault(Vpn vpn, FaultResult result);
+
+  DriverEnv env_;
+  Domain& domain_;
+  StretchAllocator& salloc_;
+  size_t num_workers_;
+
+  std::unordered_map<Sid, StretchDriver*> drivers_;
+  std::unordered_map<uint8_t, CustomFaultHandler> custom_handlers_;
+
+  EndpointId revoke_endpoint_ = 0;
+  uint64_t pending_revoke_k_ = 0;
+
+  std::unordered_set<Vpn> pending_;
+  std::unordered_set<Vpn> failed_;
+  Condition resolved_cv_;
+
+  std::deque<Job> jobs_;
+  Condition work_cv_;
+
+  std::vector<TaskHandle> tasks_;
+  bool started_ = false;
+
+  uint64_t faults_fast_path_ = 0;
+  uint64_t faults_worker_ = 0;
+  uint64_t faults_failed_ = 0;
+  uint64_t revocations_handled_ = 0;
+};
+
+}  // namespace nemesis
+
+#endif  // SRC_APP_MM_ENTRY_H_

@@ -1,0 +1,47 @@
+#include "src/app/nailed_driver.h"
+
+#include "src/base/log.h"
+
+namespace nemesis {
+
+Status<VmError> NailedStretchDriver::Bind(Stretch* stretch) {
+  for (size_t i = 0; i < stretch->page_count(); ++i) {
+    auto frame = env_.frames->AllocFrame(env_.domain);
+    if (!frame.has_value()) {
+      NEM_LOG_WARN("nailed", "bind failed: cannot allocate frame %zu of %zu", i,
+                   stretch->page_count());
+      return MakeUnexpected(VmError::kBadFrame);
+    }
+    env_.phys->ZeroFrame(*frame);
+    auto mapped = env_.syscalls().Map(env_.domain, env_.pdom, stretch->PageBase(i), *frame,
+                                      MapAttrs{});
+    if (!mapped.ok()) {
+      return mapped;
+    }
+    // Nail after mapping so the mapping can never be torn down underneath the
+    // application.
+    env_.kernel->ramtab().SetNailed(*frame);
+    frames_.push_back(*frame);
+  }
+  return Status<VmError>::Ok();
+}
+
+FaultResult NailedStretchDriver::HandleFault(const FaultRecord& fault, Stretch& /*stretch*/) {
+  // Every page is mapped at bind time; a fault can only be a protection
+  // violation, which this driver does not resolve.
+  NEM_LOG_DEBUG("nailed", "unexpected fault at 0x%llx (%s)",
+                static_cast<unsigned long long>(fault.va), FaultTypeName(fault.type));
+  return FaultResult::kFailure;
+}
+
+Task NailedStretchDriver::ResolveFault(FaultRecord /*fault*/, Stretch* /*stretch*/,
+                                       FaultResult* result) {
+  *result = FaultResult::kFailure;
+  co_return;
+}
+
+Task NailedStretchDriver::RelinquishFrames(uint64_t /*target*/, uint64_t* /*freed*/) {
+  co_return;
+}
+
+}  // namespace nemesis

@@ -1,0 +1,439 @@
+#include "src/app/paged_driver.h"
+
+#include <cstring>
+
+#include "src/base/assert.h"
+#include "src/base/log.h"
+#include "src/sim/sync.h"
+
+namespace nemesis {
+
+PagedStretchDriver::PagedStretchDriver(DriverEnv env, UsdClient* swap, Extent swap_extent,
+                                       Config config)
+    : PhysicalStretchDriver(env), swap_(swap), swap_extent_(swap_extent), config_(config),
+      blocks_per_page_(static_cast<uint32_t>(env.page_size() / 512)),
+      bloks_(swap_extent.length / blocks_per_page_),
+      staging_cv_(std::make_unique<Condition>(*env.sim)),
+      replacement_rng_(config.replacement_seed) {
+  NEM_ASSERT(config.max_frames >= 1);
+  NEM_ASSERT(swap_extent.length >= blocks_per_page_);
+}
+
+Status<VmError> PagedStretchDriver::Bind(Stretch* stretch) {
+  NEM_ASSERT_MSG(stretch_ == nullptr, "paged driver already bound");
+  stretch_ = stretch;
+  pages_.assign(stretch->page_count(), PageInfo{});
+  return Status<VmError>::Ok();
+}
+
+std::optional<Pfn> PagedStretchDriver::FindUnusedPoolFrame() const {
+  for (Pfn pfn : pool_) {
+    if (staging_.active && pfn == staging_.pfn) {
+      continue;  // reserved for the staged page
+    }
+    if (env_.kernel->ramtab().OwnerOf(pfn) == env_.domain &&
+        env_.kernel->ramtab().StateOf(pfn) == FrameState::kUnused) {
+      return pfn;
+    }
+  }
+  return std::nullopt;
+}
+
+void PagedStretchDriver::PrunePool() {
+  // Frames reclaimed by the allocator (after a revocation) no longer belong
+  // to this domain; drop them so the pool can be regrown later.
+  std::erase_if(pool_, [this](Pfn pfn) {
+    return env_.kernel->ramtab().OwnerOf(pfn) != env_.domain;
+  });
+}
+
+uint64_t PagedStretchDriver::BlokLba(uint64_t blok) const {
+  return swap_extent_.start + blok * blocks_per_page_;
+}
+
+FaultResult PagedStretchDriver::HandleFault(const FaultRecord& fault, Stretch& stretch) {
+  if (fault.type == FaultType::kFaultAcv || fault.type == FaultType::kFaultUnallocated) {
+    return FaultResult::kFailure;
+  }
+  const VirtAddr page_va = AlignDown(fault.va, env_.page_size());
+  if (env_.syscalls().Trans(page_va).has_value()) {
+    return FaultResult::kSuccess;
+  }
+  const size_t index = stretch.PageIndexOf(fault.va);
+  PageInfo& page = pages_[index];
+  if (staging_.active && staging_.ready && staging_.page == index) {
+    // Stream-paging hit: the page was speculatively read already; mapping the
+    // staged frame needs no IO and is legal in the fast path.
+    const Pfn staged = staging_.pfn;
+    staging_.active = false;
+    staging_.ready = false;
+    if (env_.kernel->ramtab().OwnerOf(staged) == env_.domain) {
+      env_.kernel->ramtab().SetUnused(staged);
+    }
+    if (env_.kernel->ramtab().OwnerOf(staged) == env_.domain &&
+        env_.syscalls().Map(env_.domain, env_.pdom, page_va, staged, MapAttrs{}).ok()) {
+      page.resident = true;
+      fifo_.push_back(index);
+      if (FrameStack* stack = env_.frames->StackOf(env_.domain); stack != nullptr) {
+        stack->MoveToBottom(staged);
+      }
+      ++prefetch_hits_;
+      ++fast_maps_;
+      MaybeStartPrefetch(index);
+      return FaultResult::kSuccess;
+    }
+    // Frame was revoked underneath us: fall back to the normal path.
+  }
+  if (page.has_disk_copy && !config_.forgetful) {
+    return FaultResult::kRetry;  // needs a swap read: worker context
+  }
+  // Demand-zero page: satisfiable now if a pool frame is free.
+  auto pfn = FindUnusedPoolFrame();
+  if (!pfn.has_value()) {
+    return FaultResult::kRetry;  // needs allocation or eviction
+  }
+  if (!MapZeroedFrame(page_va, *pfn).ok()) {
+    return FaultResult::kFailure;
+  }
+  page.resident = true;
+  fifo_.push_back(index);
+  if (FrameStack* stack = env_.frames->StackOf(env_.domain); stack != nullptr) {
+    stack->MoveToBottom(*pfn);
+  }
+  ++fast_maps_;
+  return FaultResult::kSuccess;
+}
+
+Task PagedStretchDriver::SwapWrite(uint64_t blok, Pfn pfn, bool* ok) {
+  co_await swap_->AcquireSlot();
+  UsdRequest req;
+  req.id = blok;
+  req.lba = BlokLba(blok);
+  req.nblocks = blocks_per_page_;
+  req.is_write = true;
+  auto data = env_.phys->FrameData(pfn);
+  req.data.assign(data.begin(), data.end());
+  swap_->Push(std::move(req));
+  UsdReply reply = co_await swap_->ReceiveReply();
+  *ok = reply.ok;
+  if (reply.ok) {
+    ++pageouts_;
+  }
+}
+
+Task PagedStretchDriver::SwapRead(uint64_t blok, Pfn pfn, bool* ok) {
+  co_await swap_->AcquireSlot();
+  UsdRequest req;
+  req.id = blok;
+  req.lba = BlokLba(blok);
+  req.nblocks = blocks_per_page_;
+  req.is_write = false;
+  swap_->Push(std::move(req));
+  UsdReply reply = co_await swap_->ReceiveReply();
+  *ok = reply.ok;
+  if (reply.ok) {
+    auto frame = env_.phys->FrameData(pfn);
+    NEM_ASSERT(reply.data.size() == frame.size());
+    std::memcpy(frame.data(), reply.data.data(), frame.size());
+    ++pageins_;
+  }
+}
+
+size_t PagedStretchDriver::SelectVictim() {
+  NEM_ASSERT(!fifo_.empty());
+  switch (config_.replacement) {
+    case Replacement::kFifo:
+      break;
+    case Replacement::kClock: {
+      // Second chance: a page whose referenced bit is set gets it cleared and
+      // moves to the back; the first unreferenced page is the victim. Bounded
+      // by one full sweep so a fully-referenced set degrades to FIFO.
+      for (size_t sweep = 0; sweep < fifo_.size(); ++sweep) {
+        const size_t candidate = fifo_.front();
+        auto trans = env_.syscalls().Trans(stretch_->PageBase(candidate));
+        if (!trans.has_value() || !trans->referenced) {
+          break;
+        }
+        (void)env_.syscalls().ClearReferenced(env_.domain, env_.pdom,
+                                              stretch_->PageBase(candidate));
+        fifo_.pop_front();
+        fifo_.push_back(candidate);
+      }
+      break;
+    }
+    case Replacement::kRandom: {
+      const size_t index = replacement_rng_.NextBelow(fifo_.size());
+      std::swap(fifo_[0], fifo_[index]);
+      break;
+    }
+  }
+  const size_t victim = fifo_.front();
+  fifo_.pop_front();
+  return victim;
+}
+
+Task PagedStretchDriver::EvictOne(Pfn* out_pfn, bool* ok) {
+  const size_t victim = SelectVictim();
+  PageInfo& page = pages_[victim];
+  const VirtAddr victim_va = stretch_->PageBase(victim);
+  auto trans = env_.syscalls().Trans(victim_va);
+  NEM_ASSERT_MSG(trans.has_value(), "resident page not mapped");
+  const bool dirty = trans->dirty;
+  Pfn pfn = 0;
+  NEM_ASSERT(env_.syscalls().Unmap(env_.domain, env_.pdom, victim_va, &pfn).ok());
+  // Reserve the frame (RamTab nailed) for the duration of the write-back and
+  // until the caller maps or releases it: a concurrent fast-path fault must
+  // not grab a frame whose dirty contents are still in flight to swap.
+  env_.kernel->ramtab().SetNailed(pfn);
+  ++evictions_;
+  page.resident = false;
+
+  if (dirty) {
+    // Clean the page to swap before the frame can be reused.
+    if (!page.blok.has_value()) {
+      page.blok = bloks_.Alloc();
+      if (!page.blok.has_value()) {
+        NEM_LOG_WARN("paged", "swap space exhausted");
+        env_.kernel->ramtab().SetUnused(pfn);
+        *ok = false;
+        co_return;
+      }
+    }
+    bool write_ok = false;
+    TaskHandle h = env_.sim->Spawn(SwapWrite(*page.blok, pfn, &write_ok), "swap-write");
+    co_await Join(h);
+    if (!write_ok) {
+      env_.kernel->ramtab().SetUnused(pfn);
+      *ok = false;
+      co_return;
+    }
+    if (config_.forgetful) {
+      // Figure 8 driver: the copy is written (the disk traffic is real) but
+      // immediately forgotten, so the page will be demand-zeroed next time.
+      bloks_.Free(*page.blok);
+      page.blok.reset();
+      page.has_disk_copy = false;
+    } else {
+      page.has_disk_copy = true;
+    }
+  }
+  // A clean page either already has a valid disk copy or was never written
+  // (demand-zero on next touch); nothing to do.
+
+  *out_pfn = pfn;
+  *ok = true;
+}
+
+Task PagedStretchDriver::ResolveFault(FaultRecord fault, Stretch* stretch, FaultResult* result) {
+  const VirtAddr page_va = AlignDown(fault.va, env_.page_size());
+  const size_t index = stretch->PageIndexOf(fault.va);
+  PageInfo& page = pages_[index];
+
+  if (env_.syscalls().Trans(page_va).has_value()) {
+    *result = FaultResult::kSuccess;
+    co_return;
+  }
+  PrunePool();
+
+  // Stream-paging: if this page is being (or has been) staged, use it.
+  if (staging_.active && staging_.page == index) {
+    while (staging_.active && !staging_.ready) {
+      co_await staging_cv_->Wait();
+    }
+    if (staging_.active && staging_.ready) {
+      const Pfn staged = staging_.pfn;
+      staging_.active = false;
+      staging_.ready = false;
+      if (env_.kernel->ramtab().OwnerOf(staged) == env_.domain) {
+        env_.kernel->ramtab().SetUnused(staged);
+      }
+      if (env_.kernel->ramtab().OwnerOf(staged) == env_.domain &&
+          env_.syscalls().Map(env_.domain, env_.pdom, page_va, staged, MapAttrs{}).ok()) {
+        page.resident = true;
+        fifo_.push_back(index);
+        if (FrameStack* stack = env_.frames->StackOf(env_.domain); stack != nullptr) {
+          stack->MoveToBottom(staged);
+        }
+        ++prefetch_hits_;
+        ++slow_maps_;
+        MaybeStartPrefetch(index);
+        *result = FaultResult::kSuccess;
+        co_return;
+      }
+    }
+  }
+
+  // 1. Obtain a free frame: from the pool, by growing the pool up to the
+  //    configured maximum, or by evicting the FIFO-oldest resident page.
+  std::optional<Pfn> pfn;
+  for (;;) {
+    pfn = FindUnusedPoolFrame();
+    if (pfn.has_value()) {
+      break;
+    }
+    if (pool_.size() < config_.max_frames) {
+      auto allocated = env_.frames->AllocFrame(env_.domain);
+      if (allocated.has_value()) {
+        pool_.push_back(*allocated);
+        pfn = *allocated;
+        break;
+      }
+      if (allocated.error() == FramesError::kRevocationPending) {
+        co_await env_.frames->frames_available().Wait();
+        continue;
+      }
+      // Quota or memory exhausted: fall through to eviction.
+    }
+    if (fifo_.empty()) {
+      if (staging_.active && staging_.ready) {
+        // Cancel a useless staged page rather than failing the fault.
+        pfn = staging_.pfn;
+        staging_.active = false;
+        staging_.ready = false;
+        ++prefetch_wasted_;
+        break;
+      }
+      *result = FaultResult::kFailure;  // no frames and nothing to evict
+      co_return;
+    }
+    Pfn evicted = 0;
+    bool ok = false;
+    TaskHandle h = env_.sim->Spawn(EvictOne(&evicted, &ok), "evict");
+    co_await Join(h);
+    if (!ok) {
+      *result = FaultResult::kFailure;
+      co_return;
+    }
+    pfn = evicted;
+    break;
+  }
+
+  // 2. Fill the frame: page in from swap, or demand-zero. The frame stays
+  //    reserved (nailed) across the asynchronous fill so concurrent fault
+  //    handling cannot map it; the reservation is dropped just before Map.
+  env_.kernel->ramtab().SetNailed(*pfn);
+  if (page.has_disk_copy && !config_.forgetful) {
+    NEM_ASSERT(page.blok.has_value());
+    bool ok = false;
+    TaskHandle h = env_.sim->Spawn(SwapRead(*page.blok, *pfn, &ok), "swap-read");
+    co_await Join(h);
+    env_.kernel->ramtab().SetUnused(*pfn);
+    if (!ok) {
+      *result = FaultResult::kFailure;
+      co_return;
+    }
+    if (!env_.syscalls().Map(env_.domain, env_.pdom, page_va, *pfn, MapAttrs{}).ok()) {
+      *result = FaultResult::kFailure;
+      co_return;
+    }
+  } else {
+    env_.kernel->ramtab().SetUnused(*pfn);
+    if (!MapZeroedFrame(page_va, *pfn).ok()) {
+      *result = FaultResult::kFailure;
+      co_return;
+    }
+  }
+
+  page.resident = true;
+  fifo_.push_back(index);
+  if (FrameStack* stack = env_.frames->StackOf(env_.domain); stack != nullptr) {
+    stack->MoveToBottom(*pfn);
+  }
+  ++slow_maps_;
+  MaybeStartPrefetch(index);
+  *result = FaultResult::kSuccess;
+}
+
+void PagedStretchDriver::MaybeStartPrefetch(size_t index) {
+  if (!config_.stream_paging || config_.forgetful || staging_.active) {
+    return;
+  }
+  const size_t next = index + 1;
+  if (next >= pages_.size() || pages_[next].resident || !pages_[next].has_disk_copy) {
+    return;
+  }
+  staging_.active = true;
+  staging_.ready = false;
+  staging_.page = next;
+  // No frame reserved yet: a sentinel keeps FindUnusedPoolFrame from skipping
+  // a real frame until PrefetchTask claims one.
+  staging_.pfn = UINT64_MAX;
+  ++prefetch_issued_;
+  env_.sim->Spawn(PrefetchTask(next), "stream-prefetch");
+}
+
+Task PagedStretchDriver::PrefetchTask(size_t index) {
+  // Obtain a frame without displacing the most recently mapped page: take an
+  // unused pool frame, or evict the FIFO-oldest page if at least two pages
+  // are resident.
+  std::optional<Pfn> pfn = FindUnusedPoolFrame();
+  if (!pfn.has_value() && pool_.size() < config_.max_frames) {
+    auto allocated = env_.frames->AllocFrame(env_.domain);
+    if (allocated.has_value()) {
+      pool_.push_back(*allocated);
+      pfn = *allocated;
+    }
+  }
+  if (!pfn.has_value() && fifo_.size() >= 2) {
+    Pfn evicted = 0;
+    bool ok = false;
+    TaskHandle h = env_.sim->Spawn(EvictOne(&evicted, &ok), "prefetch-evict");
+    co_await Join(h);
+    if (ok) {
+      pfn = evicted;
+    }
+  }
+  if (!pfn.has_value() || !staging_.active || staging_.page != index) {
+    staging_.active = false;
+    staging_cv_->NotifyAll();
+    co_return;
+  }
+  staging_.pfn = *pfn;
+  env_.kernel->ramtab().SetNailed(*pfn);  // reserve until mapped or cancelled
+  NEM_ASSERT(pages_[index].blok.has_value());
+  bool read_ok = false;
+  TaskHandle h = env_.sim->Spawn(SwapRead(*pages_[index].blok, *pfn, &read_ok), "prefetch-read");
+  co_await Join(h);
+  if (!read_ok || !staging_.active || staging_.page != index) {
+    staging_.active = false;
+    env_.kernel->ramtab().SetUnused(*pfn);
+    ++prefetch_wasted_;
+  } else {
+    staging_.ready = true;
+  }
+  staging_cv_->NotifyAll();
+}
+
+Task PagedStretchDriver::RelinquishFrames(uint64_t target, uint64_t* freed) {
+  FrameStack* stack = env_.frames->StackOf(env_.domain);
+  // First hand over any already-unused pool frames.
+  for (Pfn pfn : pool_) {
+    if (*freed >= target) {
+      co_return;
+    }
+    if (env_.kernel->ramtab().StateOf(pfn) == FrameState::kUnused) {
+      if (stack != nullptr) {
+        stack->MoveToTop(pfn);
+      }
+      ++*freed;
+    }
+  }
+  // Then evict resident pages (cleaning dirty ones to swap — this is why the
+  // intrusive revocation deadline "may be relatively far in the future").
+  while (*freed < target && !fifo_.empty()) {
+    Pfn evicted = 0;
+    bool ok = false;
+    TaskHandle h = env_.sim->Spawn(EvictOne(&evicted, &ok), "revoke-evict");
+    co_await Join(h);
+    if (!ok) {
+      co_return;
+    }
+    env_.kernel->ramtab().SetUnused(evicted);
+    if (stack != nullptr) {
+      stack->MoveToTop(evicted);
+    }
+    ++*freed;
+  }
+}
+
+}  // namespace nemesis

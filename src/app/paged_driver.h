@@ -1,0 +1,139 @@
+// Paged stretch driver (paper §6.6): an extension of the physical stretch
+// driver with a binding to the User-Safe Backing Store, able to swap pages in
+// and out to disk. Swap space is managed as bloks (page-sized runs of disk
+// blocks) via the first-fit BlokAllocator.
+//
+// The implementation follows the paper's "fairly pure demand paged scheme":
+// when a fault cannot be satisfied from the pool of free frames, disk
+// activity ensues — a dirty victim is cleaned to swap, and (unless the page
+// has never been written or the driver is forgetful) the faulting page is
+// fetched from swap. Replacement among the driver's own frames is FIFO.
+//
+// `forgetful` mode reproduces the paper's paging-out experiment (Figure 8):
+// the driver "forgets that pages have a copy on disk and hence never pages in
+// during a page fault" — every fault demand-zeroes, every dirty eviction
+// still pays a disk write.
+//
+// Concurrency: the driver assumes its slow paths are serialised (the MMEntry
+// runs one worker per domain), matching the paper's single paging thread.
+#ifndef SRC_APP_PAGED_DRIVER_H_
+#define SRC_APP_PAGED_DRIVER_H_
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/app/blok_allocator.h"
+#include "src/app/physical_driver.h"
+#include "src/base/random.h"
+#include "src/sim/sync.h"
+#include "src/usd/usd.h"
+
+namespace nemesis {
+
+class PagedStretchDriver : public PhysicalStretchDriver {
+ public:
+  // Replacement policy among the driver's resident pages. Self-paging means
+  // this is the APPLICATION's choice (paper section 3: application-specific
+  // knowledge enables "improved page replacement and prefetching").
+  enum class Replacement : uint8_t {
+    kFifo,   // the paper's demand-paged scheme
+    kClock,  // second chance via the exposed referenced bits
+    kRandom, // baseline for comparison
+  };
+
+  struct Config {
+    uint64_t max_frames = 2;  // physical memory the driver may consume
+    bool forgetful = false;   // Figure 8 mode: never page in
+    Replacement replacement = Replacement::kFifo;
+    uint64_t replacement_seed = 1;  // for kRandom
+    // Stream-paging (the paper's §8 future-work extension): after resolving a
+    // fault on page i, speculatively page i+1 into a staged frame so a
+    // subsequent sequential fault is satisfied without stalling on the disk.
+    bool stream_paging = false;
+  };
+
+  // `swap` is the QoS-negotiated USD channel for this domain's swap file
+  // covering `swap_extent` (obtained from the SFS).
+  PagedStretchDriver(DriverEnv env, UsdClient* swap, Extent swap_extent, Config config);
+
+  Status<VmError> Bind(Stretch* stretch) override;
+  FaultResult HandleFault(const FaultRecord& fault, Stretch& stretch) override;
+  Task ResolveFault(FaultRecord fault, Stretch* stretch, FaultResult* result) override;
+  Task RelinquishFrames(uint64_t target, uint64_t* freed) override;
+
+  const char* kind() const override { return "paged"; }
+
+  uint64_t pageins() const { return pageins_; }
+  uint64_t pageouts() const { return pageouts_; }
+  uint64_t evictions() const { return evictions_; }
+  uint64_t prefetch_hits() const { return prefetch_hits_; }
+  uint64_t prefetch_issued() const { return prefetch_issued_; }
+  uint64_t prefetch_wasted() const { return prefetch_wasted_; }
+  size_t resident_pages() const { return fifo_.size(); }
+  size_t pool_size() const { return pool_.size(); }
+  const BlokAllocator& bloks() const { return bloks_; }
+
+ private:
+  struct PageInfo {
+    bool resident = false;
+    bool has_disk_copy = false;
+    std::optional<uint64_t> blok;
+  };
+
+  std::optional<Pfn> FindUnusedPoolFrame() const;
+  void PrunePool();
+  uint64_t BlokLba(uint64_t blok) const;
+  // Chooses (and removes from fifo_) the victim page per the configured
+  // replacement policy.
+  size_t SelectVictim();
+
+  // Stream-paging machinery: starts a speculative page-in of `index + 1`
+  // after a fault on `index` was resolved, and the awaitable side that maps a
+  // staged frame.
+  void MaybeStartPrefetch(size_t index);
+  Task PrefetchTask(size_t index);
+
+  // Evicts the FIFO-oldest resident page, cleaning it to swap if dirty.
+  // Writes the freed frame to *out_pfn; *ok=false on swap exhaustion.
+  Task EvictOne(Pfn* out_pfn, bool* ok);
+
+  // Swap IO (worker context): whole-page write/read through the USD channel.
+  Task SwapWrite(uint64_t blok, Pfn pfn, bool* ok);
+  Task SwapRead(uint64_t blok, Pfn pfn, bool* ok);
+
+  UsdClient* swap_;
+  Extent swap_extent_;
+  Config config_;
+  uint32_t blocks_per_page_;
+  BlokAllocator bloks_;
+
+  Stretch* stretch_ = nullptr;
+  std::vector<PageInfo> pages_;
+  std::deque<size_t> fifo_;  // resident pages, oldest first
+  std::vector<Pfn> pool_;    // frames this driver has acquired
+
+  // Stream-paging state: at most one staged page at a time. The staged frame
+  // is excluded from FindUnusedPoolFrame while active.
+  struct Staging {
+    bool active = false;
+    bool ready = false;
+    size_t page = 0;
+    Pfn pfn = 0;
+  };
+  Staging staging_;
+  std::unique_ptr<Condition> staging_cv_;
+
+  Random replacement_rng_;
+  uint64_t pageins_ = 0;
+  uint64_t pageouts_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t prefetch_hits_ = 0;
+  uint64_t prefetch_issued_ = 0;
+  uint64_t prefetch_wasted_ = 0;
+};
+
+}  // namespace nemesis
+
+#endif  // SRC_APP_PAGED_DRIVER_H_

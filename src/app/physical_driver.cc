@@ -1,0 +1,119 @@
+#include "src/app/physical_driver.h"
+
+#include "src/base/log.h"
+#include "src/sim/sync.h"
+
+namespace nemesis {
+
+Status<VmError> PhysicalStretchDriver::Bind(Stretch* /*stretch*/) {
+  // Nothing to do: backing is provided lazily, fault by fault.
+  return Status<VmError>::Ok();
+}
+
+std::optional<Pfn> PhysicalStretchDriver::FindUnusedOwnedFrame() const {
+  const FrameStack* stack = env_.frames->StackOf(env_.domain);
+  if (stack == nullptr) {
+    return std::nullopt;
+  }
+  for (Pfn pfn : stack->frames()) {
+    if (env_.kernel->ramtab().StateOf(pfn) == FrameState::kUnused) {
+      return pfn;
+    }
+  }
+  return std::nullopt;
+}
+
+Status<VmError> PhysicalStretchDriver::MapZeroedFrame(VirtAddr va, Pfn pfn) {
+  env_.phys->ZeroFrame(pfn);
+  return env_.syscalls().Map(env_.domain, env_.pdom, va, pfn, MapAttrs{});
+}
+
+FaultResult PhysicalStretchDriver::HandleFault(const FaultRecord& fault, Stretch& /*stretch*/) {
+  if (fault.type == FaultType::kFaultAcv || fault.type == FaultType::kFaultUnallocated) {
+    return FaultResult::kFailure;  // protection faults are not resolvable here
+  }
+  const VirtAddr page_va = AlignDown(fault.va, env_.page_size());
+  if (env_.syscalls().Trans(page_va).has_value()) {
+    return FaultResult::kSuccess;  // raced with another thread's resolution
+  }
+  // "the stretch driver looks for an unused (i.e. unmapped) frame. If this
+  // fails, it cannot proceed further now ... Hence it returns Retry."
+  auto pfn = FindUnusedOwnedFrame();
+  if (!pfn.has_value()) {
+    return FaultResult::kRetry;
+  }
+  if (!MapZeroedFrame(page_va, *pfn).ok()) {
+    return FaultResult::kFailure;
+  }
+  ++fast_maps_;
+  return FaultResult::kSuccess;
+}
+
+Task PhysicalStretchDriver::ResolveFault(FaultRecord fault, Stretch* /*stretch*/,
+                                         FaultResult* result) {
+  const VirtAddr page_va = AlignDown(fault.va, env_.page_size());
+  for (;;) {
+    if (env_.syscalls().Trans(page_va).has_value()) {
+      *result = FaultResult::kSuccess;
+      co_return;
+    }
+    auto pfn = FindUnusedOwnedFrame();
+    if (!pfn.has_value()) {
+      // "the stretch driver may attempt to gain additional physical frames by
+      // invoking the frames allocator" — IDC, allowed in worker context.
+      auto allocated = env_.frames->AllocFrame(env_.domain);
+      if (allocated.has_value()) {
+        pfn = *allocated;
+      } else if (allocated.error() == FramesError::kRevocationPending) {
+        co_await env_.frames->frames_available().Wait();
+        continue;
+      } else {
+        // "Otherwise the stretch driver returns Failure."
+        NEM_LOG_DEBUG("physical", "fault at 0x%llx unresolvable: %d",
+                      static_cast<unsigned long long>(fault.va),
+                      static_cast<int>(allocated.error()));
+        *result = FaultResult::kFailure;
+        co_return;
+      }
+    }
+    if (!MapZeroedFrame(page_va, *pfn).ok()) {
+      *result = FaultResult::kFailure;
+      co_return;
+    }
+    ++slow_maps_;
+    *result = FaultResult::kSuccess;
+    co_return;
+  }
+}
+
+Task PhysicalStretchDriver::RelinquishFrames(uint64_t target, uint64_t* freed) {
+  // The physical driver holds no clean/dirty distinction: unmap pages (their
+  // contents are lost, demand-zero on next touch) until the target is met.
+  FrameStack* stack = env_.frames->StackOf(env_.domain);
+  if (stack == nullptr) {
+    co_return;
+  }
+  // Walk a snapshot: unmapping mutates RamTab state, not the stack.
+  std::vector<Pfn> snapshot = stack->frames();
+  for (Pfn pfn : snapshot) {
+    if (*freed >= target) {
+      break;
+    }
+    const auto& entry = env_.kernel->ramtab().Get(pfn);
+    if (entry.state == FrameState::kUnused) {
+      stack->MoveToTop(pfn);
+      ++*freed;
+      continue;
+    }
+    if (entry.state == FrameState::kMapped) {
+      const VirtAddr va = entry.mapped_vpn * env_.page_size();
+      if (env_.syscalls().Unmap(env_.domain, env_.pdom, va).ok()) {
+        stack->MoveToTop(pfn);
+        ++*freed;
+      }
+    }
+  }
+  co_return;
+}
+
+}  // namespace nemesis

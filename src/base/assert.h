@@ -1,0 +1,40 @@
+// Assertion macros for the Nemesis self-paging reproduction.
+//
+// NEM_ASSERT is compiled in all build types: this codebase models an OS whose
+// invariants (frame ownership, accounting, scheduler state) must hold for the
+// experiments to be meaningful, so we never silently strip the checks.
+#ifndef SRC_BASE_ASSERT_H_
+#define SRC_BASE_ASSERT_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace nemesis {
+
+[[noreturn]] inline void AssertFail(const char* expr, const char* file, int line,
+                                    const char* msg) {
+  std::fprintf(stderr, "NEM_ASSERT failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace nemesis
+
+#define NEM_ASSERT(expr)                                         \
+  do {                                                           \
+    if (!(expr)) {                                               \
+      ::nemesis::AssertFail(#expr, __FILE__, __LINE__, "");      \
+    }                                                            \
+  } while (0)
+
+#define NEM_ASSERT_MSG(expr, msg)                                \
+  do {                                                           \
+    if (!(expr)) {                                               \
+      ::nemesis::AssertFail(#expr, __FILE__, __LINE__, (msg));   \
+    }                                                            \
+  } while (0)
+
+// Marks a code path that must be unreachable.
+#define NEM_UNREACHABLE(msg) ::nemesis::AssertFail("unreachable", __FILE__, __LINE__, (msg))
+
+#endif  // SRC_BASE_ASSERT_H_

@@ -1,0 +1,95 @@
+#include "src/base/bitmap.h"
+
+#include "src/base/assert.h"
+
+namespace nemesis {
+
+Bitmap::Bitmap(size_t bits) : bits_(bits), words_((bits + kBitsPerWord - 1) / kBitsPerWord, 0) {}
+
+bool Bitmap::Test(size_t index) const {
+  NEM_ASSERT(index < bits_);
+  return (words_[index / kBitsPerWord] >> (index % kBitsPerWord)) & 1u;
+}
+
+void Bitmap::Set(size_t index) {
+  NEM_ASSERT(index < bits_);
+  uint64_t& word = words_[index / kBitsPerWord];
+  const uint64_t mask = uint64_t{1} << (index % kBitsPerWord);
+  if ((word & mask) == 0) {
+    word |= mask;
+    ++set_count_;
+  }
+}
+
+void Bitmap::Clear(size_t index) {
+  NEM_ASSERT(index < bits_);
+  uint64_t& word = words_[index / kBitsPerWord];
+  const uint64_t mask = uint64_t{1} << (index % kBitsPerWord);
+  if ((word & mask) != 0) {
+    word &= ~mask;
+    --set_count_;
+  }
+}
+
+std::optional<size_t> Bitmap::FindFirstClear(size_t from) const {
+  for (size_t i = from / kBitsPerWord; i < words_.size(); ++i) {
+    uint64_t word = words_[i];
+    if (i == from / kBitsPerWord) {
+      // Mask off bits below `from` by pretending they are set.
+      const size_t shift = from % kBitsPerWord;
+      word |= (shift == 0) ? 0 : ((uint64_t{1} << shift) - 1);
+    }
+    if (word != ~uint64_t{0}) {
+      const size_t bit = static_cast<size_t>(__builtin_ctzll(~word));
+      const size_t index = i * kBitsPerWord + bit;
+      if (index < bits_) {
+        return index;
+      }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<size_t> Bitmap::FindClearRun(size_t run, size_t from) const {
+  NEM_ASSERT(run > 0);
+  size_t cursor = from;
+  while (cursor + run <= bits_) {
+    auto start = FindFirstClear(cursor);
+    if (!start.has_value() || *start + run > bits_) {
+      return std::nullopt;
+    }
+    size_t len = 0;
+    while (len < run && !Test(*start + len)) {
+      ++len;
+    }
+    if (len == run) {
+      return *start;
+    }
+    cursor = *start + len + 1;
+  }
+  return std::nullopt;
+}
+
+void Bitmap::SetRange(size_t start, size_t len) {
+  for (size_t i = 0; i < len; ++i) {
+    Set(start + i);
+  }
+}
+
+void Bitmap::ClearRange(size_t start, size_t len) {
+  for (size_t i = 0; i < len; ++i) {
+    Clear(start + i);
+  }
+}
+
+bool Bitmap::RangeClear(size_t start, size_t len) const {
+  for (size_t i = 0; i < len; ++i) {
+    if (Test(start + i)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace nemesis

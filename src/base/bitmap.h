@@ -1,0 +1,47 @@
+// Dynamic bitmap with first-fit search, used by the blok swap-space allocator
+// (src/app/blok_allocator) and the SFS extent allocator.
+#ifndef SRC_BASE_BITMAP_H_
+#define SRC_BASE_BITMAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace nemesis {
+
+class Bitmap {
+ public:
+  explicit Bitmap(size_t bits);
+
+  size_t size() const { return bits_; }
+  size_t count_set() const { return set_count_; }
+
+  bool Test(size_t index) const;
+  void Set(size_t index);
+  void Clear(size_t index);
+
+  // Returns the index of the first clear bit at or after `from`, if any.
+  std::optional<size_t> FindFirstClear(size_t from = 0) const;
+
+  // Returns the start of the first run of `run` consecutive clear bits at or
+  // after `from`, if any.
+  std::optional<size_t> FindClearRun(size_t run, size_t from = 0) const;
+
+  // Sets/clears the range [start, start + len).
+  void SetRange(size_t start, size_t len);
+  void ClearRange(size_t start, size_t len);
+
+  // True iff every bit in [start, start + len) is clear.
+  bool RangeClear(size_t start, size_t len) const;
+
+ private:
+  static constexpr size_t kBitsPerWord = 64;
+  size_t bits_;
+  size_t set_count_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace nemesis
+
+#endif  // SRC_BASE_BITMAP_H_

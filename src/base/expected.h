@@ -1,0 +1,87 @@
+// A small result type in the spirit of std::expected (C++23), used throughout
+// the reproduction for fallible OS-style interfaces where exceptions are not
+// idiomatic (allocation, mapping, scheduling admission).
+#ifndef SRC_BASE_EXPECTED_H_
+#define SRC_BASE_EXPECTED_H_
+
+#include <utility>
+#include <variant>
+
+#include "src/base/assert.h"
+
+namespace nemesis {
+
+// Tag wrapper so Expected<T, E> can be constructed unambiguously from an error
+// value even when T and E are the same type.
+template <typename E>
+struct Unexpected {
+  E error;
+};
+
+template <typename E>
+Unexpected<E> MakeUnexpected(E e) {
+  return Unexpected<E>{std::move(e)};
+}
+
+// Holds either a value of type T or an error of type E.
+template <typename T, typename E>
+class Expected {
+ public:
+  Expected(T value) : storage_(std::in_place_index<0>, std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Expected(Unexpected<E> err) : storage_(std::in_place_index<1>, std::move(err.error)) {}  // NOLINT(google-explicit-constructor)
+
+  bool has_value() const { return storage_.index() == 0; }
+  explicit operator bool() const { return has_value(); }
+
+  T& value() {
+    NEM_ASSERT_MSG(has_value(), "Expected::value() on error");
+    return std::get<0>(storage_);
+  }
+  const T& value() const {
+    NEM_ASSERT_MSG(has_value(), "Expected::value() on error");
+    return std::get<0>(storage_);
+  }
+  E& error() {
+    NEM_ASSERT_MSG(!has_value(), "Expected::error() on value");
+    return std::get<1>(storage_);
+  }
+  const E& error() const {
+    NEM_ASSERT_MSG(!has_value(), "Expected::error() on value");
+    return std::get<1>(storage_);
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T fallback) const { return has_value() ? std::get<0>(storage_) : fallback; }
+
+ private:
+  std::variant<T, E> storage_;
+};
+
+// Specialisation-free helper for operations that return only success/error.
+template <typename E>
+class Status {
+ public:
+  Status() : ok_(true) {}
+  Status(Unexpected<E> err) : ok_(false), error_(std::move(err.error)) {}  // NOLINT(google-explicit-constructor)
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+  const E& error() const {
+    NEM_ASSERT_MSG(!ok_, "Status::error() on ok");
+    return error_;
+  }
+
+ private:
+  bool ok_;
+  E error_{};
+};
+
+}  // namespace nemesis
+
+#endif  // SRC_BASE_EXPECTED_H_

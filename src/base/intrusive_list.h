@@ -1,0 +1,138 @@
+// Intrusive doubly-linked list in the style of fbl::DoublyLinkedList.
+//
+// OS queues (scheduler run queues, wait queues, IO channels) want O(1)
+// insert/remove of elements that already exist, with no allocation on the
+// queue operation itself. Elements embed an IntrusiveListNode and may be a
+// member of at most one list per node.
+#ifndef SRC_BASE_INTRUSIVE_LIST_H_
+#define SRC_BASE_INTRUSIVE_LIST_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/base/assert.h"
+
+namespace nemesis {
+
+struct IntrusiveListNode {
+  IntrusiveListNode* prev = nullptr;
+  IntrusiveListNode* next = nullptr;
+
+  bool InContainer() const { return prev != nullptr; }
+};
+
+// T must expose the embedded node via the `NodeMember` pointer-to-member.
+template <typename T, IntrusiveListNode T::* NodeMember>
+class IntrusiveList {
+ public:
+  IntrusiveList() {
+    head_.prev = &head_;
+    head_.next = &head_;
+  }
+  IntrusiveList(const IntrusiveList&) = delete;
+  IntrusiveList& operator=(const IntrusiveList&) = delete;
+  ~IntrusiveList() { Clear(); }
+
+  bool empty() const { return head_.next == &head_; }
+  size_t size() const { return size_; }
+
+  void PushBack(T* element) { InsertBefore(&head_, element); }
+  void PushFront(T* element) { InsertBefore(head_.next, element); }
+
+  // Inserts `element` before `pos` (pos == end() inserts at the back).
+  void InsertBefore(IntrusiveListNode* pos, T* element) {
+    IntrusiveListNode* node = &(element->*NodeMember);
+    NEM_ASSERT_MSG(!node->InContainer(), "element already in a list");
+    node->prev = pos->prev;
+    node->next = pos;
+    pos->prev->next = node;
+    pos->prev = node;
+    ++size_;
+  }
+
+  T* Front() {
+    NEM_ASSERT(!empty());
+    return FromNode(head_.next);
+  }
+  T* Back() {
+    NEM_ASSERT(!empty());
+    return FromNode(head_.prev);
+  }
+
+  T* PopFront() {
+    T* element = Front();
+    Remove(element);
+    return element;
+  }
+  T* PopBack() {
+    T* element = Back();
+    Remove(element);
+    return element;
+  }
+
+  void Remove(T* element) {
+    IntrusiveListNode* node = &(element->*NodeMember);
+    NEM_ASSERT_MSG(node->InContainer(), "element not in a list");
+    node->prev->next = node->next;
+    node->next->prev = node->prev;
+    node->prev = nullptr;
+    node->next = nullptr;
+    --size_;
+  }
+
+  bool Contains(const T* element) const {
+    const IntrusiveListNode* node = &(element->*NodeMember);
+    if (!node->InContainer()) {
+      return false;
+    }
+    for (const IntrusiveListNode* it = head_.next; it != &head_; it = it->next) {
+      if (it == node) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Unlinks every element (elements themselves are not destroyed).
+  void Clear() {
+    while (!empty()) {
+      PopFront();
+    }
+  }
+
+  // Minimal forward iterator, enough for range-for over the list.
+  class Iterator {
+   public:
+    Iterator(IntrusiveListNode* node, const IntrusiveList* list) : node_(node), list_(list) {}
+    T* operator*() const { return IntrusiveList::FromNode(node_); }
+    Iterator& operator++() {
+      node_ = node_->next;
+      return *this;
+    }
+    bool operator!=(const Iterator& other) const { return node_ != other.node_; }
+
+   private:
+    IntrusiveListNode* node_;
+    const IntrusiveList* list_;
+  };
+
+  Iterator begin() { return Iterator(head_.next, this); }
+  Iterator end() { return Iterator(&head_, this); }
+
+ private:
+  static T* FromNode(IntrusiveListNode* node) {
+    // Recover the enclosing object from the embedded node (offsetof idiom for
+    // pointer-to-member, computed on a non-null probe address).
+    T* probe = reinterpret_cast<T*>(uintptr_t{0x1000});
+    const ptrdiff_t offset =
+        reinterpret_cast<char*>(&(probe->*NodeMember)) - reinterpret_cast<char*>(probe);
+    return reinterpret_cast<T*>(reinterpret_cast<char*>(node) - offset);
+  }
+
+  IntrusiveListNode head_;
+  size_t size_ = 0;
+};
+
+}  // namespace nemesis
+
+#endif  // SRC_BASE_INTRUSIVE_LIST_H_

@@ -1,0 +1,26 @@
+#include "src/base/log.h"
+
+namespace nemesis {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+void LogMessage(LogLevel level, const char* tag, const char* fmt, ...) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) {
+    return;
+  }
+  static const char* kNames[] = {"DEBUG", "INFO ", "WARN ", "ERROR"};
+  std::fprintf(stderr, "[%s %-6s] ", kNames[static_cast<int>(level)], tag);
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stderr, fmt, ap);
+  va_end(ap);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace nemesis

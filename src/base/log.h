@@ -1,0 +1,35 @@
+// Minimal leveled logging. Single-threaded (the simulator is single-threaded);
+// writes to stderr. Benchmarks and tests lower the level to kWarn to keep
+// output clean; examples raise it to kInfo/kDebug to narrate the system.
+#ifndef SRC_BASE_LOG_H_
+#define SRC_BASE_LOG_H_
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace nemesis {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kNone = 4,
+};
+
+// Global log threshold; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+// printf-style log statement. `tag` identifies the subsystem ("usd", "mm", ...).
+void LogMessage(LogLevel level, const char* tag, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+}  // namespace nemesis
+
+#define NEM_LOG_DEBUG(tag, ...) ::nemesis::LogMessage(::nemesis::LogLevel::kDebug, tag, __VA_ARGS__)
+#define NEM_LOG_INFO(tag, ...) ::nemesis::LogMessage(::nemesis::LogLevel::kInfo, tag, __VA_ARGS__)
+#define NEM_LOG_WARN(tag, ...) ::nemesis::LogMessage(::nemesis::LogLevel::kWarn, tag, __VA_ARGS__)
+#define NEM_LOG_ERROR(tag, ...) ::nemesis::LogMessage(::nemesis::LogLevel::kError, tag, __VA_ARGS__)
+
+#endif  // SRC_BASE_LOG_H_

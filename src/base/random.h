@@ -1,0 +1,30 @@
+// Deterministic PRNG (xoshiro256**). All stochastic behaviour in the
+// simulation draws from explicitly seeded instances so that every experiment
+// is reproducible bit-for-bit.
+#ifndef SRC_BASE_RANDOM_H_
+#define SRC_BASE_RANDOM_H_
+
+#include <cstdint>
+
+namespace nemesis {
+
+class Random {
+ public:
+  explicit Random(uint64_t seed);
+
+  // Uniform over the full 64-bit range.
+  uint64_t Next();
+
+  // Uniform in [0, bound); bound must be non-zero.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace nemesis
+
+#endif  // SRC_BASE_RANDOM_H_

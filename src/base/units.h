@@ -1,0 +1,39 @@
+// Size and address helpers shared across the reproduction.
+#ifndef SRC_BASE_UNITS_H_
+#define SRC_BASE_UNITS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nemesis {
+
+constexpr size_t kKiB = 1024;
+constexpr size_t kMiB = 1024 * kKiB;
+constexpr size_t kGiB = 1024 * kMiB;
+
+// The paper's platform is an Alpha 21164 (EB164); the base page size is 8 KiB.
+constexpr size_t kDefaultPageSize = 8 * kKiB;
+
+// Virtual and physical addresses are plain 64-bit values; frame and page
+// numbers are indices. Strong typedefs are deliberately avoided for arithmetic
+// ergonomics, but dedicated aliases keep signatures readable.
+using VirtAddr = uint64_t;
+using PhysAddr = uint64_t;
+using Pfn = uint64_t;  // physical frame number
+using Vpn = uint64_t;  // virtual page number
+
+constexpr bool IsAligned(uint64_t value, uint64_t alignment) {
+  return (value % alignment) == 0;
+}
+
+constexpr uint64_t AlignDown(uint64_t value, uint64_t alignment) {
+  return value - (value % alignment);
+}
+
+constexpr uint64_t AlignUp(uint64_t value, uint64_t alignment) {
+  return AlignDown(value + alignment - 1, alignment);
+}
+
+}  // namespace nemesis
+
+#endif  // SRC_BASE_UNITS_H_

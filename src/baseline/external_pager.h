@@ -1,0 +1,102 @@
+// Microkernel-style external pager baseline (paper §2, §5 and Figure 2
+// left): a single shared pager domain resolves every client's page faults in
+// FCFS order over an unscheduled (FCFS) disk.
+//
+// This is the architecture the paper argues against: the faulting process
+// does not pay for its own fault resolution, and the pager has no knowledge
+// of clients' timeliness constraints, so "a first-come first-served approach
+// is probably the best it can do". bench_ablation_crosstalk runs the
+// Figure-7 workload on this system to show the QoS guarantees dissolving.
+#ifndef SRC_BASELINE_EXTERNAL_PAGER_H_
+#define SRC_BASELINE_EXTERNAL_PAGER_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/hw/disk.h"
+#include "src/sim/simulator.h"
+#include "src/sim/sync.h"
+
+namespace nemesis {
+
+class ExternalPagerSystem {
+ public:
+  struct ClientConfig {
+    std::string name;
+    uint64_t frames = 2;        // resident-set size
+    uint64_t pages = 512;       // virtual pages
+    uint64_t swap_base_lba = 0; // private swap region on the shared disk
+    bool forgetful = false;     // never page in (paging-out workload)
+    bool primed = false;        // pages start with valid disk copies
+  };
+
+  class Client {
+   public:
+    const std::string& name() const { return config_.name; }
+    uint64_t bytes_processed() const { return bytes_processed_; }
+    uint64_t faults() const { return faults_; }
+
+   private:
+    friend class ExternalPagerSystem;
+
+    struct PageState {
+      bool resident = false;
+      bool dirty = false;
+      bool has_copy = false;
+    };
+
+    explicit Client(ClientConfig config, Simulator& sim)
+        : config_(std::move(config)), pages_(config_.pages), fault_done_(sim) {}
+
+    ClientConfig config_;
+    std::vector<PageState> pages_;
+    std::deque<uint64_t> fifo_;  // resident pages, FIFO replacement
+    Condition fault_done_;
+    bool fault_pending_ = false;
+    uint64_t bytes_processed_ = 0;
+    uint64_t faults_ = 0;
+  };
+
+  ExternalPagerSystem(Simulator& sim, Disk& disk, size_t page_size = 8192);
+
+  Client* AddClient(ClientConfig config);
+
+  // Spawns the shared pager task.
+  void Start();
+
+  // Client workload: sequentially touches every byte of every page, looping,
+  // until `until`. Faults are queued to the shared pager. `write` selects the
+  // paging-out pattern (every page dirtied).
+  Task SequentialLoop(Client* client, bool write, SimTime until, SimDuration per_byte_cpu);
+
+  uint64_t faults_served() const { return faults_served_; }
+
+ private:
+  struct FaultRequest {
+    Client* client;
+    uint64_t page;
+    bool write;
+  };
+
+  Task PagerLoop();
+  // Resolves one fault with FCFS disk access; runs inside the pager task.
+  Task ResolveOne(FaultRequest request);
+
+  Simulator& sim_;
+  Disk& disk_;
+  size_t page_size_;
+  uint32_t blocks_per_page_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  std::deque<FaultRequest> queue_;
+  Condition work_cv_;
+  TaskHandle pager_task_;
+  bool started_ = false;
+  uint64_t faults_served_ = 0;
+};
+
+}  // namespace nemesis
+
+#endif  // SRC_BASELINE_EXTERNAL_PAGER_H_

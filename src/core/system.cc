@@ -1,0 +1,179 @@
+#include "src/core/system.h"
+
+#include <utility>
+
+#include "src/base/assert.h"
+#include "src/base/log.h"
+
+namespace nemesis {
+
+namespace {
+
+std::unique_ptr<PageTable> MakePageTable(const SystemConfig& config) {
+  if (config.guarded_page_table) {
+    return std::make_unique<GuardedPageTable>(config.va_pages);
+  }
+  return std::make_unique<LinearPageTable>(config.va_pages);
+}
+
+}  // namespace
+
+System::System(SystemConfig config)
+    : config_(config),
+      phys_(config.phys_frames, config.page_size),
+      page_table_(MakePageTable(config)),
+      mmu_(page_table_.get(), config.page_size),
+      disk_(config.disk),
+      kernel_(sim_, mmu_, config.phys_frames, config.kernel_costs),
+      translation_(mmu_),
+      stretch_allocator_(translation_, config.stretch_arena_base, config.stretch_arena_limit,
+                         config.page_size),
+      frames_allocator_(sim_, kernel_.ramtab(), config.phys_frames, &trace_),
+      usd_(sim_, disk_, &trace_),
+      sfs_(usd_, config.swap_partition) {
+  usd_.Start();
+
+  // Wire the frames allocator's revocation protocol into the application
+  // domains' MMEntries and the kernel teardown paths.
+  frames_allocator_.set_revocation_notifier(
+      [this](DomainId victim, uint64_t k, SimTime deadline) {
+        AppDomain* app = FindApp(victim);
+        if (app != nullptr && app->alive()) {
+          app->mm_entry().NotifyRevocation(k, deadline);
+        }
+      });
+  frames_allocator_.set_kill_handler([this](DomainId victim) {
+    AppDomain* app = FindApp(victim);
+    if (app != nullptr) {
+      NEM_LOG_WARN("system", "killing domain %u (%s): missed revocation deadline", victim,
+                   app->name().c_str());
+      app->Kill();
+    }
+  });
+  frames_allocator_.set_force_unmap([this](Vpn vpn) {
+    Pte* pte = page_table_->Lookup(vpn);
+    if (pte != nullptr && pte->valid) {
+      pte->valid = false;
+      pte->pfn = 0;
+      mmu_.tlb().Invalidate(vpn);
+    }
+  });
+}
+
+System::~System() = default;
+
+AppDomain* System::CreateApp(AppConfig config) {
+  apps_.push_back(std::make_unique<AppDomain>(*this, std::move(config)));
+  return apps_.back().get();
+}
+
+AppDomain* System::FindApp(DomainId id) {
+  for (auto& app : apps_) {
+    if (app->id() == id) {
+      return app.get();
+    }
+  }
+  return nullptr;
+}
+
+AppDomain::AppDomain(System& system, AppConfig config)
+    : system_(system), config_(std::move(config)) {
+  domain_ = system.kernel().CreateDomain(config_.name);
+  pdom_ = system.translation().CreateProtectionDomain();
+
+  auto admitted = system.frames().AdmitClient(domain_->id(), config_.contract);
+  NEM_ASSERT_MSG(admitted.ok(), "frames admission failed (over-committed guarantees?)");
+
+  auto stretch = system.stretches().New(domain_->id(), pdom_, config_.stretch_bytes);
+  NEM_ASSERT_MSG(stretch.has_value(), "stretch allocation failed");
+  stretch_ = *stretch;
+
+  env_ = DriverEnv{&system.sim(), &system.kernel(), &system.frames(), &system.phys(),
+                   domain_->id(), pdom_};
+
+  mm_entry_ = std::make_unique<MmEntry>(env_, *domain_, system.stretches(), config_.mm_workers);
+  mm_entry_->Start();
+
+  switch (config_.driver) {
+    case AppConfig::DriverKind::kNailed:
+      driver_ = std::make_unique<NailedStretchDriver>(env_);
+      break;
+    case AppConfig::DriverKind::kPhysical:
+      driver_ = std::make_unique<PhysicalStretchDriver>(env_);
+      break;
+    case AppConfig::DriverKind::kPaged: {
+      auto swap = system.sfs().CreateSwapFile(config_.name + "-swap", config_.swap_bytes,
+                                              config_.disk_qos, config_.usd_depth);
+      NEM_ASSERT_MSG(swap.has_value(), "swap file creation failed (QoS or space)");
+      swap_file_ = *swap;
+      PagedStretchDriver::Config driver_config;
+      driver_config.max_frames = config_.driver_max_frames;
+      driver_config.forgetful = config_.forgetful;
+      driver_config.stream_paging = config_.stream_paging;
+      driver_config.replacement = config_.replacement;
+      driver_ = std::make_unique<PagedStretchDriver>(env_, swap_file_.client, swap_file_.extent,
+                                                     driver_config);
+      break;
+    }
+  }
+  mm_entry_->BindDriver(stretch_, driver_.get());
+
+  vmem_ = std::make_unique<VMem>(env_, *domain_, *mm_entry_, system.mmu(), config_.costs);
+}
+
+AppDomain::~AppDomain() {
+  for (auto& t : workloads_) {
+    t.Kill();
+  }
+}
+
+PagedStretchDriver* AppDomain::paged_driver() {
+  return config_.driver == AppConfig::DriverKind::kPaged
+             ? static_cast<PagedStretchDriver*>(driver_.get())
+             : nullptr;
+}
+
+TaskHandle AppDomain::SpawnWorkload(Task task, const std::string& label) {
+  TaskHandle handle = system_.sim().Spawn(std::move(task), config_.name + "/" + label);
+  workloads_.push_back(handle);
+  return handle;
+}
+
+void AppDomain::Shutdown() {
+  Kill();
+  // Force-unmap any live mappings so the frames can be reclaimed, then hand
+  // everything back to the system-domain allocators.
+  if (FrameStack* stack = system_.frames().StackOf(domain_->id()); stack != nullptr) {
+    for (Pfn pfn : stack->frames()) {
+      const auto& entry = system_.kernel().ramtab().Get(pfn);
+      if (entry.state != FrameState::kUnused) {
+        Pte* pte = system_.page_table().Lookup(entry.mapped_vpn);
+        if (pte != nullptr && pte->valid) {
+          pte->valid = false;
+          pte->pfn = 0;
+          system_.mmu().tlb().Invalidate(entry.mapped_vpn);
+        }
+        system_.kernel().ramtab().SetUnused(pfn);
+      }
+    }
+  }
+  (void)system_.frames().RemoveClient(domain_->id());
+  if (stretch_ != nullptr) {
+    (void)system_.stretches().Destroy(stretch_->sid());
+    stretch_ = nullptr;
+  }
+  if (swap_file_.client != nullptr) {
+    (void)system_.sfs().DeleteSwapFile(swap_file_);
+  }
+}
+
+void AppDomain::Kill() {
+  for (auto& t : workloads_) {
+    t.Kill();
+  }
+  workloads_.clear();
+  mm_entry_->Stop();
+  domain_->MarkDead();
+}
+
+}  // namespace nemesis

@@ -1,0 +1,175 @@
+// System façade: constructs and wires the complete Nemesis VM reproduction —
+// simulated machine (physical memory, page table, MMU, disk), kernel, system
+// domain services (translation, stretch and frames allocators), and the
+// User-Safe Backing Store (USD + SFS) — and builds self-paging application
+// domains on top.
+//
+// This is the primary public entry point; see examples/quickstart.cc.
+#ifndef SRC_CORE_SYSTEM_H_
+#define SRC_CORE_SYSTEM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/app/mm_entry.h"
+#include "src/app/nailed_driver.h"
+#include "src/app/paged_driver.h"
+#include "src/app/physical_driver.h"
+#include "src/app/vmem.h"
+#include "src/hw/disk.h"
+#include "src/hw/mmu.h"
+#include "src/hw/page_table.h"
+#include "src/hw/phys_mem.h"
+#include "src/kernel/kernel.h"
+#include "src/mm/frames_allocator.h"
+#include "src/mm/stretch_allocator.h"
+#include "src/mm/translation.h"
+#include "src/sim/simulator.h"
+#include "src/sim/trace.h"
+#include "src/usd/sfs.h"
+#include "src/usd/usd.h"
+
+namespace nemesis {
+
+struct SystemConfig {
+  // Machine.
+  uint64_t phys_frames = 2048;  // 16 MiB of main memory at 8 KiB pages
+  size_t page_size = kDefaultPageSize;
+  Vpn va_pages = 1 << 20;  // bounded virtual address space (8 GiB at 8 KiB)
+  bool guarded_page_table = false;
+  DiskGeometry disk;
+  KernelCostModel kernel_costs;
+
+  // Disk layout: the swap partition used by the SFS. The rest of the disk is
+  // free for file-system clients (Figure 9).
+  Extent swap_partition{512, 1024 * 1024};  // ~512 MiB
+
+  // Virtual-address arena handed to the stretch allocator.
+  VirtAddr stretch_arena_base = 256 * kDefaultPageSize;
+  VirtAddr stretch_arena_limit = uint64_t{1} << 33;  // 8 GiB
+};
+
+class AppDomain;
+
+struct AppConfig {
+  std::string name = "app";
+  FramesContract contract{2, 0};
+  size_t stretch_bytes = 4 * kMiB;
+
+  enum class DriverKind { kPaged, kPhysical, kNailed };
+  DriverKind driver = DriverKind::kPaged;
+
+  // Paged-driver parameters (ignored for other kinds).
+  uint64_t swap_bytes = 16 * kMiB;
+  QosSpec disk_qos{Milliseconds(250), Milliseconds(25), false, Milliseconds(10)};
+  size_t usd_depth = 1;
+  uint64_t driver_max_frames = 2;
+  bool forgetful = false;
+  bool stream_paging = false;  // enable the paper's §8 stream-paging extension
+  PagedStretchDriver::Replacement replacement = PagedStretchDriver::Replacement::kFifo;
+
+  AppCostModel costs;
+  size_t mm_workers = 1;
+};
+
+class System {
+ public:
+  explicit System(SystemConfig config = SystemConfig{});
+  ~System();
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  // Builds a complete self-paging application domain: kernel domain,
+  // protection domain, frames contract, stretch, stretch driver (with a swap
+  // file for the paged kind), MMEntry, and VMem accessor.
+  AppDomain* CreateApp(AppConfig config);
+
+  AppDomain* FindApp(DomainId id);
+
+  // --- Component access ------------------------------------------------------
+
+  Simulator& sim() { return sim_; }
+  TraceRecorder& trace() { return trace_; }
+  PhysicalMemory& phys() { return phys_; }
+  PageTable& page_table() { return *page_table_; }
+  Mmu& mmu() { return mmu_; }
+  Disk& disk() { return disk_; }
+  Kernel& kernel() { return kernel_; }
+  TranslationSystem& translation() { return translation_; }
+  StretchAllocator& stretches() { return stretch_allocator_; }
+  FramesAllocator& frames() { return frames_allocator_; }
+  Usd& usd() { return usd_; }
+  SwapFilesystem& sfs() { return sfs_; }
+  const SystemConfig& config() const { return config_; }
+
+ private:
+  SystemConfig config_;
+  Simulator sim_;
+  TraceRecorder trace_;
+  PhysicalMemory phys_;
+  std::unique_ptr<PageTable> page_table_;
+  Mmu mmu_;
+  Disk disk_;
+  Kernel kernel_;
+  TranslationSystem translation_;
+  StretchAllocator stretch_allocator_;
+  FramesAllocator frames_allocator_;
+  Usd usd_;
+  SwapFilesystem sfs_;
+  std::vector<std::unique_ptr<AppDomain>> apps_;
+};
+
+// A self-paging application domain with its resources and workload tasks.
+class AppDomain {
+ public:
+  AppDomain(System& system, AppConfig config);
+  ~AppDomain();
+  AppDomain(const AppDomain&) = delete;
+  AppDomain& operator=(const AppDomain&) = delete;
+
+  DomainId id() const { return domain_->id(); }
+  const std::string& name() const { return config_.name; }
+  Simulator& sim() { return system_.sim(); }
+  System& system() { return system_; }
+  Domain& domain() { return *domain_; }
+  ProtectionDomain& pdom() { return *pdom_; }
+  Stretch* stretch() { return stretch_; }
+  MmEntry& mm_entry() { return *mm_entry_; }
+  VMem& vmem() { return *vmem_; }
+  StretchDriver* driver() { return driver_.get(); }
+  PagedStretchDriver* paged_driver();
+  UsdClient* swap_client() { return swap_file_.client; }
+  bool alive() const { return domain_->alive(); }
+
+  // Tracks workload tasks so the domain can be killed cleanly.
+  TaskHandle SpawnWorkload(Task task, const std::string& label);
+
+  // Kills the domain: stops the MMEntry and all workload tasks and marks the
+  // kernel domain dead. Invoked by the frames allocator's kill path.
+  void Kill();
+
+  // Orderly teardown: kills the domain's tasks, then releases every resource
+  // it holds — frames contract, stretch (translations removed), swap file and
+  // USD QoS reservation — so other domains can use them.
+  void Shutdown();
+
+ private:
+  friend class System;
+
+  System& system_;
+  AppConfig config_;
+  Domain* domain_;
+  ProtectionDomain* pdom_;
+  Stretch* stretch_ = nullptr;
+  DriverEnv env_;
+  std::unique_ptr<MmEntry> mm_entry_;
+  std::unique_ptr<StretchDriver> driver_;
+  std::unique_ptr<VMem> vmem_;
+  SwapFile swap_file_{};
+  std::vector<TaskHandle> workloads_;
+};
+
+}  // namespace nemesis
+
+#endif  // SRC_CORE_SYSTEM_H_

@@ -1,0 +1,73 @@
+#include "src/core/workloads.h"
+
+#include "src/sim/sync.h"
+
+namespace nemesis {
+
+Task SequentialAccessLoop(AppDomain& app, AccessType access, SimTime until, uint64_t* bytes,
+                          bool* ok) {
+  Stretch* stretch = app.stretch();
+  Simulator& sim = app.sim();
+  while (sim.Now() < until && app.alive()) {
+    bool pass_ok = false;
+    TaskHandle h = sim.Spawn(app.vmem().AccessRange(stretch->base(), stretch->length(), access,
+                                                    &pass_ok, bytes),
+                             app.name() + "/pass");
+    co_await Join(h);
+    if (!pass_ok) {
+      *ok = false;
+      co_return;
+    }
+  }
+  *ok = true;
+}
+
+Task SequentialPass(AppDomain& app, AccessType access, bool* ok) {
+  Stretch* stretch = app.stretch();
+  bool pass_ok = false;
+  TaskHandle h = app.sim().Spawn(
+      app.vmem().AccessRange(stretch->base(), stretch->length(), access, &pass_ok, nullptr),
+      app.name() + "/pass");
+  co_await Join(h);
+  *ok = pass_ok;
+}
+
+Task WatchProgress(Simulator& sim, TraceRecorder& trace, int client, const uint64_t* bytes,
+                   SimDuration interval, SimTime until) {
+  uint64_t last = *bytes;
+  while (sim.Now() < until) {
+    co_await SleepFor(sim, interval);
+    const uint64_t now_bytes = *bytes;
+    trace.Record(sim.Now(), "workload", client, "progress", static_cast<double>(now_bytes),
+                 static_cast<double>(now_bytes - last));
+    last = now_bytes;
+  }
+}
+
+Task PipelinedFsClient(Simulator& sim, UsdClient* client, Extent extent, int depth, SimTime until,
+                       uint64_t* bytes) {
+  const uint32_t page_blocks = 16;  // page-sized transactions, as in the paper
+  int outstanding = 0;
+  uint64_t cursor = 0;
+  uint64_t next_id = 0;
+  while (sim.Now() < until) {
+    while (outstanding < depth) {
+      co_await client->AcquireSlot();
+      UsdRequest req;
+      req.id = next_id++;
+      req.lba = extent.start + cursor;
+      req.nblocks = page_blocks;
+      req.is_write = false;
+      cursor = (cursor + page_blocks) % (extent.length - page_blocks);
+      client->Push(std::move(req));
+      ++outstanding;
+    }
+    UsdReply reply = co_await client->ReceiveReply();
+    --outstanding;
+    if (reply.ok) {
+      *bytes += reply.data.size();
+    }
+  }
+}
+
+}  // namespace nemesis

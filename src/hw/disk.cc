@@ -1,0 +1,161 @@
+#include "src/hw/disk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace nemesis {
+
+Disk::Disk(DiskGeometry geometry) : geometry_(geometry), cache_(geometry.cache_segments) {}
+
+SimDuration Disk::SeekTime(uint64_t target_cylinder) const {
+  if (target_cylinder == current_cylinder_) {
+    return 0;
+  }
+  const uint64_t distance = target_cylinder > current_cylinder_
+                                ? target_cylinder - current_cylinder_
+                                : current_cylinder_ - target_cylinder;
+  const double frac = static_cast<double>(distance) / static_cast<double>(geometry_.cylinders());
+  const double ms = geometry_.seek_min_ms + (geometry_.seek_max_ms - geometry_.seek_min_ms) * std::sqrt(frac);
+  return FromMilliseconds(ms);
+}
+
+bool Disk::WouldHitCache(const DiskRequest& request) const {
+  if (request.is_write || !geometry_.read_cache_enabled) {
+    return false;
+  }
+  const uint64_t end = request.lba + request.nblocks;
+  for (const auto& seg : cache_) {
+    if (seg.valid && request.lba >= seg.start && end <= seg.end) {
+      return true;
+    }
+  }
+  return false;
+}
+
+SimDuration Disk::MechanicalAccess(const DiskRequest& request, SimTime now) {
+  SimDuration t = FromMilliseconds(geometry_.command_overhead_ms);
+  const uint64_t target_cylinder = request.lba / geometry_.blocks_per_cylinder();
+  const SimDuration seek = SeekTime(target_cylinder);
+  if (seek > 0) {
+    ++stats_.seeks;
+  }
+  current_cylinder_ = target_cylinder;
+  t += seek;
+
+  // Rotational latency: the platter position is a pure function of absolute
+  // time; wait for the target sector to pass under the head.
+  const SimDuration rev = geometry_.revolution_time();
+  const SimTime arrival = now + t;
+  const uint64_t sector_in_track = request.lba % geometry_.sectors_per_track;
+  const SimDuration target_angle = static_cast<SimDuration>(
+      sector_in_track * (rev / geometry_.sectors_per_track));
+  const SimDuration head_angle = arrival % rev;
+  SimDuration rot_wait = target_angle - head_angle;
+  if (rot_wait < 0) {
+    rot_wait += rev;
+  }
+  t += rot_wait;
+
+  // Media transfer, plus head switches when the request crosses tracks.
+  t += static_cast<SimDuration>(request.nblocks) * geometry_.block_transfer_time();
+  const uint64_t first_track = request.lba / geometry_.sectors_per_track;
+  const uint64_t last_track = (request.lba + request.nblocks - 1) / geometry_.sectors_per_track;
+  t += static_cast<SimDuration>(last_track - first_track) *
+       FromMilliseconds(geometry_.head_switch_ms);
+  return t;
+}
+
+void Disk::FillCache(uint64_t lba, uint32_t nblocks) {
+  // Read-ahead: the segment covers the request plus readahead_blocks.
+  const uint64_t start = lba;
+  const uint64_t end = std::min<uint64_t>(lba + nblocks + geometry_.readahead_blocks,
+                                          geometry_.total_blocks);
+  // Extend an adjacent/overlapping segment if one exists.
+  for (auto& seg : cache_) {
+    if (seg.valid && start >= seg.start && start <= seg.end) {
+      seg.end = std::max(seg.end, end);
+      seg.last_used = ++cache_clock_;
+      return;
+    }
+  }
+  // Otherwise evict the least recently used segment.
+  CacheSegment* victim = &cache_[0];
+  for (auto& seg : cache_) {
+    if (!seg.valid) {
+      victim = &seg;
+      break;
+    }
+    if (seg.last_used < victim->last_used) {
+      victim = &seg;
+    }
+  }
+  *victim = CacheSegment{true, start, end, ++cache_clock_};
+}
+
+void Disk::InvalidateCacheRange(uint64_t lba, uint32_t nblocks) {
+  const uint64_t end = lba + nblocks;
+  for (auto& seg : cache_) {
+    if (seg.valid && lba < seg.end && end > seg.start) {
+      seg.valid = false;
+    }
+  }
+}
+
+SimDuration Disk::Access(const DiskRequest& request, SimTime now) {
+  NEM_ASSERT_MSG(request.lba + request.nblocks <= geometry_.total_blocks,
+                 "disk access out of range");
+  NEM_ASSERT(request.nblocks > 0);
+  stats_.blocks_transferred += request.nblocks;
+
+  SimDuration t;
+  if (request.is_write) {
+    ++stats_.writes;
+    InvalidateCacheRange(request.lba, request.nblocks);
+    t = MechanicalAccess(request, now);
+  } else {
+    ++stats_.reads;
+    if (WouldHitCache(request)) {
+      ++stats_.cache_hits;
+      // Controller overhead + host (bus) transfer only.
+      const double bytes = static_cast<double>(request.nblocks) * geometry_.block_size;
+      t = FromMilliseconds(geometry_.command_overhead_ms) +
+          FromSeconds(bytes / (geometry_.bus_rate_mb_s * 1e6));
+      // Touch the segment for LRU and keep read-ahead running.
+      FillCache(request.lba, request.nblocks);
+    } else {
+      t = MechanicalAccess(request, now);
+      if (geometry_.read_cache_enabled) {
+        FillCache(request.lba, request.nblocks);
+      }
+    }
+  }
+  stats_.busy_time += t;
+  return t;
+}
+
+void Disk::WriteData(uint64_t lba, std::span<const uint8_t> data) {
+  NEM_ASSERT(data.size() % geometry_.block_size == 0);
+  const uint32_t nblocks = data.size() / geometry_.block_size;
+  for (uint32_t i = 0; i < nblocks; ++i) {
+    auto& block = blocks_[lba + i];
+    block.assign(data.begin() + i * geometry_.block_size,
+                 data.begin() + (i + 1) * geometry_.block_size);
+  }
+}
+
+void Disk::ReadData(uint64_t lba, std::span<uint8_t> out) {
+  NEM_ASSERT(out.size() % geometry_.block_size == 0);
+  const uint32_t nblocks = out.size() / geometry_.block_size;
+  for (uint32_t i = 0; i < nblocks; ++i) {
+    auto it = blocks_.find(lba + i);
+    uint8_t* dst = out.data() + i * geometry_.block_size;
+    if (it == blocks_.end()) {
+      std::memset(dst, 0, geometry_.block_size);
+    } else {
+      std::memcpy(dst, it->second.data(), geometry_.block_size);
+    }
+  }
+}
+
+}  // namespace nemesis

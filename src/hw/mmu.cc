@@ -1,0 +1,113 @@
+#include "src/hw/mmu.h"
+
+namespace nemesis {
+
+const char* FaultTypeName(FaultType type) {
+  switch (type) {
+    case FaultType::kNone:
+      return "none";
+    case FaultType::kFaultUnallocated:
+      return "unallocated";
+    case FaultType::kFaultTnv:
+      return "tnv";
+    case FaultType::kFaultAcv:
+      return "acv";
+    case FaultType::kFaultFor:
+      return "for";
+    case FaultType::kFaultFow:
+      return "fow";
+  }
+  return "?";
+}
+
+TranslateResult Mmu::Translate(VirtAddr va, AccessType access, const RightsResolver* resolver) {
+  ++translations_;
+  const Vpn vpn = VpnOf(va);
+
+  // TLB hit path: rights are re-resolved because protection-domain switches do
+  // not flush the TLB in this model (entries carry the sid).
+  Pte* pte = nullptr;
+  const Tlb::Entry* tlb_entry = tlb_.Lookup(vpn);
+  if (tlb_entry == nullptr) {
+    pte = page_table_->Lookup(vpn);
+    if (pte == nullptr) {
+      ++faults_;
+      return TranslateResult{FaultType::kFaultUnallocated, 0, kNoSid};
+    }
+    if (pte->valid) {
+      tlb_.Fill(vpn, pte->pfn, pte->rights, pte->sid);
+    }
+  } else {
+    pte = page_table_->Lookup(vpn);
+    if (pte == nullptr || !pte->valid || pte->pfn != tlb_entry->pfn) {
+      // Stale entry (mapping changed underneath); drop it and retry the walk.
+      tlb_.Invalidate(vpn);
+      return Translate(va, access, resolver);
+    }
+  }
+
+  const Sid sid = pte->sid;
+  uint8_t rights = pte->rights;
+  if (resolver != nullptr) {
+    if (auto r = resolver->RightsFor(sid); r.has_value()) {
+      rights = *r;
+    }
+  }
+
+  if (!RightsAllow(rights, access)) {
+    ++faults_;
+    return TranslateResult{FaultType::kFaultAcv, 0, sid};
+  }
+  if (!pte->valid) {
+    ++faults_;
+    return TranslateResult{FaultType::kFaultTnv, 0, sid};
+  }
+
+  // DFault path: referenced/dirty via FOR/FOW.
+  if (pte->fault_on_read && access == AccessType::kRead) {
+    pte->fault_on_read = false;
+    pte->referenced = true;
+    if (deliver_fow_faults_) {
+      ++faults_;
+      return TranslateResult{FaultType::kFaultFor, 0, sid};
+    }
+  }
+  if (pte->fault_on_write && access == AccessType::kWrite) {
+    pte->fault_on_write = false;
+    pte->dirty = true;
+    pte->referenced = true;
+    if (deliver_fow_faults_) {
+      ++faults_;
+      return TranslateResult{FaultType::kFaultFow, 0, sid};
+    }
+  }
+  pte->referenced = true;
+  if (access == AccessType::kWrite) {
+    pte->dirty = true;
+  }
+
+  return TranslateResult{FaultType::kNone, pte->pfn * page_size_ + OffsetOf(va), sid};
+}
+
+TranslateResult Mmu::Probe(VirtAddr va, AccessType access, const RightsResolver* resolver) const {
+  const Vpn vpn = va / page_size_;
+  const Pte* pte = page_table_->Lookup(vpn);
+  if (pte == nullptr) {
+    return TranslateResult{FaultType::kFaultUnallocated, 0, kNoSid};
+  }
+  uint8_t rights = pte->rights;
+  if (resolver != nullptr) {
+    if (auto r = resolver->RightsFor(pte->sid); r.has_value()) {
+      rights = *r;
+    }
+  }
+  if (!RightsAllow(rights, access)) {
+    return TranslateResult{FaultType::kFaultAcv, 0, pte->sid};
+  }
+  if (!pte->valid) {
+    return TranslateResult{FaultType::kFaultTnv, 0, pte->sid};
+  }
+  return TranslateResult{FaultType::kNone, pte->pfn * page_size_ + va % page_size_, pte->sid};
+}
+
+}  // namespace nemesis

@@ -1,0 +1,61 @@
+#include "src/hw/page_table.h"
+
+namespace nemesis {
+
+Pte* GuardedPageTable::Lookup(Vpn vpn) {
+  if (vpn >= max_vpn_) {
+    return nullptr;
+  }
+  const size_t top_index = vpn >> (2 * kLevelBits);
+  const size_t mid_index = (vpn >> kLevelBits) & (kFanout - 1);
+  const size_t leaf_index = vpn & (kFanout - 1);
+  if (top_index >= top_.size() || top_[top_index] == nullptr) {
+    return nullptr;
+  }
+  Mid* mid = top_[top_index].get();
+  if (mid->leaves[mid_index] == nullptr) {
+    return nullptr;
+  }
+  Pte* pte = &mid->leaves[mid_index]->entries[leaf_index];
+  return pte->allocated ? pte : nullptr;
+}
+
+Pte* GuardedPageTable::Ensure(Vpn vpn) {
+  if (vpn >= max_vpn_) {
+    return nullptr;
+  }
+  const size_t top_index = vpn >> (2 * kLevelBits);
+  const size_t mid_index = (vpn >> kLevelBits) & (kFanout - 1);
+  const size_t leaf_index = vpn & (kFanout - 1);
+  if (top_index >= top_.size()) {
+    top_.resize(top_index + 1);
+  }
+  if (top_[top_index] == nullptr) {
+    top_[top_index] = std::make_unique<Mid>();
+    footprint_ += sizeof(Mid);
+  }
+  Mid* mid = top_[top_index].get();
+  if (mid->leaves[mid_index] == nullptr) {
+    mid->leaves[mid_index] = std::make_unique<Leaf>();
+    footprint_ += sizeof(Leaf);
+  }
+  Pte* pte = &mid->leaves[mid_index]->entries[leaf_index];
+  pte->allocated = true;
+  return pte;
+}
+
+void GuardedPageTable::Remove(Vpn vpn) {
+  const size_t top_index = vpn >> (2 * kLevelBits);
+  const size_t mid_index = (vpn >> kLevelBits) & (kFanout - 1);
+  const size_t leaf_index = vpn & (kFanout - 1);
+  if (vpn >= max_vpn_ || top_index >= top_.size() || top_[top_index] == nullptr) {
+    return;
+  }
+  Mid* mid = top_[top_index].get();
+  if (mid->leaves[mid_index] == nullptr) {
+    return;
+  }
+  mid->leaves[mid_index]->entries[leaf_index] = Pte{};
+}
+
+}  // namespace nemesis

@@ -1,0 +1,82 @@
+// Small fully-associative software TLB model with FIFO replacement.
+//
+// Protection and mapping changes must invalidate affected entries (the cost of
+// doing so is part of what Table 1's (un)protect benchmarks measure).
+#ifndef SRC_HW_TLB_H_
+#define SRC_HW_TLB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/hw/pte.h"
+
+namespace nemesis {
+
+class Tlb {
+ public:
+  explicit Tlb(size_t entries = 64) : entries_(entries) {}
+
+  struct Entry {
+    bool valid = false;
+    Vpn vpn = 0;
+    Pfn pfn = 0;
+    uint8_t rights = kRightNone;
+    Sid sid = kNoSid;
+  };
+
+  // Returns the matching entry or nullptr.
+  const Entry* Lookup(Vpn vpn) {
+    for (auto& e : entries_) {
+      if (e.valid && e.vpn == vpn) {
+        ++hits_;
+        return &e;
+      }
+    }
+    ++misses_;
+    return nullptr;
+  }
+
+  void Fill(Vpn vpn, Pfn pfn, uint8_t rights, Sid sid) {
+    // Reuse an existing slot for this VPN if present; otherwise FIFO-evict.
+    for (auto& e : entries_) {
+      if (e.valid && e.vpn == vpn) {
+        e = Entry{true, vpn, pfn, rights, sid};
+        return;
+      }
+    }
+    entries_[next_victim_] = Entry{true, vpn, pfn, rights, sid};
+    next_victim_ = (next_victim_ + 1) % entries_.size();
+  }
+
+  void Invalidate(Vpn vpn) {
+    for (auto& e : entries_) {
+      if (e.valid && e.vpn == vpn) {
+        e.valid = false;
+      }
+    }
+  }
+
+  void InvalidateAll() {
+    for (auto& e : entries_) {
+      e.valid = false;
+    }
+    ++flushes_;
+  }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t flushes() const { return flushes_; }
+  size_t capacity() const { return entries_.size(); }
+
+ private:
+  std::vector<Entry> entries_;
+  size_t next_victim_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t flushes_ = 0;
+};
+
+}  // namespace nemesis
+
+#endif  // SRC_HW_TLB_H_

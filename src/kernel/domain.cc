@@ -1,0 +1,61 @@
+#include "src/kernel/domain.h"
+
+#include <utility>
+
+#include "src/base/assert.h"
+#include "src/kernel/kernel.h"
+
+namespace nemesis {
+
+Domain::Domain(Kernel& kernel, DomainId id, std::string name, Simulator& sim)
+    : kernel_(kernel), id_(id), name_(std::move(name)), activation_condition_(sim) {
+  // Endpoint 0 is the fault endpoint, wired up at creation so the kernel
+  // always has somewhere to dispatch memory faults.
+  fault_endpoint_ = AllocEndpoint();
+}
+
+EndpointId Domain::AllocEndpoint() {
+  endpoints_.push_back(Endpoint{});
+  return static_cast<EndpointId>(endpoints_.size() - 1);
+}
+
+uint64_t Domain::EventValue(EndpointId ep) const {
+  NEM_ASSERT(ep < endpoints_.size());
+  return endpoints_[ep].value;
+}
+
+uint64_t Domain::EventAcked(EndpointId ep) const {
+  NEM_ASSERT(ep < endpoints_.size());
+  return endpoints_[ep].acked;
+}
+
+void Domain::SetNotificationHandler(EndpointId ep, NotificationHandler handler) {
+  NEM_ASSERT(ep < endpoints_.size());
+  endpoints_[ep].handler = std::move(handler);
+}
+
+bool Domain::HasPendingEvents() const {
+  for (const auto& e : endpoints_) {
+    if (e.value > e.acked) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Domain::DispatchPendingEvents() {
+  // "invoking a notification handler for each endpoint containing a new
+  // value; if there is no notification handler registered for a given
+  // endpoint, no action is taken."
+  for (EndpointId ep = 0; ep < endpoints_.size(); ++ep) {
+    Endpoint& e = endpoints_[ep];
+    while (e.value > e.acked) {
+      ++e.acked;
+      if (e.handler) {
+        e.handler(ep, e.acked);
+      }
+    }
+  }
+}
+
+}  // namespace nemesis

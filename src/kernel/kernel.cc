@@ -1,0 +1,76 @@
+#include "src/kernel/kernel.h"
+
+#include <utility>
+
+#include "src/base/assert.h"
+#include "src/base/log.h"
+
+namespace nemesis {
+
+const char* VmErrorName(VmError error) {
+  switch (error) {
+    case VmError::kNoStretch:
+      return "no-stretch";
+    case VmError::kNoMeta:
+      return "no-meta";
+    case VmError::kNotOwner:
+      return "not-owner";
+    case VmError::kFrameMapped:
+      return "frame-mapped";
+    case VmError::kFrameNailed:
+      return "frame-nailed";
+    case VmError::kBadFrame:
+      return "bad-frame";
+    case VmError::kNotMapped:
+      return "not-mapped";
+    case VmError::kAlreadyMapped:
+      return "already-mapped";
+  }
+  return "?";
+}
+
+Kernel::Kernel(Simulator& sim, Mmu& mmu, uint64_t num_frames, KernelCostModel costs)
+    : sim_(sim), mmu_(mmu), ramtab_(num_frames), syscalls_(mmu, ramtab_), costs_(costs) {}
+
+Domain* Kernel::CreateDomain(std::string name) {
+  const DomainId id = next_domain_id_++;
+  domains_.push_back(std::make_unique<Domain>(*this, id, std::move(name), sim_));
+  return domains_.back().get();
+}
+
+Domain* Kernel::FindDomain(DomainId id) {
+  for (auto& d : domains_) {
+    if (d->id() == id) {
+      return d.get();
+    }
+  }
+  return nullptr;
+}
+
+void Kernel::SendEvent(DomainId target, EndpointId ep) {
+  Domain* domain = FindDomain(target);
+  if (domain == nullptr || !domain->alive()) {
+    NEM_LOG_WARN("kernel", "event to missing/dead domain %u dropped", target);
+    return;
+  }
+  NEM_ASSERT_MSG(ep < domain->endpoint_count(), "event to unallocated endpoint");
+  ++events_sent_;
+  ++domain->endpoints_[ep].value;
+  domain->activation_condition().NotifyAll();
+}
+
+void Kernel::RaiseFault(DomainId id, FaultRecord record) {
+  Domain* domain = FindDomain(id);
+  NEM_ASSERT_MSG(domain != nullptr, "fault raised for unknown domain");
+  if (!domain->alive()) {
+    return;
+  }
+  ++faults_dispatched_;
+  record.time = sim_.Now();
+  // "the kernel saves the current context in the domain's activation context
+  // and sends an event to the faulting domain."
+  domain->fault_queue().push_back(record);
+  SendEvent(id, domain->fault_endpoint());
+}
+
+}  // namespace nemesis

@@ -1,0 +1,88 @@
+// RamTab: "a simple data structure maintaining information about the current
+// use of frames of main memory" (paper §6.3). The frames allocator records
+// frame ownership here; the low-level translation system validates map/unmap
+// requests against it ("ensuring that the calling domain owns the frame, and
+// that the frame is not currently mapped or nailed").
+#ifndef SRC_KERNEL_RAMTAB_H_
+#define SRC_KERNEL_RAMTAB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/assert.h"
+#include "src/base/units.h"
+#include "src/kernel/types.h"
+
+namespace nemesis {
+
+enum class FrameState : uint8_t {
+  kUnused,  // owned (or free) but not mapped
+  kMapped,  // backing some virtual page
+  kNailed,  // pinned: may not be mapped/unmapped by applications
+};
+
+struct RamTabEntry {
+  DomainId owner = kNoDomain;
+  FrameState state = FrameState::kUnused;
+  // Logical frame width (log2 of frame size in base pages); kept for fidelity
+  // with the paper's description, always 0 (one base page) in this model.
+  uint8_t width = 0;
+  // The virtual page currently mapping this frame (valid when kMapped).
+  Vpn mapped_vpn = 0;
+};
+
+class RamTab {
+ public:
+  explicit RamTab(uint64_t num_frames) : entries_(num_frames) {}
+
+  uint64_t size() const { return entries_.size(); }
+
+  bool ValidPfn(Pfn pfn) const { return pfn < entries_.size(); }
+
+  const RamTabEntry& Get(Pfn pfn) const {
+    NEM_ASSERT(ValidPfn(pfn));
+    return entries_[pfn];
+  }
+
+  DomainId OwnerOf(Pfn pfn) const { return Get(pfn).owner; }
+  FrameState StateOf(Pfn pfn) const { return Get(pfn).state; }
+
+  void SetOwner(Pfn pfn, DomainId owner) {
+    NEM_ASSERT(ValidPfn(pfn));
+    entries_[pfn].owner = owner;
+  }
+
+  void SetMapped(Pfn pfn, Vpn vpn) {
+    NEM_ASSERT(ValidPfn(pfn));
+    entries_[pfn].state = FrameState::kMapped;
+    entries_[pfn].mapped_vpn = vpn;
+  }
+
+  void SetUnused(Pfn pfn) {
+    NEM_ASSERT(ValidPfn(pfn));
+    entries_[pfn].state = FrameState::kUnused;
+    entries_[pfn].mapped_vpn = 0;
+  }
+
+  void SetNailed(Pfn pfn) {
+    NEM_ASSERT(ValidPfn(pfn));
+    entries_[pfn].state = FrameState::kNailed;
+  }
+
+  uint64_t CountOwnedBy(DomainId owner) const {
+    uint64_t n = 0;
+    for (const auto& e : entries_) {
+      if (e.owner == owner) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+ private:
+  std::vector<RamTabEntry> entries_;
+};
+
+}  // namespace nemesis
+
+#endif  // SRC_KERNEL_RAMTAB_H_

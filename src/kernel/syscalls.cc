@@ -1,0 +1,153 @@
+#include "src/kernel/syscalls.h"
+
+namespace nemesis {
+
+Expected<Pte*, VmError> TranslationSyscalls::ValidateMeta(const RightsResolver* pdom,
+                                                          VirtAddr va) {
+  Pte* pte = mmu_.page_table()->Lookup(mmu_.VpnOf(va));
+  if (pte == nullptr || pte->sid == kNoSid) {
+    // "it is not possible to map a virtual address which is not part of some
+    // stretch."
+    return MakeUnexpected(VmError::kNoStretch);
+  }
+  uint8_t rights = pte->rights;
+  if (pdom != nullptr) {
+    if (auto r = pdom->RightsFor(pte->sid); r.has_value()) {
+      rights = *r;
+    }
+  }
+  if (!HasRights(rights, kRightMeta)) {
+    return MakeUnexpected(VmError::kNoMeta);
+  }
+  return pte;
+}
+
+Status<VmError> TranslationSyscalls::Map(DomainId caller, const RightsResolver* pdom, VirtAddr va,
+                                         Pfn pfn, MapAttrs attrs) {
+  auto pte_or = ValidateMeta(pdom, va);
+  if (!pte_or.has_value()) {
+    return MakeUnexpected(pte_or.error());
+  }
+  Pte* pte = *pte_or;
+  if (pte->valid) {
+    return MakeUnexpected(VmError::kAlreadyMapped);
+  }
+  // Frame validation against the RamTab.
+  if (!ramtab_.ValidPfn(pfn)) {
+    return MakeUnexpected(VmError::kBadFrame);
+  }
+  if (ramtab_.OwnerOf(pfn) != caller) {
+    return MakeUnexpected(VmError::kNotOwner);
+  }
+  if (ramtab_.StateOf(pfn) == FrameState::kMapped) {
+    return MakeUnexpected(VmError::kFrameMapped);
+  }
+  if (ramtab_.StateOf(pfn) == FrameState::kNailed) {
+    return MakeUnexpected(VmError::kFrameNailed);
+  }
+
+  pte->valid = true;
+  pte->pfn = pfn;
+  if (attrs.rights != kRightNone) {
+    pte->rights = attrs.rights;
+  }
+  pte->fault_on_read = attrs.fault_on_read;
+  pte->fault_on_write = attrs.fault_on_write;
+  pte->dirty = false;
+  pte->referenced = false;
+  ramtab_.SetMapped(pfn, mmu_.VpnOf(va));
+  mmu_.tlb().Invalidate(mmu_.VpnOf(va));
+  ++map_count_;
+  return Status<VmError>::Ok();
+}
+
+Status<VmError> TranslationSyscalls::Unmap(DomainId caller, const RightsResolver* pdom,
+                                           VirtAddr va, Pfn* out_pfn) {
+  auto pte_or = ValidateMeta(pdom, va);
+  if (!pte_or.has_value()) {
+    return MakeUnexpected(pte_or.error());
+  }
+  Pte* pte = *pte_or;
+  if (!pte->valid) {
+    return MakeUnexpected(VmError::kNotMapped);
+  }
+  const Pfn pfn = pte->pfn;
+  if (ramtab_.OwnerOf(pfn) != caller) {
+    return MakeUnexpected(VmError::kNotOwner);
+  }
+  if (ramtab_.StateOf(pfn) == FrameState::kNailed) {
+    return MakeUnexpected(VmError::kFrameNailed);
+  }
+  pte->valid = false;
+  pte->pfn = 0;
+  ramtab_.SetUnused(pfn);
+  mmu_.tlb().Invalidate(mmu_.VpnOf(va));
+  ++unmap_count_;
+  if (out_pfn != nullptr) {
+    *out_pfn = pfn;
+  }
+  return Status<VmError>::Ok();
+}
+
+Expected<TransResult, VmError> TranslationSyscalls::Trans(VirtAddr va) const {
+  const Pte* pte = mmu_.page_table()->Lookup(va / mmu_.page_size());
+  if (pte == nullptr) {
+    return MakeUnexpected(VmError::kNoStretch);
+  }
+  if (!pte->valid) {
+    return MakeUnexpected(VmError::kNotMapped);
+  }
+  return TransResult{pte->pfn, pte->rights, pte->dirty, pte->referenced};
+}
+
+Status<VmError> TranslationSyscalls::ArmDirtyTracking(DomainId /*caller*/,
+                                                      const RightsResolver* pdom, VirtAddr va,
+                                                      bool fault_on_write, bool fault_on_read) {
+  auto pte_or = ValidateMeta(pdom, va);
+  if (!pte_or.has_value()) {
+    return MakeUnexpected(pte_or.error());
+  }
+  Pte* pte = *pte_or;
+  if (!pte->valid) {
+    return MakeUnexpected(VmError::kNotMapped);
+  }
+  pte->fault_on_write = fault_on_write;
+  pte->fault_on_read = fault_on_read;
+  pte->dirty = false;
+  pte->referenced = false;
+  mmu_.tlb().Invalidate(mmu_.VpnOf(va));
+  return Status<VmError>::Ok();
+}
+
+Status<VmError> TranslationSyscalls::ClearReferenced(DomainId /*caller*/,
+                                                     const RightsResolver* pdom, VirtAddr va) {
+  auto pte_or = ValidateMeta(pdom, va);
+  if (!pte_or.has_value()) {
+    return MakeUnexpected(pte_or.error());
+  }
+  Pte* pte = *pte_or;
+  if (!pte->valid) {
+    return MakeUnexpected(VmError::kNotMapped);
+  }
+  pte->referenced = false;
+  return Status<VmError>::Ok();
+}
+
+Status<VmError> TranslationSyscalls::SetPteRights(DomainId /*caller*/, const RightsResolver* pdom,
+                                                  VirtAddr va, uint8_t rights) {
+  auto pte_or = ValidateMeta(pdom, va);
+  if (!pte_or.has_value()) {
+    return MakeUnexpected(pte_or.error());
+  }
+  Pte* pte = *pte_or;
+  if (pte->rights == rights) {
+    // Idempotent change detection (the paper: "the protection scheme detects
+    // idempotent changes", making repeated identical protects ~free).
+    return Status<VmError>::Ok();
+  }
+  pte->rights = rights;
+  mmu_.tlb().Invalidate(mmu_.VpnOf(va));
+  return Status<VmError>::Ok();
+}
+
+}  // namespace nemesis

@@ -1,0 +1,358 @@
+#include "src/mm/frames_allocator.h"
+
+#include <algorithm>
+
+#include "src/base/assert.h"
+#include "src/base/log.h"
+
+namespace nemesis {
+
+FramesAllocator::FramesAllocator(Simulator& sim, RamTab& ramtab, uint64_t total_frames,
+                                 TraceRecorder* trace)
+    : sim_(sim), ramtab_(ramtab), trace_(trace), total_frames_(total_frames),
+      frames_available_(sim) {
+  NEM_ASSERT(total_frames <= ramtab.size());
+  free_list_.reserve(total_frames);
+  // Keep the free list so that low PFNs are handed out first.
+  for (uint64_t pfn = total_frames; pfn > 0; --pfn) {
+    free_list_.push_back(pfn - 1);
+  }
+}
+
+FramesAllocator::Client* FramesAllocator::Find(DomainId domain) {
+  for (auto& c : clients_) {
+    if (c->domain == domain && c->alive) {
+      return c.get();
+    }
+  }
+  return nullptr;
+}
+
+const FramesAllocator::Client* FramesAllocator::Find(DomainId domain) const {
+  return const_cast<FramesAllocator*>(this)->Find(domain);
+}
+
+Status<FramesError> FramesAllocator::AdmitClient(DomainId domain, FramesContract contract) {
+  if (Find(domain) != nullptr) {
+    return MakeUnexpected(FramesError::kAlreadyClient);
+  }
+  // "Admission control is based on the requested guarantee g — the sum of all
+  // guaranteed frames contracted by the allocator must be less than the total
+  // amount of main memory."
+  if (guaranteed_total_ + contract.guaranteed > total_frames_) {
+    return MakeUnexpected(FramesError::kAdmissionFailed);
+  }
+  guaranteed_total_ += contract.guaranteed;
+  auto client = std::make_unique<Client>();
+  client->domain = domain;
+  client->contract = contract;
+  clients_.push_back(std::move(client));
+  if (trace_ != nullptr) {
+    trace_->Record(sim_.Now(), "frames", static_cast<int>(domain), "admit",
+                   static_cast<double>(contract.guaranteed),
+                   static_cast<double>(contract.optimistic));
+  }
+  return Status<FramesError>::Ok();
+}
+
+Status<FramesError> FramesAllocator::RemoveClient(DomainId domain) {
+  Client* c = Find(domain);
+  if (c == nullptr) {
+    return MakeUnexpected(FramesError::kNotClient);
+  }
+  KillAndReclaim(*c);  // releases every frame; does not invoke the kill handler
+  return Status<FramesError>::Ok();
+}
+
+bool FramesAllocator::IsClient(DomainId domain) const { return Find(domain) != nullptr; }
+
+Pfn FramesAllocator::TakeFreeFrame(Client& client) {
+  NEM_ASSERT(!free_list_.empty());
+  const Pfn pfn = free_list_.back();
+  free_list_.pop_back();
+  ramtab_.SetOwner(pfn, client.domain);
+  ramtab_.SetUnused(pfn);
+  ++client.allocated;
+  client.stack.PushTop(pfn);
+  return pfn;
+}
+
+std::optional<FramesError> FramesAllocator::CheckAllocation(const Client& client,
+                                                            bool* guaranteed_request) const {
+  if (client.allocated >= client.contract.limit()) {
+    return FramesError::kQuotaExceeded;
+  }
+  *guaranteed_request = client.allocated < client.contract.guaranteed;
+  if (!*guaranteed_request && !free_list_.empty()) {
+    // Optimistic allocations are granted only from genuinely spare memory:
+    // never dip into the pool needed to cover outstanding guarantees.
+    uint64_t guaranteed_outstanding = 0;
+    for (const auto& cl : clients_) {
+      if (cl->alive && cl->allocated < cl->contract.guaranteed) {
+        guaranteed_outstanding += cl->contract.guaranteed - cl->allocated;
+      }
+    }
+    if (free_list_.size() <= guaranteed_outstanding) {
+      return FramesError::kNoMemory;
+    }
+  }
+  return std::nullopt;
+}
+
+Expected<Pfn, FramesError> FramesAllocator::GrantSpecific(Client& client, Pfn pfn) {
+  auto it = std::find(free_list_.begin(), free_list_.end(), pfn);
+  if (it == free_list_.end()) {
+    return MakeUnexpected(FramesError::kNoMemory);
+  }
+  free_list_.erase(it);
+  ramtab_.SetOwner(pfn, client.domain);
+  ramtab_.SetUnused(pfn);
+  ++client.allocated;
+  client.stack.PushTop(pfn);
+  return pfn;
+}
+
+Expected<Pfn, FramesError> FramesAllocator::AllocSpecificFrame(DomainId domain, Pfn pfn) {
+  Client* c = Find(domain);
+  if (c == nullptr) {
+    return MakeUnexpected(FramesError::kNotClient);
+  }
+  if (!ramtab_.ValidPfn(pfn)) {
+    return MakeUnexpected(FramesError::kNoMemory);
+  }
+  bool guaranteed_request = false;
+  if (auto err = CheckAllocation(*c, &guaranteed_request); err.has_value()) {
+    return MakeUnexpected(*err);
+  }
+  return GrantSpecific(*c, pfn);
+}
+
+Expected<Pfn, FramesError> FramesAllocator::AllocFrameInRegion(DomainId domain, Pfn region_base,
+                                                               uint64_t region_len) {
+  Client* c = Find(domain);
+  if (c == nullptr) {
+    return MakeUnexpected(FramesError::kNotClient);
+  }
+  bool guaranteed_request = false;
+  if (auto err = CheckAllocation(*c, &guaranteed_request); err.has_value()) {
+    return MakeUnexpected(*err);
+  }
+  for (Pfn pfn : free_list_) {
+    if (pfn >= region_base && pfn < region_base + region_len) {
+      return GrantSpecific(*c, pfn);
+    }
+  }
+  return MakeUnexpected(FramesError::kNoMemory);
+}
+
+Expected<Pfn, FramesError> FramesAllocator::AllocFrameWithColour(DomainId domain, uint64_t colour,
+                                                                 uint64_t num_colours) {
+  Client* c = Find(domain);
+  if (c == nullptr) {
+    return MakeUnexpected(FramesError::kNotClient);
+  }
+  NEM_ASSERT(num_colours > 0 && colour < num_colours);
+  bool guaranteed_request = false;
+  if (auto err = CheckAllocation(*c, &guaranteed_request); err.has_value()) {
+    return MakeUnexpected(*err);
+  }
+  for (Pfn pfn : free_list_) {
+    if (pfn % num_colours == colour) {
+      return GrantSpecific(*c, pfn);
+    }
+  }
+  return MakeUnexpected(FramesError::kNoMemory);
+}
+
+Expected<Pfn, FramesError> FramesAllocator::AllocFrame(DomainId domain) {
+  Client* c = Find(domain);
+  if (c == nullptr) {
+    return MakeUnexpected(FramesError::kNotClient);
+  }
+  bool guaranteed_request = false;
+  if (auto err = CheckAllocation(*c, &guaranteed_request); err.has_value()) {
+    return MakeUnexpected(*err);
+  }
+
+  if (!free_list_.empty()) {
+    return TakeFreeFrame(*c);
+  }
+
+  if (!guaranteed_request) {
+    return MakeUnexpected(FramesError::kNoMemory);
+  }
+
+  // Guaranteed request with no free memory: revoke optimistic frames from a
+  // victim. Try the transparent path first.
+  if (revocation_active_) {
+    return MakeUnexpected(FramesError::kRevocationPending);
+  }
+  Client* victim = PickVictim();
+  NEM_ASSERT_MSG(victim != nullptr,
+                 "admission control violated: guarantee unmet with no optimistic frames in use");
+  if (ReclaimUnusedTop(*victim, 1) == 1) {
+    ++revocations_transparent_;
+    if (trace_ != nullptr) {
+      trace_->Record(sim_.Now(), "frames", static_cast<int>(victim->domain), "revoke-transparent",
+                     1.0, 0.0);
+    }
+    return TakeFreeFrame(*c);
+  }
+  StartIntrusiveRevocation(*victim, 1);
+  // The victim may comply synchronously from inside the notifier (its
+  // revocation handler runs before we return); grant immediately in that case
+  // so the caller never misses the wakeup.
+  if (!revocation_active_ && !free_list_.empty()) {
+    return TakeFreeFrame(*c);
+  }
+  return MakeUnexpected(FramesError::kRevocationPending);
+}
+
+Status<FramesError> FramesAllocator::FreeFrame(DomainId domain, Pfn pfn) {
+  Client* c = Find(domain);
+  if (c == nullptr) {
+    return MakeUnexpected(FramesError::kNotClient);
+  }
+  if (!ramtab_.ValidPfn(pfn) || ramtab_.OwnerOf(pfn) != domain) {
+    return MakeUnexpected(FramesError::kNotOwner);
+  }
+  if (ramtab_.StateOf(pfn) != FrameState::kUnused) {
+    return MakeUnexpected(FramesError::kFrameBusy);
+  }
+  c->stack.Remove(pfn);
+  --c->allocated;
+  ramtab_.SetOwner(pfn, kNoDomain);
+  free_list_.push_back(pfn);
+  frames_available_.NotifyAll();
+  return Status<FramesError>::Ok();
+}
+
+uint64_t FramesAllocator::ReclaimUnusedTop(Client& victim, uint64_t k) {
+  // "the frames allocator can simply reclaim these frames and update the
+  // application's frame stack" — but only while the top frames are unused.
+  uint64_t reclaimed = 0;
+  while (reclaimed < k && !victim.stack.empty()) {
+    const Pfn top = victim.stack.Top();
+    if (ramtab_.StateOf(top) != FrameState::kUnused) {
+      break;
+    }
+    victim.stack.PopTop();
+    --victim.allocated;
+    ramtab_.SetOwner(top, kNoDomain);
+    free_list_.push_back(top);
+    ++reclaimed;
+  }
+  return reclaimed;
+}
+
+FramesAllocator::Client* FramesAllocator::PickVictim() {
+  // "the frames allocator chooses a candidate application (i.e. one which
+  // currently has optimistically allocated frames)" — take the one with the
+  // largest optimistic surplus.
+  Client* best = nullptr;
+  uint64_t best_surplus = 0;
+  for (auto& c : clients_) {
+    if (!c->alive || c->allocated <= c->contract.guaranteed) {
+      continue;
+    }
+    const uint64_t surplus = c->allocated - c->contract.guaranteed;
+    if (surplus > best_surplus) {
+      best_surplus = surplus;
+      best = c.get();
+    }
+  }
+  return best;
+}
+
+void FramesAllocator::StartIntrusiveRevocation(Client& victim, uint64_t k) {
+  revocation_active_ = true;
+  revocation_victim_ = victim.domain;
+  revocation_k_ = k;
+  ++revocations_intrusive_;
+  const SimTime deadline = sim_.Now() + revocation_timeout_;
+  if (trace_ != nullptr) {
+    trace_->Record(sim_.Now(), "frames", static_cast<int>(victim.domain), "revoke-intrusive",
+                   static_cast<double>(k), ToMilliseconds(deadline));
+  }
+  NEM_LOG_DEBUG("frames", "intrusive revocation: victim=%u k=%llu deadline=%.2fms", victim.domain,
+                static_cast<unsigned long long>(k), ToMilliseconds(deadline));
+  const DomainId victim_id = victim.domain;
+  revocation_timer_ = sim_.CallAt(deadline, [this, victim_id] {
+    FinishRevocation(victim_id, /*deadline_expired=*/true);
+  });
+  if (revocation_notifier_) {
+    revocation_notifier_(victim.domain, k, deadline);
+  }
+}
+
+void FramesAllocator::RevocationComplete(DomainId domain) {
+  if (!revocation_active_ || revocation_victim_ != domain) {
+    return;
+  }
+  sim_.Cancel(revocation_timer_);
+  FinishRevocation(domain, /*deadline_expired=*/false);
+}
+
+void FramesAllocator::FinishRevocation(DomainId victim_id, bool deadline_expired) {
+  if (!revocation_active_ || revocation_victim_ != victim_id) {
+    return;
+  }
+  revocation_active_ = false;
+  revocation_victim_ = kNoDomain;
+  Client* victim = Find(victim_id);
+  if (victim == nullptr) {
+    frames_available_.NotifyAll();
+    return;
+  }
+  const uint64_t reclaimed = ReclaimUnusedTop(*victim, revocation_k_);
+  if (reclaimed < revocation_k_) {
+    // "If these are not all unused, or if the application fails to reply by
+    // time T, the domain is killed and all of its frames reclaimed."
+    NEM_LOG_WARN("frames", "victim %u failed revocation (%s): killing", victim_id,
+                 deadline_expired ? "deadline expired" : "frames still in use");
+    if (trace_ != nullptr) {
+      trace_->Record(sim_.Now(), "frames", static_cast<int>(victim_id), "kill",
+                     static_cast<double>(reclaimed), static_cast<double>(revocation_k_));
+    }
+    ++domains_killed_;
+    if (kill_handler_) {
+      kill_handler_(victim_id);
+    }
+    KillAndReclaim(*victim);
+  }
+  frames_available_.NotifyAll();
+}
+
+void FramesAllocator::KillAndReclaim(Client& victim) {
+  // Reclaim every frame, forcibly tearing down live mappings.
+  while (!victim.stack.empty()) {
+    const Pfn pfn = victim.stack.PopTop();
+    if (ramtab_.StateOf(pfn) == FrameState::kMapped && force_unmap_) {
+      force_unmap_(ramtab_.Get(pfn).mapped_vpn);
+    }
+    ramtab_.SetUnused(pfn);
+    ramtab_.SetOwner(pfn, kNoDomain);
+    free_list_.push_back(pfn);
+  }
+  victim.allocated = 0;
+  guaranteed_total_ -= victim.contract.guaranteed;
+  victim.alive = false;
+  frames_available_.NotifyAll();
+}
+
+FrameStack* FramesAllocator::StackOf(DomainId domain) {
+  Client* c = Find(domain);
+  return c != nullptr ? &c->stack : nullptr;
+}
+
+uint64_t FramesAllocator::AllocatedCount(DomainId domain) const {
+  const Client* c = Find(domain);
+  return c != nullptr ? c->allocated : 0;
+}
+
+FramesContract FramesAllocator::ContractOf(DomainId domain) const {
+  const Client* c = Find(domain);
+  return c != nullptr ? c->contract : FramesContract{};
+}
+
+}  // namespace nemesis

@@ -1,0 +1,179 @@
+// The frames allocator (paper §6.2): centralised physical-memory allocation
+// with per-domain contracts of guaranteed and optimistic frames.
+//
+// * Admission control: the sum of all guarantees must not exceed main memory,
+//   so every client's guarantee can be met simultaneously.
+// * While a client holds fewer frames than its guarantee g, a single-frame
+//   request is guaranteed to succeed — if no frame is free, the allocator
+//   revokes an optimistically-allocated frame from a victim domain.
+// * Transparent revocation reclaims unused frames straight off the top of the
+//   victim's frame stack. Intrusive revocation notifies the victim, which
+//   must arrange for the top k frames of its stack to be unused (possibly
+//   cleaning dirty pages first) by a deadline T (default 100 ms); a victim
+//   that fails to comply is killed and all its frames reclaimed.
+#ifndef SRC_MM_FRAMES_ALLOCATOR_H_
+#define SRC_MM_FRAMES_ALLOCATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/base/expected.h"
+#include "src/kernel/ramtab.h"
+#include "src/mm/frame_stack.h"
+#include "src/sim/sync.h"
+#include "src/sim/trace.h"
+
+namespace nemesis {
+
+// Contract (g, x): quotas for guaranteed and optimistic frames.
+struct FramesContract {
+  uint64_t guaranteed = 0;
+  uint64_t optimistic = 0;  // additional frames beyond the guarantee
+
+  uint64_t limit() const { return guaranteed + optimistic; }
+};
+
+enum class FramesError {
+  kNotClient,
+  kAlreadyClient,
+  kAdmissionFailed,     // sum of guarantees would exceed memory
+  kQuotaExceeded,       // request beyond g + x
+  kNoMemory,            // optimistic request and no free memory
+  kRevocationPending,   // guaranteed request; wait on frames_available()
+  kFrameBusy,           // freeing a frame that is still mapped/nailed
+  kNotOwner,
+};
+
+class FramesAllocator {
+ public:
+  FramesAllocator(Simulator& sim, RamTab& ramtab, uint64_t total_frames,
+                  TraceRecorder* trace = nullptr);
+
+  // --- Client management ---------------------------------------------------
+
+  Status<FramesError> AdmitClient(DomainId domain, FramesContract contract);
+  Status<FramesError> RemoveClient(DomainId domain);
+  bool IsClient(DomainId domain) const;
+
+  // --- Allocation ----------------------------------------------------------
+
+  // Allocates one frame. Returns kRevocationPending when an intrusive
+  // revocation was initiated on the caller's behalf: wait on
+  // frames_available() and retry (the retry is guaranteed to make progress
+  // while the caller is under its guarantee).
+  Expected<Pfn, FramesError> AllocFrame(DomainId domain);
+
+  // Fine-grained placement (paper §6.2: "A domain may request specific
+  // physical frames, or frames within a 'special' region. This allows an
+  // application with platform knowledge to make use of page colouring, or to
+  // take advantage of superpage TLB mappings"). Placement requests never
+  // trigger revocation: as the paper's footnote notes, fragmentation means
+  // such requests may fail even under the guarantee.
+  Expected<Pfn, FramesError> AllocSpecificFrame(DomainId domain, Pfn pfn);
+  Expected<Pfn, FramesError> AllocFrameInRegion(DomainId domain, Pfn region_base,
+                                                uint64_t region_len);
+  // Page-colouring helper: any free frame with pfn % num_colours == colour.
+  Expected<Pfn, FramesError> AllocFrameWithColour(DomainId domain, uint64_t colour,
+                                                  uint64_t num_colours);
+
+  // Returns an (unused) frame to the allocator.
+  Status<FramesError> FreeFrame(DomainId domain, Pfn pfn);
+
+  // --- Revocation protocol -------------------------------------------------
+
+  // Application side: called when the victim has arranged for the top k
+  // frames of its stack to be unused ("Application B replies that all is now
+  // ready").
+  void RevocationComplete(DomainId domain);
+
+  // Notifier invoked (synchronously) when an intrusive revocation starts;
+  // wired by the system to the victim's MMEntry event path.
+  using RevocationNotifier = std::function<void(DomainId victim, uint64_t k, SimTime deadline)>;
+  void set_revocation_notifier(RevocationNotifier notifier) {
+    revocation_notifier_ = std::move(notifier);
+  }
+
+  // Invoked when a victim misses its deadline and is killed.
+  using KillHandler = std::function<void(DomainId victim)>;
+  void set_kill_handler(KillHandler handler) { kill_handler_ = std::move(handler); }
+
+  // Hook used to forcibly tear down a mapping when reclaiming frames from a
+  // killed domain (wired by the system to PTE/TLB teardown).
+  using ForceUnmap = std::function<void(Vpn vpn)>;
+  void set_force_unmap(ForceUnmap fn) { force_unmap_ = std::move(fn); }
+
+  void set_revocation_timeout(SimDuration t) { revocation_timeout_ = t; }
+
+  // Signalled whenever frames become available (after revocation or free).
+  Condition& frames_available() { return frames_available_; }
+
+  // --- Introspection -------------------------------------------------------
+
+  FrameStack* StackOf(DomainId domain);
+  uint64_t AllocatedCount(DomainId domain) const;  // n
+  FramesContract ContractOf(DomainId domain) const;
+  uint64_t free_frames() const { return free_list_.size(); }
+  uint64_t total_frames() const { return total_frames_; }
+  uint64_t guaranteed_total() const { return guaranteed_total_; }
+  uint64_t revocations_transparent() const { return revocations_transparent_; }
+  uint64_t revocations_intrusive() const { return revocations_intrusive_; }
+  uint64_t domains_killed() const { return domains_killed_; }
+  bool revocation_in_progress() const { return revocation_active_; }
+
+ private:
+  struct Client {
+    DomainId domain;
+    FramesContract contract;
+    uint64_t allocated = 0;  // n
+    FrameStack stack;
+    bool alive = true;
+  };
+
+  Client* Find(DomainId domain);
+  const Client* Find(DomainId domain) const;
+  Pfn TakeFreeFrame(Client& client);
+  // Quota/guarantee admission shared by all allocation flavours. Sets
+  // *guaranteed_request and returns an error when the request may not proceed.
+  std::optional<FramesError> CheckAllocation(const Client& client, bool* guaranteed_request) const;
+  // Removes a specific frame from the free list and grants it.
+  Expected<Pfn, FramesError> GrantSpecific(Client& client, Pfn pfn);
+  // Reclaims up to `k` unused frames from the top of the victim's stack.
+  uint64_t ReclaimUnusedTop(Client& victim, uint64_t k);
+  // Picks the domain holding the most optimistic frames.
+  Client* PickVictim();
+  void StartIntrusiveRevocation(Client& victim, uint64_t k);
+  void FinishRevocation(DomainId victim, bool deadline_expired);
+  void KillAndReclaim(Client& victim);
+
+  Simulator& sim_;
+  RamTab& ramtab_;
+  TraceRecorder* trace_;
+  uint64_t total_frames_;
+  uint64_t guaranteed_total_ = 0;
+  std::vector<Pfn> free_list_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  Condition frames_available_;
+
+  // Intrusive-revocation state (one at a time, as requests are serialised
+  // through the system domain).
+  bool revocation_active_ = false;
+  DomainId revocation_victim_ = kNoDomain;
+  uint64_t revocation_k_ = 0;
+  uint64_t revocation_timer_ = 0;
+  SimDuration revocation_timeout_ = Milliseconds(100);
+
+  RevocationNotifier revocation_notifier_;
+  KillHandler kill_handler_;
+  ForceUnmap force_unmap_;
+
+  uint64_t revocations_transparent_ = 0;
+  uint64_t revocations_intrusive_ = 0;
+  uint64_t domains_killed_ = 0;
+};
+
+}  // namespace nemesis
+
+#endif  // SRC_MM_FRAMES_ALLOCATOR_H_

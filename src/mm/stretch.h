@@ -1,0 +1,58 @@
+// A stretch "merely represents a range of virtual addresses with a certain
+// accessibility. It does not own — nor is it guaranteed — any physical
+// resources" (paper §6). Protection is carried out at stretch granularity.
+#ifndef SRC_MM_STRETCH_H_
+#define SRC_MM_STRETCH_H_
+
+#include <cstdint>
+
+#include "src/base/expected.h"
+#include "src/base/units.h"
+#include "src/hw/pte.h"
+#include "src/kernel/syscalls.h"
+#include "src/kernel/types.h"
+#include "src/mm/prot_domain.h"
+
+namespace nemesis {
+
+class Stretch {
+ public:
+  Stretch(Sid sid, VirtAddr base, size_t length, size_t page_size, DomainId owner)
+      : sid_(sid), base_(base), length_(length), page_size_(page_size), owner_(owner) {}
+
+  Sid sid() const { return sid_; }
+  VirtAddr base() const { return base_; }
+  size_t length() const { return length_; }
+  size_t page_size() const { return page_size_; }
+  size_t page_count() const { return length_ / page_size_; }
+  DomainId owner() const { return owner_; }
+
+  bool Contains(VirtAddr va) const { return va >= base_ && va < base_ + length_; }
+  VirtAddr PageBase(size_t index) const { return base_ + index * page_size_; }
+  size_t PageIndexOf(VirtAddr va) const { return (va - base_) / page_size_; }
+
+  // Page-table protection mechanism: sets the global rights of every page of
+  // the stretch via the low-level translation system (all pages of a stretch
+  // have the same access permissions). The validation — caller must hold the
+  // meta right — happens per page inside the syscall layer.
+  Status<VmError> SetGlobalRights(TranslationSyscalls& syscalls, DomainId caller,
+                                  const RightsResolver* pdom, uint8_t rights) {
+    for (size_t i = 0; i < page_count(); ++i) {
+      if (auto s = syscalls.SetPteRights(caller, pdom, PageBase(i), rights); !s.ok()) {
+        return s;
+      }
+    }
+    return Status<VmError>::Ok();
+  }
+
+ private:
+  Sid sid_;
+  VirtAddr base_;
+  size_t length_;
+  size_t page_size_;
+  DomainId owner_;
+};
+
+}  // namespace nemesis
+
+#endif  // SRC_MM_STRETCH_H_

@@ -1,0 +1,255 @@
+#include "src/sched/atropos.h"
+
+#include <algorithm>
+
+#include "src/base/assert.h"
+#include "src/base/log.h"
+
+namespace nemesis {
+
+AtroposScheduler::AtroposScheduler(Simulator& sim, TraceRecorder* trace,
+                                   std::string trace_category)
+    : sim_(sim), trace_(trace), trace_category_(std::move(trace_category)) {}
+
+AtroposScheduler::~AtroposScheduler() {
+  for (auto& c : clients_) {
+    if (c.alive) {
+      sim_.Cancel(c.refresh_timer);
+    }
+  }
+}
+
+AtroposScheduler::Client* AtroposScheduler::Find(SchedClientId id) {
+  for (auto& c : clients_) {
+    if (c.id == id && c.alive) {
+      return &c;
+    }
+  }
+  return nullptr;
+}
+
+const AtroposScheduler::Client* AtroposScheduler::Find(SchedClientId id) const {
+  return const_cast<AtroposScheduler*>(this)->Find(id);
+}
+
+Expected<SchedClientId, AdmitError> AtroposScheduler::Admit(std::string name, QosSpec spec) {
+  if (spec.period <= 0 || spec.slice <= 0 || spec.slice > spec.period || spec.laxity < 0) {
+    return MakeUnexpected(AdmitError::kInvalidSpec);
+  }
+  const double fraction = spec.Fraction();
+  if (reserved_fraction_ + fraction > 1.0 + 1e-9) {
+    return MakeUnexpected(AdmitError::kOverCommitted);
+  }
+  reserved_fraction_ += fraction;
+
+  Client c;
+  c.id = next_id_++;
+  c.name = std::move(name);
+  c.spec = spec;
+  c.state = SchedClientState::kRunnable;
+  c.remain = spec.slice;
+  c.deadline = sim_.Now() + spec.period;
+  clients_.push_back(std::move(c));
+  ScheduleRefresh(clients_.back());
+  if (trace_ != nullptr) {
+    trace_->Record(sim_.Now(), trace_category_, static_cast<int>(clients_.back().id), "admit",
+                   ToMilliseconds(spec.slice), ToMilliseconds(spec.period));
+  }
+  return clients_.back().id;
+}
+
+void AtroposScheduler::Remove(SchedClientId id) {
+  Client* c = Find(id);
+  if (c == nullptr) {
+    return;
+  }
+  sim_.Cancel(c->refresh_timer);
+  reserved_fraction_ -= c->spec.Fraction();
+  c->alive = false;
+}
+
+void AtroposScheduler::ScheduleRefresh(Client& c) {
+  const SchedClientId id = c.id;
+  c.refresh_timer = sim_.CallAt(c.deadline, [this, id] { Refresh(id); });
+}
+
+void AtroposScheduler::Refresh(SchedClientId id) {
+  Client* c = Find(id);
+  if (c == nullptr) {
+    return;
+  }
+  // New allocation. With roll-over accounting a deficit from an overrunning
+  // final transaction is deducted; a surplus is forfeited.
+  const SimDuration carry = rollover_ ? std::min<SimDuration>(c->remain, 0) : 0;
+  c->remain = c->spec.slice + carry;
+  c->deadline += c->spec.period;
+  c->lax_used = 0;
+  // Returning from wait/idle: the new allocation makes the client runnable.
+  c->state = SchedClientState::kRunnable;
+  ScheduleRefresh(*c);
+  if (trace_ != nullptr) {
+    trace_->Record(sim_.Now(), trace_category_, static_cast<int>(id), "alloc",
+                   ToMilliseconds(c->remain), ToMilliseconds(c->deadline));
+  }
+  Wakeup();
+}
+
+void AtroposScheduler::SetQueued(SchedClientId id, uint32_t queued) {
+  Client* c = Find(id);
+  if (c == nullptr) {
+    return;
+  }
+  const bool had_work = c->queued > 0;
+  c->queued = queued;
+  if (!had_work && queued > 0 && c->state == SchedClientState::kRunnable) {
+    Wakeup();
+  }
+  // Work arriving for an idle client does NOT make it runnable: the paper's
+  // semantics leave an idled client ignored until its next allocation (the
+  // laxity parameter exists precisely to widen the window before idling).
+}
+
+std::optional<AtroposScheduler::Pick> AtroposScheduler::PickNext() {
+  Client* best = nullptr;
+  for (auto& c : clients_) {
+    if (!c.alive || c.state != SchedClientState::kRunnable) {
+      continue;
+    }
+    if (c.remain <= 0) {
+      // Exhausted but not yet moved (executor charged somebody else last):
+      // treat as waiting until the refresh timer fires.
+      c.state = SchedClientState::kWaiting;
+      continue;
+    }
+    const bool has_work = c.queued > 0;
+    const SimDuration lax_left = c.spec.laxity - c.lax_used;
+    if (!has_work && lax_left <= 0) {
+      // The paper's idle transition: no pending transactions and no laxity
+      // budget left — ignored until the next periodic allocation.
+      c.state = SchedClientState::kIdle;
+      if (trace_ != nullptr) {
+        trace_->Record(sim_.Now(), trace_category_, static_cast<int>(c.id), "idle",
+                       ToMilliseconds(c.remain), 0.0);
+      }
+      continue;
+    }
+    if (best == nullptr || c.deadline < best->deadline) {
+      best = &c;
+    }
+  }
+  if (best == nullptr) {
+    return std::nullopt;
+  }
+  const bool has_work = best->queued > 0;
+  SimDuration budget = best->remain;
+  if (!has_work) {
+    budget = std::min(budget, best->spec.laxity - best->lax_used);
+  }
+  return Pick{best->id, !has_work, budget, best->deadline};
+}
+
+std::optional<SchedClientId> AtroposScheduler::PickSlack() const {
+  const Client* best = nullptr;
+  for (const auto& c : clients_) {
+    if (!c.alive || !c.spec.extra || c.queued == 0) {
+      continue;
+    }
+    if (best == nullptr || c.deadline < best->deadline) {
+      best = &c;
+    }
+  }
+  if (best == nullptr) {
+    return std::nullopt;
+  }
+  return best->id;
+}
+
+void AtroposScheduler::Charge(SchedClientId id, SimDuration used, bool was_lax) {
+  Client* c = Find(id);
+  if (c == nullptr) {
+    return;
+  }
+  NEM_ASSERT(used >= 0);
+  c->remain -= used;
+  c->charged += used;
+  if (was_lax) {
+    c->lax_used += used;
+    c->lax_charged += used;
+    if (trace_ != nullptr && used > 0) {
+      trace_->Record(sim_.Now() - used, trace_category_, static_cast<int>(id), "lax",
+                     ToMilliseconds(used), ToMilliseconds(c->remain));
+    }
+  } else {
+    // A completed transaction restarts the idle clock.
+    c->lax_used = 0;
+  }
+  if (c->remain <= 0 && c->state == SchedClientState::kRunnable) {
+    c->state = SchedClientState::kWaiting;
+    if (trace_ != nullptr) {
+      trace_->Record(sim_.Now(), trace_category_, static_cast<int>(id), "exhaust",
+                     ToMilliseconds(c->remain), 0.0);
+    }
+  }
+}
+
+void AtroposScheduler::Wakeup() {
+  if (wakeup_) {
+    wakeup_();
+  }
+}
+
+SimDuration AtroposScheduler::remaining(SchedClientId id) const {
+  const Client* c = Find(id);
+  NEM_ASSERT(c != nullptr);
+  return c->remain;
+}
+
+SimTime AtroposScheduler::deadline(SchedClientId id) const {
+  const Client* c = Find(id);
+  NEM_ASSERT(c != nullptr);
+  return c->deadline;
+}
+
+SchedClientState AtroposScheduler::state(SchedClientId id) const {
+  const Client* c = Find(id);
+  NEM_ASSERT(c != nullptr);
+  return c->state;
+}
+
+const QosSpec& AtroposScheduler::spec(SchedClientId id) const {
+  const Client* c = Find(id);
+  NEM_ASSERT(c != nullptr);
+  return c->spec;
+}
+
+const std::string& AtroposScheduler::name(SchedClientId id) const {
+  const Client* c = Find(id);
+  NEM_ASSERT(c != nullptr);
+  return c->name;
+}
+
+SimDuration AtroposScheduler::total_charged(SchedClientId id) const {
+  const Client* c = Find(id);
+  NEM_ASSERT(c != nullptr);
+  return c->charged;
+}
+
+SimDuration AtroposScheduler::total_lax(SchedClientId id) const {
+  const Client* c = Find(id);
+  NEM_ASSERT(c != nullptr);
+  return c->lax_charged;
+}
+
+double AtroposScheduler::ReservedFraction() const { return reserved_fraction_; }
+
+size_t AtroposScheduler::client_count() const {
+  size_t n = 0;
+  for (const auto& c : clients_) {
+    if (c.alive) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace nemesis

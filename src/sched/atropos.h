@@ -1,0 +1,141 @@
+// The Atropos scheduling algorithm (Roscoe, 1995), as used by the paper's
+// User-Safe Disk and CPU scheduler.
+//
+// Earliest-deadline-first with implicit deadlines: each client with QoS
+// (p, s, x, l) is periodically granted s of resource time and a deadline one
+// period away. The executor (e.g. the USD service loop) repeatedly asks
+// PickNext() for the EDF-eligible client, performs one unit of work (one disk
+// transaction), and charges the actual elapsed time via Charge(). Clients
+// whose remaining time is exhausted wait for their next periodic allocation;
+// accounting rolls over (a final overrunning transaction leaves a deficit
+// that counts against the next allocation), which is how the paper prevents a
+// client from deterministically exceeding its guarantee.
+//
+// Laxity (the paper's fix for the "short-block" problem): a runnable client
+// with no queued work remains eligible for up to l, and the time the executor
+// idles on its behalf is charged exactly as if it were transaction time.
+// Once its laxity is used up the client is marked idle and — as in the paper
+// — ignored until its next periodic allocation.
+#ifndef SRC_SCHED_ATROPOS_H_
+#define SRC_SCHED_ATROPOS_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/expected.h"
+#include "src/sched/qos.h"
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+#include "src/sim/trace.h"
+
+namespace nemesis {
+
+using SchedClientId = uint32_t;
+
+enum class AdmitError {
+  kOverCommitted,  // sum of s/p would exceed 1
+  kInvalidSpec,
+};
+
+enum class SchedClientState : uint8_t {
+  kRunnable,  // positive remaining time, eligible for EDF pick
+  kWaiting,   // remaining time exhausted; waiting for the next allocation
+  kIdle,      // no work and laxity exhausted; ignored until next allocation
+};
+
+class AtroposScheduler {
+ public:
+  // `wakeup` is invoked whenever the eligible set may have become non-empty
+  // (work arrival or a periodic reallocation); the executor uses it to
+  // re-evaluate PickNext(). `trace` may be null.
+  AtroposScheduler(Simulator& sim, TraceRecorder* trace = nullptr,
+                   std::string trace_category = "atropos");
+  ~AtroposScheduler();
+  AtroposScheduler(const AtroposScheduler&) = delete;
+  AtroposScheduler& operator=(const AtroposScheduler&) = delete;
+
+  void set_wakeup(std::function<void()> wakeup) { wakeup_ = std::move(wakeup); }
+
+  // Enables/disables roll-over accounting (Ablation D). Default on, as in the
+  // paper.
+  void set_rollover(bool enabled) { rollover_ = enabled; }
+
+  // Admission control: rejects the client if the sum of reserved fractions
+  // would exceed 1. The first allocation is granted immediately.
+  Expected<SchedClientId, AdmitError> Admit(std::string name, QosSpec spec);
+
+  void Remove(SchedClientId id);
+
+  // Work-arrival notification. `queued` is the number of work items the
+  // client currently has pending.
+  void SetQueued(SchedClientId id, uint32_t queued);
+
+  struct Pick {
+    SchedClientId client;
+    bool lax;              // true: idle on the client's behalf, charging it
+    SimDuration budget;    // maximum time the executor should spend
+    SimTime deadline;      // the client's current deadline (for tracing)
+  };
+
+  // Returns the EDF choice among eligible clients, or nullopt when the
+  // executor should sleep. Clients encountered with no work and no laxity
+  // budget are transitioned to idle (and skipped), as in the paper.
+  std::optional<Pick> PickNext();
+
+  // Returns the slack-time choice: a client with x=true and queued work, used
+  // only when PickNext() returns nullopt. Slack time is not charged against
+  // the guarantee.
+  std::optional<SchedClientId> PickSlack() const;
+
+  // Charges `used` of resource time to the client. `was_lax` marks lax time.
+  void Charge(SchedClientId id, SimDuration used, bool was_lax);
+
+  // Accessors (primarily for tests and traces).
+  SimDuration remaining(SchedClientId id) const;
+  SimTime deadline(SchedClientId id) const;
+  SchedClientState state(SchedClientId id) const;
+  const QosSpec& spec(SchedClientId id) const;
+  const std::string& name(SchedClientId id) const;
+  SimDuration total_charged(SchedClientId id) const;
+  SimDuration total_lax(SchedClientId id) const;
+  double ReservedFraction() const;
+  size_t client_count() const;
+
+ private:
+  struct Client {
+    SchedClientId id;
+    std::string name;
+    QosSpec spec;
+    SchedClientState state = SchedClientState::kRunnable;
+    SimDuration remain = 0;
+    SimTime deadline = 0;
+    uint32_t queued = 0;
+    SimDuration lax_used = 0;     // lax time consumed since the last transaction
+    SimDuration charged = 0;      // lifetime charged (incl. lax)
+    SimDuration lax_charged = 0;  // lifetime lax time
+    uint64_t refresh_timer = 0;
+    bool alive = true;
+  };
+
+  Client* Find(SchedClientId id);
+  const Client* Find(SchedClientId id) const;
+  void ScheduleRefresh(Client& c);
+  void Refresh(SchedClientId id);
+  void Wakeup();
+
+  Simulator& sim_;
+  TraceRecorder* trace_;
+  std::string trace_category_;
+  std::function<void()> wakeup_;
+  bool rollover_ = true;
+  double reserved_fraction_ = 0.0;
+  SchedClientId next_id_ = 1;
+  std::vector<Client> clients_;
+};
+
+}  // namespace nemesis
+
+#endif  // SRC_SCHED_ATROPOS_H_

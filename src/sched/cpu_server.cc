@@ -1,0 +1,112 @@
+#include "src/sched/cpu_server.h"
+
+#include <algorithm>
+
+#include "src/base/assert.h"
+
+namespace nemesis {
+
+CpuServer::CpuServer(Simulator& sim, SimDuration quantum, TraceRecorder* trace)
+    : sim_(sim), quantum_(quantum), sched_(sim, trace, "cpu"), work_cv_(sim) {
+  NEM_ASSERT(quantum > 0);
+  sched_.set_wakeup([this] { work_cv_.NotifyAll(); });
+}
+
+CpuServer::~CpuServer() {
+  if (service_task_.valid()) {
+    service_task_.Kill();
+  }
+}
+
+Expected<CpuClient*, AdmitError> CpuServer::AdmitClient(std::string name, QosSpec spec) {
+  auto admitted = sched_.Admit(name, spec);
+  if (!admitted.has_value()) {
+    return MakeUnexpected(admitted.error());
+  }
+  clients_.push_back(std::unique_ptr<CpuClient>(new CpuClient(*this, std::move(name), *admitted,
+                                                              sim_)));
+  return clients_.back().get();
+}
+
+void CpuServer::Start() {
+  if (!started_) {
+    started_ = true;
+    service_task_ = sim_.Spawn(ServiceLoop(), "cpu-server");
+  }
+}
+
+CpuClient* CpuServer::FindBySchedId(SchedClientId id) {
+  for (auto& c : clients_) {
+    if (c->sched_id_ == id) {
+      return c.get();
+    }
+  }
+  return nullptr;
+}
+
+uint32_t CpuServer::QueuedUnits(const CpuClient& client) const {
+  return static_cast<uint32_t>(client.queue_.size()) + (client.current_remaining_ > 0 ? 1 : 0);
+}
+
+void CpuClient::Submit(SimDuration burst) {
+  NEM_ASSERT(burst > 0);
+  queue_.push_back(burst);
+  server_.OnWorkArrival(*this);
+}
+
+void CpuServer::OnWorkArrival(CpuClient& client) {
+  sched_.SetQueued(client.sched_id_, QueuedUnits(client));
+  work_cv_.NotifyAll();
+}
+
+Task CpuServer::ServiceLoop() {
+  for (;;) {
+    auto pick = sched_.PickNext();
+    if (!pick.has_value()) {
+      co_await work_cv_.Wait();
+      continue;
+    }
+    CpuClient* client = FindBySchedId(pick->client);
+    if (client == nullptr) {
+      continue;
+    }
+    if (pick->lax) {
+      const SimTime start = sim_.Now();
+      (void)co_await work_cv_.WaitFor(pick->budget);
+      sched_.Charge(pick->client, sim_.Now() - start, /*was_lax=*/true);
+      continue;
+    }
+    // Start (or continue) the client's burst, preemptible at quantum
+    // granularity and bounded by the remaining slice.
+    if (client->current_remaining_ == 0) {
+      NEM_ASSERT(!client->queue_.empty());
+      client->current_remaining_ = client->queue_.front();
+      client->queue_.pop_front();
+    }
+    const SimDuration slice = std::min({quantum_, client->current_remaining_,
+                                        std::max<SimDuration>(pick->budget, Microseconds(1))});
+    co_await SleepFor(sim_, slice);
+    sched_.Charge(pick->client, slice, /*was_lax=*/false);
+    client->current_remaining_ -= slice;
+    client->executed_ += slice;
+    if (client->current_remaining_ > 0) {
+      ++preemptions_;
+    } else {
+      client->done_cv_.NotifyAll();
+    }
+    sched_.SetQueued(client->sched_id_, QueuedUnits(*client));
+  }
+}
+
+Task RunBurst(Simulator& sim, CpuClient* client, SimDuration burst, bool* done) {
+  (void)sim;
+  client->Submit(burst);
+  while (!client->idle()) {
+    co_await client->done_cv().Wait();
+  }
+  if (done != nullptr) {
+    *done = true;
+  }
+}
+
+}  // namespace nemesis

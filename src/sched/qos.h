@@ -1,0 +1,28 @@
+// Quality-of-Service specification used across Nemesis resources.
+//
+// The paper (§6.7): "The type of QoS specification used by the USD is of the
+// form (p, s, x, l) where p is the period and s the slice ... The x flag
+// determines whether or not the client is eligible for any slack time ...
+// [laxity l] is a time value for which a client should be allowed to remain
+// on the runnable queue, even if it currently has no transactions pending."
+#ifndef SRC_SCHED_QOS_H_
+#define SRC_SCHED_QOS_H_
+
+#include "src/sim/time.h"
+
+namespace nemesis {
+
+struct QosSpec {
+  SimDuration period = 0;  // p
+  SimDuration slice = 0;   // s
+  bool extra = false;      // x: eligible for slack time
+  SimDuration laxity = 0;  // l
+
+  double Fraction() const {
+    return period > 0 ? static_cast<double>(slice) / static_cast<double>(period) : 0.0;
+  }
+};
+
+}  // namespace nemesis
+
+#endif  // SRC_SCHED_QOS_H_

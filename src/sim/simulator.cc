@@ -1,0 +1,96 @@
+#include "src/sim/simulator.h"
+
+#include <utility>
+
+#include "src/base/assert.h"
+
+namespace nemesis {
+
+uint64_t Simulator::CallAt(SimTime t, std::function<void()> fn) {
+  NEM_ASSERT_MSG(t >= now_, "cannot schedule into the past");
+  const uint64_t id = next_id_++;
+  queue_.push(Entry{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+uint64_t Simulator::CallAfter(SimDuration d, std::function<void()> fn) {
+  NEM_ASSERT_MSG(d >= 0, "negative delay");
+  return CallAt(now_ + d, std::move(fn));
+}
+
+void Simulator::Cancel(uint64_t id) {
+  if (callbacks_.erase(id) != 0) {
+    ++cancelled_in_queue_;
+  }
+}
+
+TaskHandle Simulator::Spawn(Task task, std::string name) {
+  auto state = task.TakeState();
+  NEM_ASSERT(state != nullptr);
+  state->sim = this;
+  state->name = std::move(name);
+  state->started = true;
+  if (tasks_.size() > 4096) {
+    PruneTasks();
+  }
+  tasks_.push_back(state);
+  CallAfter(0, [state] { state->Resume(); });
+  return TaskHandle(state);
+}
+
+uint64_t Simulator::Run() {
+  uint64_t n = 0;
+  while (Step()) {
+    ++n;
+  }
+  return n;
+}
+
+uint64_t Simulator::RunUntil(SimTime deadline) {
+  uint64_t n = 0;
+  for (;;) {
+    // Skip cancelled entries to find the next live event.
+    while (!queue_.empty() && callbacks_.find(queue_.top().id) == callbacks_.end()) {
+      queue_.pop();
+      --cancelled_in_queue_;
+    }
+    if (queue_.empty() || queue_.top().time > deadline) {
+      break;
+    }
+    Step();
+    ++n;
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return n;
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    const Entry entry = queue_.top();
+    auto it = callbacks_.find(entry.id);
+    queue_.pop();
+    if (it == callbacks_.end()) {
+      --cancelled_in_queue_;
+      continue;
+    }
+    NEM_ASSERT(entry.time >= now_);
+    now_ = entry.time;
+    auto fn = std::move(it->second);
+    callbacks_.erase(it);
+    ++events_executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::PruneTasks() {
+  std::erase_if(tasks_, [](const std::shared_ptr<TaskState>& t) {
+    return t->done || t->destroyed;
+  });
+}
+
+}  // namespace nemesis

@@ -1,0 +1,91 @@
+// Discrete-event simulator core.
+//
+// The simulator owns a priority queue of timestamped callbacks and a registry
+// of coroutine tasks (see src/sim/task.h). Everything in the reproduction that
+// consumes simulated time — domain workloads, fault handling, the USD service
+// loop, the disk mechanism — is driven from this single-threaded loop, which
+// makes every experiment deterministic.
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace nemesis {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` to run at absolute simulated time `t` (>= Now()). Returns
+  // an id usable with Cancel().
+  uint64_t CallAt(SimTime t, std::function<void()> fn);
+
+  // Schedules `fn` to run `d` after Now().
+  uint64_t CallAfter(SimDuration d, std::function<void()> fn);
+
+  // Cancels a pending callback; cancelling an already-fired or unknown id is a
+  // no-op.
+  void Cancel(uint64_t id);
+
+  // Starts a coroutine task. The first resume happens from the run loop at the
+  // current simulated time. The returned handle can observe completion and
+  // kill the task.
+  TaskHandle Spawn(Task task, std::string name = "");
+
+  // Executes events until the queue drains. Returns the number of events run.
+  uint64_t Run();
+
+  // Executes events with time <= deadline; leaves later events pending and
+  // advances the clock to `deadline` if the queue outlives it.
+  uint64_t RunUntil(SimTime deadline);
+
+  // Executes a single event if one is pending. Returns false when idle.
+  bool Step();
+
+  size_t pending_events() const { return queue_.size() - cancelled_in_queue_; }
+  uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    uint64_t seq;
+    uint64_t id;
+    // Entries are kept in a max-heap; invert the comparison for earliest-first
+    // and use seq for FIFO order among same-time events.
+    bool operator<(const Entry& other) const {
+      if (time != other.time) {
+        return time > other.time;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  void PruneTasks();
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t next_id_ = 1;
+  uint64_t events_executed_ = 0;
+  size_t cancelled_in_queue_ = 0;
+  std::priority_queue<Entry> queue_;
+  // Callback bodies live here so Cancel() can drop them without heap surgery.
+  std::unordered_map<uint64_t, std::function<void()>> callbacks_;
+  std::vector<std::shared_ptr<TaskState>> tasks_;
+};
+
+}  // namespace nemesis
+
+#endif  // SRC_SIM_SIMULATOR_H_

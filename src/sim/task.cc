@@ -1,0 +1,102 @@
+#include "src/sim/task.h"
+
+#include "src/sim/simulator.h"
+
+namespace nemesis {
+
+void TaskState::Resume() {
+  if (destroyed || done) {
+    return;
+  }
+  if (killed) {
+    DestroyFrame();
+    FireCompletionWatchers();
+    return;
+  }
+  running = true;
+  handle.resume();
+  running = false;
+  if (done) {
+    // The coroutine reached final_suspend; the frame can be reclaimed now.
+    DestroyFrame();
+    FireCompletionWatchers();
+  } else if (killed) {
+    // The task killed itself (or was killed re-entrantly) and then suspended.
+    DestroyFrame();
+    FireCompletionWatchers();
+  }
+}
+
+void TaskState::Kill() {
+  if (done || destroyed || killed) {
+    return;
+  }
+  killed = true;
+  if (running) {
+    // Torn down when control returns to Resume().
+    return;
+  }
+  DestroyFrame();
+  FireCompletionWatchers();
+}
+
+void TaskState::DestroyFrame() {
+  if (!destroyed && handle) {
+    destroyed = true;
+    handle.destroy();
+    handle = nullptr;
+  }
+}
+
+void TaskState::FireCompletionWatchers() {
+  if (completion_watchers.empty()) {
+    return;
+  }
+  std::vector<std::function<void()>> watchers;
+  watchers.swap(completion_watchers);
+  for (auto& fn : watchers) {
+    if (sim != nullptr) {
+      sim->CallAfter(0, std::move(fn));
+    } else {
+      fn();
+    }
+  }
+}
+
+TaskState::~TaskState() {
+  // Reclaim a frame that never ran to completion (e.g. simulation ended while
+  // the task was blocked).
+  if (!destroyed && handle) {
+    handle.destroy();
+  }
+}
+
+void Task::promise_type::FinalAwaiter::await_suspend(
+    std::coroutine_handle<promise_type> h) noexcept {
+  h.promise().state->done = true;
+}
+
+void TaskHandle::OnCompletion(std::function<void()> fn) {
+  NEM_ASSERT(state_ != nullptr);
+  if (state_->done || state_->destroyed) {
+    if (state_->sim != nullptr) {
+      state_->sim->CallAfter(0, std::move(fn));
+    } else {
+      fn();
+    }
+    return;
+  }
+  state_->completion_watchers.push_back(std::move(fn));
+}
+
+void DelayAwaiter::await_suspend(std::coroutine_handle<Task::promise_type> h) {
+  auto st = StateOf(h);
+  sim->CallAfter(duration_ns, [st] { st->Resume(); });
+}
+
+void JoinAwaiter::await_suspend(std::coroutine_handle<Task::promise_type> h) {
+  auto st = StateOf(h);
+  target->completion_watchers.push_back([st] { st->Resume(); });
+}
+
+}  // namespace nemesis

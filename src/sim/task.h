@@ -1,0 +1,154 @@
+// Coroutine tasks for the discrete-event simulator.
+//
+// A simulated thread of control is a C++20 coroutine returning sim::Task. It
+// suspends on awaitables (Delay, Condition::Wait, Mailbox operations) and is
+// resumed by the Simulator's run loop — never nested inside another task's
+// execution, which keeps re-entrancy out of the model.
+//
+// Tasks can be killed (the Nemesis frames allocator kills domains that do not
+// honour an intrusive revocation deadline). Killing destroys the coroutine
+// frame at the task's next scheduling point; stale wakeups hold the shared
+// TaskState and become no-ops.
+#ifndef SRC_SIM_TASK_H_
+#define SRC_SIM_TASK_H_
+
+#include <coroutine>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/base/assert.h"
+
+namespace nemesis {
+
+class Simulator;
+
+// Shared between the coroutine promise, the TaskHandle given to the spawner,
+// and every pending wakeup referencing the task.
+struct TaskState {
+  std::coroutine_handle<> handle{};
+  Simulator* sim = nullptr;
+  std::string name;
+  bool started = false;
+  bool running = false;
+  bool done = false;
+  bool killed = false;
+  bool destroyed = false;
+  // Callbacks run (via the event queue) when the task completes or is killed.
+  std::vector<std::function<void()>> completion_watchers;
+
+  // Resumes the coroutine if it is still alive; destroys it if it was killed.
+  void Resume();
+
+  // Requests termination. Safe to call at any time, including from the task
+  // itself; the frame is destroyed at the next safe point.
+  void Kill();
+
+  ~TaskState();
+
+ private:
+  void DestroyFrame();
+  void FireCompletionWatchers();
+};
+
+// Coroutine return object. Move-only; pass it to Simulator::Spawn to run it.
+class Task {
+ public:
+  struct promise_type {
+    std::shared_ptr<TaskState> state = std::make_shared<TaskState>();
+
+    Task get_return_object() {
+      state->handle = std::coroutine_handle<promise_type>::from_promise(*this);
+      return Task(state);
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> h) noexcept;
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() {}
+    void unhandled_exception() {
+      // Simulation tasks model OS code paths that do not throw; an escaped
+      // exception is a bug in the reproduction itself.
+      NEM_UNREACHABLE("exception escaped a sim::Task");
+    }
+  };
+
+  explicit Task(std::shared_ptr<TaskState> state) : state_(std::move(state)) {}
+  Task(Task&&) = default;
+  Task& operator=(Task&&) = default;
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  std::shared_ptr<TaskState> TakeState() { return std::move(state_); }
+
+ private:
+  std::shared_ptr<TaskState> state_;
+};
+
+// Observer/controller for a spawned task.
+class TaskHandle {
+ public:
+  TaskHandle() = default;
+  explicit TaskHandle(std::shared_ptr<TaskState> state) : state_(std::move(state)) {}
+
+  bool valid() const { return state_ != nullptr; }
+  bool done() const { return state_ && (state_->done || state_->destroyed); }
+  bool killed() const { return state_ && state_->killed; }
+  const std::string& name() const {
+    static const std::string kEmpty;
+    return state_ ? state_->name : kEmpty;
+  }
+
+  // Terminates the task at its next safe point.
+  void Kill() {
+    if (state_) {
+      state_->Kill();
+    }
+  }
+
+  // Registers a callback to run (through the event queue) once the task
+  // completes or is killed. Fires immediately if already finished.
+  void OnCompletion(std::function<void()> fn);
+
+  std::shared_ptr<TaskState> state() const { return state_; }
+
+ private:
+  std::shared_ptr<TaskState> state_;
+};
+
+// Helper used by awaitables: extracts the TaskState of the suspending task.
+inline std::shared_ptr<TaskState> StateOf(std::coroutine_handle<Task::promise_type> h) {
+  return h.promise().state;
+}
+
+// Awaitable that suspends the current task for a fixed simulated duration.
+// Obtain via Simulator-aware helpers (e.g. SleepFor in sim/sync.h) or directly.
+struct DelayAwaiter {
+  Simulator* sim;
+  int64_t duration_ns;
+
+  bool await_ready() const noexcept { return duration_ns <= 0; }
+  void await_suspend(std::coroutine_handle<Task::promise_type> h);
+  void await_resume() const noexcept {}
+};
+
+// Awaitable that waits for another task to complete (or be killed).
+struct JoinAwaiter {
+  std::shared_ptr<TaskState> target;
+
+  bool await_ready() const noexcept { return !target || target->done || target->destroyed; }
+  void await_suspend(std::coroutine_handle<Task::promise_type> h);
+  void await_resume() const noexcept {}
+};
+
+}  // namespace nemesis
+
+#endif  // SRC_SIM_TASK_H_

@@ -1,0 +1,29 @@
+// Simulated time. The simulator clock is a signed 64-bit nanosecond count
+// starting at zero; durations use the same representation.
+#ifndef SRC_SIM_TIME_H_
+#define SRC_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace nemesis {
+
+using SimTime = int64_t;      // absolute, ns since simulation start
+using SimDuration = int64_t;  // relative, ns
+
+constexpr SimDuration Nanoseconds(int64_t n) { return n; }
+constexpr SimDuration Microseconds(int64_t us) { return us * 1000; }
+constexpr SimDuration Milliseconds(int64_t ms) { return ms * 1000 * 1000; }
+constexpr SimDuration Seconds(int64_t s) { return s * 1000 * 1000 * 1000; }
+
+constexpr double ToSeconds(SimDuration d) { return static_cast<double>(d) / 1e9; }
+constexpr double ToMilliseconds(SimDuration d) { return static_cast<double>(d) / 1e6; }
+constexpr double ToMicroseconds(SimDuration d) { return static_cast<double>(d) / 1e3; }
+
+constexpr SimDuration FromSeconds(double s) { return static_cast<SimDuration>(s * 1e9); }
+constexpr SimDuration FromMilliseconds(double ms) { return static_cast<SimDuration>(ms * 1e6); }
+
+constexpr SimTime kSimTimeNever = INT64_MAX;
+
+}  // namespace nemesis
+
+#endif  // SRC_SIM_TIME_H_

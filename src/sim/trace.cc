@@ -1,0 +1,48 @@
+#include "src/sim/trace.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace nemesis {
+
+void TraceRecorder::Record(SimTime time, std::string category, int client, std::string event,
+                           double a, double b) {
+  if (!enabled_) {
+    return;
+  }
+  records_.push_back(TraceRecord{time, std::move(category), client, std::move(event), a, b});
+}
+
+std::vector<TraceRecord> TraceRecorder::Filter(const std::string& category,
+                                               const std::string& event, int client) const {
+  std::vector<TraceRecord> out;
+  for (const auto& r : records_) {
+    if (!category.empty() && r.category != category) {
+      continue;
+    }
+    if (!event.empty() && r.event != event) {
+      continue;
+    }
+    if (client >= 0 && r.client != client) {
+      continue;
+    }
+    out.push_back(r);
+  }
+  return out;
+}
+
+bool TraceRecorder::WriteCsv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  std::fprintf(f, "time_ms,category,client,event,value_a,value_b\n");
+  for (const auto& r : records_) {
+    std::fprintf(f, "%.6f,%s,%d,%s,%.6f,%.6f\n", ToMilliseconds(r.time), r.category.c_str(),
+                 r.client, r.event.c_str(), r.value_a, r.value_b);
+  }
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace nemesis

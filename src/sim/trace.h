@@ -1,0 +1,52 @@
+// Trace recorder. The paper's Figures 7 and 8 include USD scheduler traces
+// (per-client transactions, laxity charges, allocation boundaries); the USD
+// emits structured records here and the benches dump them as CSV so the plots
+// can be regenerated.
+#ifndef SRC_SIM_TRACE_H_
+#define SRC_SIM_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace nemesis {
+
+struct TraceRecord {
+  SimTime time;         // record timestamp (start of the interval, if any)
+  std::string category; // subsystem, e.g. "usd"
+  int client;           // client / domain id, -1 if not applicable
+  std::string event;    // e.g. "txn", "lax", "alloc", "progress"
+  double value_a;       // event-specific (e.g. duration in ms, bytes)
+  double value_b;       // event-specific (e.g. remaining time)
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  void Record(SimTime time, std::string category, int client, std::string event, double a = 0.0,
+              double b = 0.0);
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  void Clear() { records_.clear(); }
+
+  // Records matching a category/event filter (empty string matches all).
+  std::vector<TraceRecord> Filter(const std::string& category, const std::string& event = "",
+                                  int client = -1) const;
+
+  // Writes "time_ms,category,client,event,value_a,value_b" rows.
+  bool WriteCsv(const std::string& path) const;
+
+ private:
+  bool enabled_ = true;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace nemesis
+
+#endif  // SRC_SIM_TRACE_H_

@@ -1,0 +1,47 @@
+// USD transaction types and the client-side IO channel.
+//
+// Clients communicate with the USD through FIFO buffered channels (the
+// paper's IO channels, "similar in operation to the rbufs scheme"): a client
+// owns a fixed number of slots; submitting a transaction consumes a slot and
+// completion releases it, so a client can pipeline up to `depth` transactions
+// (Figure 9's file-system client trades buffer space for latency this way).
+#ifndef SRC_USD_IO_CHANNEL_H_
+#define SRC_USD_IO_CHANNEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace nemesis {
+
+struct UsdRequest {
+  uint64_t id = 0;         // client-chosen tag, echoed in the reply
+  uint64_t lba = 0;        // absolute disk block address
+  uint32_t nblocks = 0;
+  bool is_write = false;
+  std::vector<uint8_t> data;  // write payload (nblocks * block_size bytes)
+};
+
+struct UsdReply {
+  uint64_t id = 0;
+  bool ok = false;
+  std::vector<uint8_t> data;    // read payload
+  SimDuration service_time = 0; // time the transaction occupied the disk
+};
+
+// A contiguous range of disk blocks a client is entitled to access. The USD
+// validates every transaction against its client's extents — this is what
+// makes the disk "user-safe".
+struct Extent {
+  uint64_t start = 0;
+  uint64_t length = 0;
+
+  bool Covers(uint64_t lba, uint32_t nblocks) const {
+    return lba >= start && lba + nblocks <= start + length;
+  }
+};
+
+}  // namespace nemesis
+
+#endif  // SRC_USD_IO_CHANNEL_H_

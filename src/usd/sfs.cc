@@ -1,0 +1,56 @@
+#include "src/usd/sfs.h"
+
+#include "src/base/assert.h"
+#include "src/base/units.h"
+
+namespace nemesis {
+
+SwapFilesystem::SwapFilesystem(Usd& usd, Extent partition)
+    : usd_(usd), partition_(partition), allocation_(partition.length) {
+  NEM_ASSERT(partition.length > 0);
+  NEM_ASSERT(partition.start + partition.length <= usd.disk().geometry().total_blocks);
+}
+
+Expected<SwapFile, SfsError> SwapFilesystem::CreateSwapFile(std::string name, uint64_t bytes,
+                                                            QosSpec spec, size_t depth) {
+  if (bytes == 0) {
+    return MakeUnexpected(SfsError::kBadSize);
+  }
+  const uint32_t block_size = usd_.disk().geometry().block_size;
+  const uint64_t nblocks = AlignUp(bytes, block_size) / block_size;
+
+  auto start = allocation_.FindClearRun(nblocks, hint_);
+  if (!start.has_value() && hint_ != 0) {
+    start = allocation_.FindClearRun(nblocks, 0);
+  }
+  if (!start.has_value()) {
+    return MakeUnexpected(SfsError::kNoSpace);
+  }
+
+  auto client = usd_.OpenClient(name, spec, depth);
+  if (!client.has_value()) {
+    return MakeUnexpected(SfsError::kQosRejected);
+  }
+
+  allocation_.SetRange(*start, nblocks);
+  hint_ = *start + nblocks;
+  const Extent extent{partition_.start + *start, nblocks};
+  (*client)->AddExtent(extent);
+  return SwapFile{std::move(name), extent, *client};
+}
+
+Status<SfsError> SwapFilesystem::DeleteSwapFile(SwapFile& file) {
+  if (file.client == nullptr) {
+    return MakeUnexpected(SfsError::kUnknownFile);
+  }
+  if (file.extent.start < partition_.start ||
+      file.extent.start + file.extent.length > partition_.start + partition_.length) {
+    return MakeUnexpected(SfsError::kUnknownFile);
+  }
+  allocation_.ClearRange(file.extent.start - partition_.start, file.extent.length);
+  usd_.CloseClient(file.client);
+  file.client = nullptr;
+  return Status<SfsError>::Ok();
+}
+
+}  // namespace nemesis

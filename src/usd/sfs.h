@@ -1,0 +1,62 @@
+// Swap filesystem (paper §6.7): the control-path half of the User-Safe
+// Backing Store. "The SFS is responsible for control operations such as
+// allocation of an extent (a contiguous range of blocks) for use as a swap
+// file, and the negotiation of Quality of Service parameters to the USD."
+//
+// The data path never touches the SFS: once a swap file exists, the owning
+// domain's stretch driver talks to the USD directly through its IO channel.
+#ifndef SRC_USD_SFS_H_
+#define SRC_USD_SFS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/bitmap.h"
+#include "src/base/expected.h"
+#include "src/usd/usd.h"
+
+namespace nemesis {
+
+enum class SfsError {
+  kNoSpace,        // no contiguous extent of the requested size
+  kQosRejected,    // the USD refused the QoS negotiation
+  kBadSize,
+  kUnknownFile,
+};
+
+struct SwapFile {
+  std::string name;
+  Extent extent;        // absolute disk blocks backing the file
+  UsdClient* client;    // QoS-negotiated data channel
+
+  uint64_t size_bytes(uint32_t block_size) const { return extent.length * block_size; }
+};
+
+class SwapFilesystem {
+ public:
+  // Manages the disk partition `partition` (absolute block range) on `usd`.
+  SwapFilesystem(Usd& usd, Extent partition);
+
+  // Allocates a contiguous extent of at least `bytes` and negotiates a USD
+  // client with QoS `spec` and `depth` pipeline slots for it.
+  Expected<SwapFile, SfsError> CreateSwapFile(std::string name, uint64_t bytes, QosSpec spec,
+                                              size_t depth = 1);
+
+  // Releases the extent and closes the USD client.
+  Status<SfsError> DeleteSwapFile(SwapFile& file);
+
+  uint64_t free_blocks() const { return partition_.length - allocation_.count_set(); }
+  uint64_t total_blocks() const { return partition_.length; }
+  const Extent& partition() const { return partition_; }
+
+ private:
+  Usd& usd_;
+  Extent partition_;
+  Bitmap allocation_;  // one bit per block of the partition
+  size_t hint_ = 0;    // first-fit hint, as the paper's blok allocator keeps
+};
+
+}  // namespace nemesis
+
+#endif  // SRC_USD_SFS_H_

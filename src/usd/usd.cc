@@ -1,0 +1,178 @@
+#include "src/usd/usd.h"
+
+#include <utility>
+
+#include "src/base/assert.h"
+#include "src/base/log.h"
+
+namespace nemesis {
+
+Usd::Usd(Simulator& sim, Disk& disk, TraceRecorder* trace)
+    : sim_(sim), disk_(disk), trace_(trace), sched_(sim, trace, "usd"), work_cv_(sim),
+      arrival_cv_(sim) {
+  sched_.set_wakeup([this] { work_cv_.NotifyAll(); });
+}
+
+Usd::~Usd() {
+  if (service_task_.valid()) {
+    service_task_.Kill();
+  }
+}
+
+Expected<UsdClient*, UsdError> Usd::OpenClient(std::string name, QosSpec spec, size_t depth) {
+  NEM_ASSERT(depth >= 1);
+  auto admitted = sched_.Admit(name, spec);
+  if (!admitted.has_value()) {
+    return MakeUnexpected(admitted.error() == AdmitError::kOverCommitted
+                              ? UsdError::kOverCommitted
+                              : UsdError::kInvalidSpec);
+  }
+  clients_.push_back(std::unique_ptr<UsdClient>(
+      new UsdClient(*this, std::move(name), *admitted, depth, sim_)));
+  return clients_.back().get();
+}
+
+void Usd::CloseClient(UsdClient* client) {
+  sched_.Remove(client->sched_id());
+  std::erase_if(clients_, [client](const auto& c) { return c.get() == client; });
+}
+
+void Usd::Start() {
+  if (!started_) {
+    started_ = true;
+    service_task_ = sim_.Spawn(ServiceLoop(), "usd-service");
+  }
+}
+
+UsdClient* Usd::FindBySchedId(SchedClientId id) {
+  for (auto& c : clients_) {
+    if (c->sched_id_ == id) {
+      return c.get();
+    }
+  }
+  return nullptr;
+}
+
+void UsdClient::Push(UsdRequest request) {
+  // User-safety: validate the transaction against the granted extents before
+  // it ever reaches the disk.
+  bool allowed = false;
+  for (const auto& e : extents_) {
+    if (e.Covers(request.lba, request.nblocks)) {
+      allowed = true;
+      break;
+    }
+  }
+  if (!allowed) {
+    ++rejected_;
+    UsdReply reply;
+    reply.id = request.id;
+    reply.ok = false;
+    const bool sent = replies_.TrySend(std::move(reply));
+    NEM_ASSERT(sent);
+    return;
+  }
+  queue_.push_back(std::move(request));
+  usd_.OnRequestArrival(*this);
+}
+
+void Usd::OnRequestArrival(UsdClient& client) {
+  sched_.SetQueued(client.sched_id_, static_cast<uint32_t>(client.queue_.size()));
+  arrival_cv_.NotifyAll();
+  work_cv_.NotifyAll();
+}
+
+Task Usd::ServiceLoop() {
+  for (;;) {
+    auto pick = sched_.PickNext();
+    if (!pick.has_value()) {
+      // No guaranteed work: hand slack time to an x-flagged client, if any.
+      auto slack = sched_.PickSlack();
+      if (slack.has_value()) {
+        UsdClient* client = FindBySchedId(*slack);
+        if (client != nullptr && !client->queue_.empty()) {
+          UsdRequest request = std::move(client->queue_.front());
+          client->queue_.pop_front();
+          sched_.SetQueued(client->sched_id_, static_cast<uint32_t>(client->queue_.size()));
+          const SimTime start = sim_.Now();
+          const SimDuration t = disk_.Access(
+              DiskRequest{request.lba, request.nblocks, request.is_write}, start);
+          UsdReply reply;
+          reply.id = request.id;
+          reply.ok = true;
+          reply.service_time = t;
+          if (request.is_write) {
+            disk_.WriteData(request.lba, request.data);
+          } else {
+            reply.data.resize(static_cast<size_t>(request.nblocks) * disk_.geometry().block_size);
+            disk_.ReadData(request.lba, reply.data);
+          }
+          co_await SleepFor(sim_, t);
+          // Slack time is free: no charge against the guarantee.
+          ++transactions_;
+          ++client->transactions_;
+          client->bytes_transferred_ +=
+              static_cast<uint64_t>(request.nblocks) * disk_.geometry().block_size;
+          if (trace_ != nullptr) {
+            trace_->Record(start, "usd", static_cast<int>(client->sched_id_), "slack-txn",
+                           ToMilliseconds(t), 0.0);
+          }
+          const bool sent = client->replies_.TrySend(std::move(reply));
+          NEM_ASSERT(sent);
+          continue;
+        }
+      }
+      co_await work_cv_.Wait();
+      continue;
+    }
+
+    UsdClient* client = FindBySchedId(pick->client);
+    if (client == nullptr) {
+      continue;
+    }
+
+    if (pick->lax) {
+      // Idle on the client's behalf: the head stays reserved for it so that
+      // the single-transaction-outstanding pager can issue its next request
+      // back-to-back. The idle time is charged exactly like disk time.
+      const SimTime start = sim_.Now();
+      (void)co_await arrival_cv_.WaitFor(pick->budget);
+      const SimDuration spent = sim_.Now() - start;
+      sched_.Charge(pick->client, spent, /*was_lax=*/true);
+      continue;
+    }
+
+    NEM_ASSERT(!client->queue_.empty());
+    UsdRequest request = std::move(client->queue_.front());
+    client->queue_.pop_front();
+    sched_.SetQueued(client->sched_id_, static_cast<uint32_t>(client->queue_.size()));
+
+    const SimTime start = sim_.Now();
+    const SimDuration t =
+        disk_.Access(DiskRequest{request.lba, request.nblocks, request.is_write}, start);
+    UsdReply reply;
+    reply.id = request.id;
+    reply.ok = true;
+    reply.service_time = t;
+    if (request.is_write) {
+      disk_.WriteData(request.lba, request.data);
+    } else {
+      reply.data.resize(static_cast<size_t>(request.nblocks) * disk_.geometry().block_size);
+      disk_.ReadData(request.lba, reply.data);
+    }
+    co_await SleepFor(sim_, t);
+    sched_.Charge(pick->client, t, /*was_lax=*/false);
+    ++transactions_;
+    ++client->transactions_;
+    client->bytes_transferred_ +=
+        static_cast<uint64_t>(request.nblocks) * disk_.geometry().block_size;
+    if (trace_ != nullptr) {
+      trace_->Record(start, "usd", static_cast<int>(client->sched_id_), "txn", ToMilliseconds(t),
+                     ToMilliseconds(sched_.remaining(pick->client)));
+    }
+    const bool sent = client->replies_.TrySend(std::move(reply));
+    NEM_ASSERT(sent);
+  }
+}
+
+}  // namespace nemesis

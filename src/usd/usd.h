@@ -1,0 +1,145 @@
+// The User-Safe Disk (paper §6.7): schedules raw disk transactions between
+// clients according to QoS tuples (p, s, x, l) using the Atropos algorithm.
+//
+// A single service task wakes whenever there are pending requests, asks the
+// Atropos core for the EDF-eligible client, and performs ONE transaction; the
+// measured service time is charged against the client's slice. When the
+// chosen client has no queued transaction but laxity remaining, the service
+// task idles on the client's behalf and charges the idle time to it — the
+// paper's fix for the short-block problem exhibited by pagers that cannot
+// pipeline. Roll-over accounting lets a final transaction overrun the slice
+// and deducts the deficit from the next allocation.
+//
+// Trace records emitted (category "usd"): "txn" (start time, value_a =
+// duration ms, value_b = client remaining ms), "lax" (from the Atropos core),
+// "alloc" (new periodic allocation), "reject" (extent violation).
+#ifndef SRC_USD_USD_H_
+#define SRC_USD_USD_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/expected.h"
+#include "src/hw/disk.h"
+#include "src/sched/atropos.h"
+#include "src/sim/simulator.h"
+#include "src/sim/sync.h"
+#include "src/sim/trace.h"
+#include "src/usd/io_channel.h"
+
+namespace nemesis {
+
+enum class UsdError {
+  kOverCommitted,
+  kInvalidSpec,
+  kUnknownClient,
+};
+
+class Usd;
+
+// Client handle: the application-side end of an IO channel plus the QoS
+// registration. Obtain via Usd::OpenClient.
+class UsdClient {
+ public:
+  // Waits for a free pipeline slot (rbuf). Must complete before Push.
+  Semaphore::AcquireAwaiter AcquireSlot() { return slots_.Acquire(); }
+
+  // Submits a transaction (requires a previously acquired slot). Extent
+  // violations produce an ok=false reply without touching the disk.
+  void Push(UsdRequest request);
+
+  // Receives the next completion (FIFO per client) and releases its pipeline
+  // slot, rbufs-style: a client has at most `depth` transactions anywhere in
+  // the system (queued, in service, or completed-but-unread).
+  struct ReplyAwaiter {
+    UsdClient* client;
+    Mailbox<UsdReply>::RecvAwaiter inner;
+
+    bool await_ready() { return inner.await_ready(); }
+    void await_suspend(std::coroutine_handle<Task::promise_type> h) { inner.await_suspend(h); }
+    UsdReply await_resume() {
+      UsdReply reply = inner.await_resume();
+      client->slots_.Release();
+      return reply;
+    }
+  };
+
+  ReplyAwaiter ReceiveReply() { return ReplyAwaiter{this, replies_.Recv()}; }
+
+  // Grants access to a block range. Called by the SFS / system, not by the
+  // application itself.
+  void AddExtent(Extent extent) { extents_.push_back(extent); }
+
+  const std::string& name() const { return name_; }
+  SchedClientId sched_id() const { return sched_id_; }
+  size_t depth() const { return depth_; }
+  size_t queued() const { return queue_.size(); }
+  uint64_t transactions() const { return transactions_; }
+  uint64_t bytes_transferred() const { return bytes_transferred_; }
+  uint64_t rejected() const { return rejected_; }
+
+ private:
+  friend class Usd;
+
+  UsdClient(Usd& usd, std::string name, SchedClientId sched_id, size_t depth, Simulator& sim)
+      : usd_(usd), name_(std::move(name)), sched_id_(sched_id), depth_(depth),
+        slots_(sim, static_cast<int64_t>(depth)), replies_(sim, depth) {}
+
+  Usd& usd_;
+  std::string name_;
+  SchedClientId sched_id_;
+  size_t depth_;
+  Semaphore slots_;
+  Mailbox<UsdReply> replies_;
+  std::deque<UsdRequest> queue_;
+  std::vector<Extent> extents_;
+  // Signalled when a request lands in the queue (used for laxity waits).
+  uint64_t transactions_ = 0;
+  uint64_t bytes_transferred_ = 0;
+  uint64_t rejected_ = 0;
+};
+
+class Usd {
+ public:
+  Usd(Simulator& sim, Disk& disk, TraceRecorder* trace = nullptr);
+  ~Usd();
+
+  // Registers a client with QoS spec (p, s, x, l) and `depth` pipeline slots.
+  // Admission control rejects specs whose slices over-commit the disk.
+  Expected<UsdClient*, UsdError> OpenClient(std::string name, QosSpec spec, size_t depth = 1);
+
+  void CloseClient(UsdClient* client);
+
+  // Spawns the service task; idempotent.
+  void Start();
+
+  AtroposScheduler& scheduler() { return sched_; }
+  Disk& disk() { return disk_; }
+  uint64_t transactions() const { return transactions_; }
+
+ private:
+  friend class UsdClient;
+
+  Task ServiceLoop();
+  UsdClient* FindBySchedId(SchedClientId id);
+  void OnRequestArrival(UsdClient& client);
+
+  Simulator& sim_;
+  Disk& disk_;
+  TraceRecorder* trace_;
+  AtroposScheduler sched_;
+  Condition work_cv_;
+  // Signalled per arrival; the laxity wait uses it with a timeout.
+  Condition arrival_cv_;
+  std::vector<std::unique_ptr<UsdClient>> clients_;
+  TaskHandle service_task_;
+  bool started_ = false;
+  uint64_t transactions_ = 0;
+};
+
+}  // namespace nemesis
+
+#endif  // SRC_USD_USD_H_

@@ -1,0 +1,253 @@
+// Unit tests for src/base: bitmap, intrusive list, expected, random.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/base/bitmap.h"
+#include "src/base/expected.h"
+#include "src/base/intrusive_list.h"
+#include "src/base/random.h"
+#include "src/base/units.h"
+
+namespace nemesis {
+namespace {
+
+TEST(Bitmap, StartsClear) {
+  Bitmap bm(130);
+  EXPECT_EQ(bm.size(), 130u);
+  EXPECT_EQ(bm.count_set(), 0u);
+  for (size_t i = 0; i < 130; ++i) {
+    EXPECT_FALSE(bm.Test(i));
+  }
+}
+
+TEST(Bitmap, SetClearRoundTrip) {
+  Bitmap bm(100);
+  bm.Set(0);
+  bm.Set(63);
+  bm.Set(64);
+  bm.Set(99);
+  EXPECT_TRUE(bm.Test(0));
+  EXPECT_TRUE(bm.Test(63));
+  EXPECT_TRUE(bm.Test(64));
+  EXPECT_TRUE(bm.Test(99));
+  EXPECT_EQ(bm.count_set(), 4u);
+  bm.Clear(63);
+  EXPECT_FALSE(bm.Test(63));
+  EXPECT_EQ(bm.count_set(), 3u);
+}
+
+TEST(Bitmap, SetIsIdempotentForCount) {
+  Bitmap bm(10);
+  bm.Set(3);
+  bm.Set(3);
+  EXPECT_EQ(bm.count_set(), 1u);
+  bm.Clear(3);
+  bm.Clear(3);
+  EXPECT_EQ(bm.count_set(), 0u);
+}
+
+TEST(Bitmap, FindFirstClearSkipsSetPrefix) {
+  Bitmap bm(200);
+  bm.SetRange(0, 130);
+  auto idx = bm.FindFirstClear();
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(*idx, 130u);
+}
+
+TEST(Bitmap, FindFirstClearHonoursFrom) {
+  Bitmap bm(200);
+  auto idx = bm.FindFirstClear(150);
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(*idx, 150u);
+}
+
+TEST(Bitmap, FindFirstClearFullBitmap) {
+  Bitmap bm(64);
+  bm.SetRange(0, 64);
+  EXPECT_FALSE(bm.FindFirstClear().has_value());
+}
+
+TEST(Bitmap, FindClearRunAcrossWordBoundary) {
+  Bitmap bm(256);
+  bm.SetRange(0, 60);
+  bm.SetRange(70, 100);
+  // Clear gap is [60, 70): a run of 10 starting at 60.
+  auto idx = bm.FindClearRun(10);
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(*idx, 60u);
+  // A run of 11 must skip the gap and land after 170.
+  auto idx11 = bm.FindClearRun(11);
+  ASSERT_TRUE(idx11.has_value());
+  EXPECT_EQ(*idx11, 170u);
+}
+
+TEST(Bitmap, FindClearRunNoSpace) {
+  Bitmap bm(32);
+  bm.SetRange(0, 30);
+  EXPECT_FALSE(bm.FindClearRun(3).has_value());
+  EXPECT_TRUE(bm.FindClearRun(2).has_value());
+}
+
+TEST(Bitmap, RangeClearQueries) {
+  Bitmap bm(100);
+  bm.SetRange(40, 5);
+  EXPECT_TRUE(bm.RangeClear(0, 40));
+  EXPECT_FALSE(bm.RangeClear(38, 5));
+  EXPECT_TRUE(bm.RangeClear(45, 55));
+}
+
+struct ListItem {
+  explicit ListItem(int v) : value(v) {}
+  int value;
+  IntrusiveListNode node;
+};
+
+using ItemList = IntrusiveList<ListItem, &ListItem::node>;
+
+TEST(IntrusiveList, PushPopFifo) {
+  ItemList list;
+  ListItem a(1), b(2), c(3);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.PushBack(&c);
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_EQ(list.PopFront()->value, 1);
+  EXPECT_EQ(list.PopFront()->value, 2);
+  EXPECT_EQ(list.PopFront()->value, 3);
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(IntrusiveList, PushFrontPopBack) {
+  ItemList list;
+  ListItem a(1), b(2);
+  list.PushFront(&a);
+  list.PushFront(&b);
+  EXPECT_EQ(list.PopBack()->value, 1);
+  EXPECT_EQ(list.PopBack()->value, 2);
+}
+
+TEST(IntrusiveList, RemoveFromMiddle) {
+  ItemList list;
+  ListItem a(1), b(2), c(3);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.PushBack(&c);
+  list.Remove(&b);
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_FALSE(b.node.InContainer());
+  EXPECT_EQ(list.PopFront()->value, 1);
+  EXPECT_EQ(list.PopFront()->value, 3);
+}
+
+TEST(IntrusiveList, ContainsAndReinsert) {
+  ItemList list;
+  ListItem a(1);
+  EXPECT_FALSE(list.Contains(&a));
+  list.PushBack(&a);
+  EXPECT_TRUE(list.Contains(&a));
+  list.Remove(&a);
+  list.PushBack(&a);
+  EXPECT_TRUE(list.Contains(&a));
+}
+
+TEST(IntrusiveList, Iteration) {
+  ItemList list;
+  ListItem a(1), b(2), c(3);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.PushBack(&c);
+  std::vector<int> seen;
+  for (ListItem* item : list) {
+    seen.push_back(item->value);
+  }
+  EXPECT_EQ(seen, (std::vector<int>{1, 2, 3}));
+  list.Clear();
+  EXPECT_TRUE(list.empty());
+  EXPECT_FALSE(a.node.InContainer());
+}
+
+TEST(Expected, HoldsValue) {
+  Expected<int, std::string> e(42);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(*e, 42);
+  EXPECT_EQ(e.value_or(7), 42);
+}
+
+TEST(Expected, HoldsError) {
+  Expected<int, std::string> e = MakeUnexpected(std::string("nope"));
+  EXPECT_FALSE(e.has_value());
+  EXPECT_EQ(e.error(), "nope");
+  EXPECT_EQ(e.value_or(7), 7);
+}
+
+TEST(Expected, SameValueAndErrorTypes) {
+  Expected<int, int> ok(1);
+  Expected<int, int> err = MakeUnexpected(2);
+  EXPECT_TRUE(ok.has_value());
+  EXPECT_FALSE(err.has_value());
+  EXPECT_EQ(err.error(), 2);
+}
+
+TEST(StatusType, OkAndError) {
+  Status<int> ok;
+  EXPECT_TRUE(ok.ok());
+  Status<int> bad = MakeUnexpected(5);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error(), 5);
+}
+
+TEST(RandomGen, Deterministic) {
+  Random a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RandomGen, DifferentSeedsDiffer) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RandomGen, NextBelowInRange) {
+  Random r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.NextBelow(17), 17u);
+  }
+}
+
+TEST(RandomGen, NextBelowCoversRange) {
+  Random r(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    seen.insert(r.NextBelow(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RandomGen, NextDoubleUnitInterval) {
+  Random r(99);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Units, Alignment) {
+  EXPECT_EQ(AlignDown(8191, kDefaultPageSize), 0u);
+  EXPECT_EQ(AlignUp(8191, kDefaultPageSize), kDefaultPageSize);
+  EXPECT_EQ(AlignUp(8192, kDefaultPageSize), kDefaultPageSize);
+  EXPECT_TRUE(IsAligned(16384, kDefaultPageSize));
+  EXPECT_FALSE(IsAligned(16385, kDefaultPageSize));
+}
+
+}  // namespace
+}  // namespace nemesis

@@ -1,0 +1,371 @@
+// Unit tests for the simulated hardware: physical memory, page tables, TLB,
+// MMU fault taxonomy, and the disk mechanism/cache model.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "src/base/random.h"
+#include "src/hw/disk.h"
+#include "src/hw/mmu.h"
+#include "src/hw/page_table.h"
+#include "src/hw/phys_mem.h"
+#include "src/hw/pte.h"
+#include "src/hw/tlb.h"
+
+namespace nemesis {
+namespace {
+
+TEST(PhysMem, FrameDataIsolated) {
+  PhysicalMemory mem(4, 1024);
+  auto f0 = mem.FrameData(0);
+  auto f1 = mem.FrameData(1);
+  f0[0] = 0xAA;
+  f1[0] = 0xBB;
+  EXPECT_EQ(mem.FrameData(0)[0], 0xAA);
+  EXPECT_EQ(mem.FrameData(1)[0], 0xBB);
+  EXPECT_EQ(mem.ReadByte(0), 0xAA);
+  EXPECT_EQ(mem.ReadByte(1024), 0xBB);
+}
+
+TEST(PhysMem, ZeroFrame) {
+  PhysicalMemory mem(2, 64);
+  auto f = mem.FrameData(1);
+  std::fill(f.begin(), f.end(), 0xFF);
+  mem.ZeroFrame(1);
+  for (uint8_t b : mem.FrameData(1)) {
+    EXPECT_EQ(b, 0);
+  }
+}
+
+template <typename PT>
+class PageTableTest : public ::testing::Test {
+ public:
+  PageTableTest() : pt_(1 << 20) {}
+  PT pt_;
+};
+
+using PageTableTypes = ::testing::Types<LinearPageTable, GuardedPageTable>;
+TYPED_TEST_SUITE(PageTableTest, PageTableTypes);
+
+TYPED_TEST(PageTableTest, LookupOnEmptyReturnsNull) {
+  EXPECT_EQ(this->pt_.Lookup(0), nullptr);
+  EXPECT_EQ(this->pt_.Lookup(12345), nullptr);
+}
+
+TYPED_TEST(PageTableTest, EnsureThenLookup) {
+  Pte* pte = this->pt_.Ensure(77);
+  ASSERT_NE(pte, nullptr);
+  pte->valid = true;
+  pte->pfn = 5;
+  pte->sid = 3;
+  Pte* again = this->pt_.Lookup(77);
+  ASSERT_NE(again, nullptr);
+  EXPECT_EQ(again->pfn, 5u);
+  EXPECT_EQ(again->sid, 3);
+  EXPECT_EQ(again, pte);
+}
+
+TYPED_TEST(PageTableTest, RemoveClearsEntry) {
+  Pte* pte = this->pt_.Ensure(100);
+  pte->valid = true;
+  this->pt_.Remove(100);
+  EXPECT_EQ(this->pt_.Lookup(100), nullptr);
+}
+
+TYPED_TEST(PageTableTest, OutOfRangeVpn) {
+  EXPECT_EQ(this->pt_.Lookup(this->pt_.max_vpn() + 1), nullptr);
+  EXPECT_EQ(this->pt_.Ensure(this->pt_.max_vpn() + 1), nullptr);
+}
+
+TYPED_TEST(PageTableTest, ManyRandomEntries) {
+  Random rng(42);
+  std::vector<Vpn> vpns;
+  for (int i = 0; i < 500; ++i) {
+    const Vpn vpn = rng.NextBelow(1 << 20);
+    Pte* pte = this->pt_.Ensure(vpn);
+    ASSERT_NE(pte, nullptr);
+    pte->valid = true;
+    pte->pfn = vpn % 97;
+    vpns.push_back(vpn);
+  }
+  for (Vpn vpn : vpns) {
+    Pte* pte = this->pt_.Lookup(vpn);
+    ASSERT_NE(pte, nullptr);
+    EXPECT_EQ(pte->pfn, vpn % 97);
+  }
+}
+
+TEST(TlbModel, HitAfterFill) {
+  Tlb tlb(4);
+  EXPECT_EQ(tlb.Lookup(10), nullptr);
+  tlb.Fill(10, 3, kRightRead, 1);
+  const Tlb::Entry* e = tlb.Lookup(10);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->pfn, 3u);
+  EXPECT_EQ(tlb.hits(), 1u);
+  EXPECT_EQ(tlb.misses(), 1u);
+}
+
+TEST(TlbModel, FifoEviction) {
+  Tlb tlb(2);
+  tlb.Fill(1, 1, kRightRead, 1);
+  tlb.Fill(2, 2, kRightRead, 1);
+  tlb.Fill(3, 3, kRightRead, 1);  // evicts vpn 1
+  EXPECT_EQ(tlb.Lookup(1), nullptr);
+  EXPECT_NE(tlb.Lookup(2), nullptr);
+  EXPECT_NE(tlb.Lookup(3), nullptr);
+}
+
+TEST(TlbModel, InvalidateSingle) {
+  Tlb tlb(4);
+  tlb.Fill(5, 1, kRightRead, 1);
+  tlb.Invalidate(5);
+  EXPECT_EQ(tlb.Lookup(5), nullptr);
+}
+
+TEST(TlbModel, RefillSameVpnReplaces) {
+  Tlb tlb(4);
+  tlb.Fill(5, 1, kRightRead, 1);
+  tlb.Fill(5, 9, kRightRead | kRightWrite, 1);
+  const Tlb::Entry* e = tlb.Lookup(5);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->pfn, 9u);
+}
+
+class MmuTest : public ::testing::Test {
+ protected:
+  MmuTest() : pt_(1024), mmu_(&pt_, kDefaultPageSize) {}
+
+  Pte* MapPage(Vpn vpn, Pfn pfn, uint8_t rights, Sid sid = 1) {
+    Pte* pte = pt_.Ensure(vpn);
+    pte->valid = true;
+    pte->pfn = pfn;
+    pte->rights = rights;
+    pte->sid = sid;
+    return pte;
+  }
+
+  LinearPageTable pt_;
+  Mmu mmu_;
+};
+
+TEST_F(MmuTest, UnallocatedFault) {
+  auto r = mmu_.Translate(0x4000, AccessType::kRead, nullptr);
+  EXPECT_EQ(r.fault, FaultType::kFaultUnallocated);
+}
+
+TEST_F(MmuTest, NullMappingRaisesTnv) {
+  Pte* pte = pt_.Ensure(2);
+  pte->rights = kRightRead | kRightWrite;
+  pte->sid = 7;
+  auto r = mmu_.Translate(2 * kDefaultPageSize, AccessType::kRead, nullptr);
+  EXPECT_EQ(r.fault, FaultType::kFaultTnv);
+  EXPECT_EQ(r.sid, 7);
+}
+
+TEST_F(MmuTest, ValidMappingTranslates) {
+  MapPage(3, 11, kRightRead | kRightWrite);
+  auto r = mmu_.Translate(3 * kDefaultPageSize + 100, AccessType::kRead, nullptr);
+  EXPECT_EQ(r.fault, FaultType::kNone);
+  EXPECT_EQ(r.pa, 11 * kDefaultPageSize + 100);
+}
+
+TEST_F(MmuTest, ProtectionFault) {
+  MapPage(3, 11, kRightRead);
+  auto r = mmu_.Translate(3 * kDefaultPageSize, AccessType::kWrite, nullptr);
+  EXPECT_EQ(r.fault, FaultType::kFaultAcv);
+}
+
+TEST_F(MmuTest, ExecuteRight) {
+  MapPage(4, 12, kRightRead | kRightExecute);
+  EXPECT_EQ(mmu_.Translate(4 * kDefaultPageSize, AccessType::kExecute, nullptr).fault,
+            FaultType::kNone);
+  MapPage(5, 13, kRightRead);
+  EXPECT_EQ(mmu_.Translate(5 * kDefaultPageSize, AccessType::kExecute, nullptr).fault,
+            FaultType::kFaultAcv);
+}
+
+TEST_F(MmuTest, DirtyAndReferencedTracked) {
+  Pte* pte = MapPage(3, 11, kRightRead | kRightWrite);
+  EXPECT_FALSE(pte->referenced);
+  mmu_.Translate(3 * kDefaultPageSize, AccessType::kRead, nullptr);
+  EXPECT_TRUE(pte->referenced);
+  EXPECT_FALSE(pte->dirty);
+  mmu_.Translate(3 * kDefaultPageSize, AccessType::kWrite, nullptr);
+  EXPECT_TRUE(pte->dirty);
+}
+
+TEST_F(MmuTest, FowClearedOnWrite) {
+  Pte* pte = MapPage(3, 11, kRightRead | kRightWrite);
+  pte->fault_on_write = true;
+  pte->dirty = false;
+  mmu_.Translate(3 * kDefaultPageSize, AccessType::kWrite, nullptr);
+  EXPECT_FALSE(pte->fault_on_write);
+  EXPECT_TRUE(pte->dirty);
+}
+
+TEST_F(MmuTest, FowDeliveredWhenRequested) {
+  Pte* pte = MapPage(3, 11, kRightRead | kRightWrite);
+  pte->fault_on_write = true;
+  mmu_.set_deliver_fow_faults(true);
+  auto r = mmu_.Translate(3 * kDefaultPageSize, AccessType::kWrite, nullptr);
+  EXPECT_EQ(r.fault, FaultType::kFaultFow);
+  // The bit was consumed; the retry succeeds.
+  r = mmu_.Translate(3 * kDefaultPageSize, AccessType::kWrite, nullptr);
+  EXPECT_EQ(r.fault, FaultType::kNone);
+}
+
+class TestResolver : public RightsResolver {
+ public:
+  std::optional<uint8_t> RightsFor(Sid sid) const override {
+    if (sid == 1) {
+      return rights_;
+    }
+    return std::nullopt;
+  }
+  uint8_t rights_ = kRightNone;
+};
+
+TEST_F(MmuTest, ResolverOverridesPteRights) {
+  MapPage(3, 11, kRightRead | kRightWrite, /*sid=*/1);
+  TestResolver resolver;
+  resolver.rights_ = kRightNone;
+  auto r = mmu_.Translate(3 * kDefaultPageSize, AccessType::kRead, &resolver);
+  EXPECT_EQ(r.fault, FaultType::kFaultAcv);
+  resolver.rights_ = kRightRead;
+  r = mmu_.Translate(3 * kDefaultPageSize, AccessType::kRead, &resolver);
+  EXPECT_EQ(r.fault, FaultType::kNone);
+}
+
+TEST_F(MmuTest, ResolverSwitchIsImmediateDespiteTlb) {
+  // Protection-domain changes take effect without a TLB flush because
+  // entries are tagged with the stretch id and rights are re-resolved.
+  MapPage(3, 11, kRightRead, /*sid=*/1);
+  TestResolver resolver;
+  resolver.rights_ = kRightRead;
+  EXPECT_EQ(mmu_.Translate(3 * kDefaultPageSize, AccessType::kRead, &resolver).fault,
+            FaultType::kNone);
+  resolver.rights_ = kRightNone;  // revoke via "protection domain"
+  EXPECT_EQ(mmu_.Translate(3 * kDefaultPageSize, AccessType::kRead, &resolver).fault,
+            FaultType::kFaultAcv);
+}
+
+TEST_F(MmuTest, StaleTlbEntryDetected) {
+  MapPage(3, 11, kRightRead);
+  mmu_.Translate(3 * kDefaultPageSize, AccessType::kRead, nullptr);  // fills TLB
+  // Remap the page to a different frame without touching the MMU.
+  Pte* pte = pt_.Lookup(3);
+  pte->pfn = 20;
+  auto r = mmu_.Translate(3 * kDefaultPageSize, AccessType::kRead, nullptr);
+  EXPECT_EQ(r.fault, FaultType::kNone);
+  EXPECT_EQ(r.pa, 20 * kDefaultPageSize);
+}
+
+TEST_F(MmuTest, ProbeHasNoSideEffects) {
+  Pte* pte = MapPage(3, 11, kRightRead | kRightWrite);
+  auto r = mmu_.Probe(3 * kDefaultPageSize, AccessType::kWrite, nullptr);
+  EXPECT_EQ(r.fault, FaultType::kNone);
+  EXPECT_FALSE(pte->dirty);
+  EXPECT_FALSE(pte->referenced);
+}
+
+TEST(DiskModel, GeometryDerivedQuantities) {
+  DiskGeometry g;
+  EXPECT_EQ(g.total_blocks, 4304536u);
+  EXPECT_EQ(g.revolution_time(), Seconds(60) / 5400);
+  EXPECT_GT(g.cylinders(), 1000u);
+}
+
+TEST(DiskModel, DataRoundTrip) {
+  Disk disk;
+  std::vector<uint8_t> out(1024), in(1024);
+  std::iota(in.begin(), in.end(), 0);
+  disk.WriteData(1000, in);
+  disk.ReadData(1000, out);
+  EXPECT_EQ(in, out);
+}
+
+TEST(DiskModel, UnwrittenBlocksReadZero) {
+  Disk disk;
+  std::vector<uint8_t> out(512, 0xFF);
+  disk.ReadData(99, out);
+  for (uint8_t b : out) {
+    EXPECT_EQ(b, 0);
+  }
+}
+
+TEST(DiskModel, ScatteredAccessCostsSeekAndRotation) {
+  Disk disk;
+  // Two reads far apart: the second pays a long seek.
+  SimDuration t1 = disk.Access(DiskRequest{0, 16, false}, 0);
+  SimDuration t2 = disk.Access(DiskRequest{4000000, 16, false}, t1);
+  EXPECT_GT(t2, FromMilliseconds(5.0));
+  EXPECT_LT(t2, FromMilliseconds(40.0));
+}
+
+TEST(DiskModel, SequentialReadsHitCache) {
+  Disk disk;
+  SimTime now = 0;
+  SimDuration first = disk.Access(DiskRequest{1000, 16, false}, now);
+  now += first;
+  // The next sequential 8 KiB falls inside the read-ahead window.
+  EXPECT_TRUE(disk.WouldHitCache(DiskRequest{1016, 16, false}));
+  SimDuration second = disk.Access(DiskRequest{1016, 16, false}, now);
+  EXPECT_LT(second, first);
+  EXPECT_LT(second, FromMilliseconds(2.5));
+  EXPECT_EQ(disk.stats().cache_hits, 1u);
+}
+
+TEST(DiskModel, WritesNeverHitCache) {
+  Disk disk;
+  SimTime now = 0;
+  now += disk.Access(DiskRequest{1000, 16, false}, now);  // populates cache
+  SimDuration w = disk.Access(DiskRequest{1000, 16, true}, now);
+  EXPECT_GT(w, FromMilliseconds(2.5));
+  EXPECT_EQ(disk.stats().writes, 1u);
+  EXPECT_EQ(disk.stats().cache_hits, 0u);
+}
+
+TEST(DiskModel, WriteInvalidatesOverlappingCache) {
+  Disk disk;
+  SimTime now = 0;
+  now += disk.Access(DiskRequest{1000, 16, false}, now);
+  EXPECT_TRUE(disk.WouldHitCache(DiskRequest{1016, 16, false}));
+  now += disk.Access(DiskRequest{1016, 16, true}, now);
+  EXPECT_FALSE(disk.WouldHitCache(DiskRequest{1016, 16, false}));
+}
+
+TEST(DiskModel, ScatteredWritesTakeAboutTenMilliseconds) {
+  // The paper's Figure 8 discussion: paging-out transactions, separated in
+  // time and space, each take on the order of 10 ms.
+  Disk disk;
+  Random rng(1);
+  SimTime now = 0;
+  SimDuration total = 0;
+  const int kWrites = 50;
+  for (int i = 0; i < kWrites; ++i) {
+    const uint64_t lba = rng.NextBelow(4000000);
+    const SimDuration t = disk.Access(DiskRequest{lba, 16, true}, now);
+    now += t + Milliseconds(2);
+    total += t;
+  }
+  const double avg_ms = ToMilliseconds(total) / kWrites;
+  EXPECT_GT(avg_ms, 6.0);
+  EXPECT_LT(avg_ms, 25.0);
+}
+
+TEST(DiskModel, BusyTimeAccumulates) {
+  Disk disk;
+  SimDuration t = disk.Access(DiskRequest{0, 16, false}, 0);
+  EXPECT_EQ(disk.stats().busy_time, t);
+  EXPECT_EQ(disk.stats().blocks_transferred, 16u);
+}
+
+TEST(DiskModel, OutOfRangeAccessAsserts) {
+  Disk disk;
+  EXPECT_DEATH(disk.Access(DiskRequest{4304536, 1, false}, 0), "out of range");
+}
+
+}  // namespace
+}  // namespace nemesis

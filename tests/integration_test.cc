@@ -1,0 +1,366 @@
+// Full-stack integration tests: multi-domain paging with QoS isolation
+// (a miniature Figure 7), end-to-end intrusive revocation through the paged
+// driver (dirty pages cleaned to swap), the kill path for non-compliant
+// domains, and fault accounting.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/core/system.h"
+#include "src/core/workloads.h"
+#include "src/sim/sync.h"
+
+namespace nemesis {
+namespace {
+
+AppConfig PagedApp(const std::string& name, int64_t slice_ms, size_t stretch_pages) {
+  AppConfig cfg;
+  cfg.name = name;
+  cfg.contract = {2, 0};
+  cfg.driver_max_frames = 2;
+  cfg.stretch_bytes = stretch_pages * kDefaultPageSize;
+  cfg.swap_bytes = 4 * kMiB;
+  cfg.disk_qos = QosSpec{Milliseconds(250), Milliseconds(slice_ms), false, Milliseconds(10)};
+  return cfg;
+}
+
+TEST(Integration, MiniFigure7PagingInRatios) {
+  // Three self-paging apps with 10% / 20% / 40% disk guarantees reading
+  // sequentially through tiny resident sets: progress ratio ≈ 1:2:4.
+  System system;
+  AppDomain* apps[3];
+  const int64_t slices[3] = {25, 50, 100};
+  for (int i = 0; i < 3; ++i) {
+    apps[i] = system.CreateApp(PagedApp("app" + std::to_string(i), slices[i], 128));
+  }
+  // Prime: write every byte once so that every page has a swap copy.
+  bool primed[3] = {false, false, false};
+  for (int i = 0; i < 3; ++i) {
+    apps[i]->SpawnWorkload(SequentialPass(*apps[i], AccessType::kWrite, &primed[i]), "prime");
+  }
+  system.sim().RunUntil(Seconds(60));
+  ASSERT_TRUE(primed[0] && primed[1] && primed[2]);
+
+  // Measure: sequential read loops for 30 simulated seconds.
+  uint64_t bytes[3] = {0, 0, 0};
+  bool ok[3] = {false, false, false};
+  const SimTime until = system.sim().Now() + Seconds(30);
+  for (int i = 0; i < 3; ++i) {
+    apps[i]->SpawnWorkload(
+        SequentialAccessLoop(*apps[i], AccessType::kRead, until, &bytes[i], &ok[i]), "loop");
+  }
+  system.sim().RunUntil(until);
+
+  ASSERT_GT(bytes[0], 0u);
+  const double r1 = static_cast<double>(bytes[1]) / static_cast<double>(bytes[0]);
+  const double r2 = static_cast<double>(bytes[2]) / static_cast<double>(bytes[0]);
+  EXPECT_NEAR(r1, 2.0, 0.5);
+  EXPECT_NEAR(r2, 4.0, 1.0);
+  // Each app really paged: faults and page-ins happened.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_GT(apps[i]->paged_driver()->pageins(), 100u);
+    EXPECT_GT(apps[i]->vmem().faults_taken(), 100u);
+  }
+}
+
+TEST(Integration, FaultsAreChargedToTheFaultingDomain) {
+  // The USD charges all paging transactions to each app's own QoS account:
+  // nothing is billed to a system-wide pager.
+  System system;
+  AppDomain* app = system.CreateApp(PagedApp("solo", 100, 64));
+  bool ok = false;
+  app->SpawnWorkload(SequentialPass(*app, AccessType::kWrite, &ok), "pass");
+  system.sim().RunUntil(Seconds(30));
+  ASSERT_TRUE(ok);
+  const SchedClientId sid = app->swap_client()->sched_id();
+  EXPECT_GT(system.usd().scheduler().total_charged(sid), 0);
+  EXPECT_EQ(app->swap_client()->transactions(), system.usd().transactions());
+}
+
+TEST(Integration, IntrusiveRevocationCleansDirtyPages) {
+  SystemConfig sys_cfg;
+  sys_cfg.phys_frames = 8;  // a tight machine
+  System system(sys_cfg);
+
+  // Hog: 2 guaranteed + up to 6 optimistic frames, all dirtied.
+  AppConfig hog_cfg = PagedApp("hog", 50, 8);
+  hog_cfg.contract = {2, 6};
+  hog_cfg.driver_max_frames = 8;
+  AppDomain* hog = system.CreateApp(hog_cfg);
+  bool hog_ok = false;
+  hog->SpawnWorkload(SequentialPass(*hog, AccessType::kWrite, &hog_ok), "hog-pass");
+  system.sim().RunUntil(Seconds(10));
+  ASSERT_TRUE(hog_ok);
+  ASSERT_EQ(system.frames().AllocatedCount(hog->id()), 8u);
+  ASSERT_EQ(system.frames().free_frames(), 0u);
+
+  // Late-comer with a guarantee of 4: must trigger intrusive revocation (all
+  // hog frames are mapped and dirty).
+  AppConfig late_cfg = PagedApp("late", 50, 4);
+  late_cfg.contract = {4, 0};
+  late_cfg.driver_max_frames = 4;
+  AppDomain* late = system.CreateApp(late_cfg);
+  bool late_ok = false;
+  late->SpawnWorkload(SequentialPass(*late, AccessType::kWrite, &late_ok), "late-pass");
+  system.sim().RunUntil(Seconds(30));
+
+  EXPECT_TRUE(late_ok);
+  EXPECT_GE(system.frames().revocations_intrusive(), 1u);
+  EXPECT_EQ(system.frames().domains_killed(), 0u);  // the hog complied
+  EXPECT_TRUE(hog->alive());
+  // The hog cleaned dirty pages to swap during relinquish.
+  EXPECT_GT(hog->paged_driver()->pageouts(), 0u);
+  // The late-comer got its guaranteed frames.
+  EXPECT_EQ(system.frames().AllocatedCount(late->id()), 4u);
+  // And the hog can still make progress afterwards (with a smaller pool).
+  bool hog_again = false;
+  hog->SpawnWorkload(SequentialPass(*hog, AccessType::kRead, &hog_again), "hog-again");
+  system.sim().RunUntil(system.sim().Now() + Seconds(30));
+  EXPECT_TRUE(hog_again);
+}
+
+TEST(Integration, NonCompliantDomainIsKilled) {
+  SystemConfig sys_cfg;
+  sys_cfg.phys_frames = 8;
+  System system(sys_cfg);
+
+  AppConfig hog_cfg = PagedApp("buggy", 50, 8);
+  hog_cfg.contract = {2, 6};
+  hog_cfg.driver_max_frames = 8;
+  AppDomain* hog = system.CreateApp(hog_cfg);
+  bool hog_ok = false;
+  hog->SpawnWorkload(SequentialPass(*hog, AccessType::kWrite, &hog_ok), "pass");
+  system.sim().RunUntil(Seconds(10));
+  ASSERT_TRUE(hog_ok);
+
+  // Simulate a buggy/hung application: its MMEntry stops servicing events.
+  hog->mm_entry().Stop();
+
+  AppConfig late_cfg = PagedApp("late", 50, 4);
+  late_cfg.contract = {4, 0};
+  late_cfg.driver_max_frames = 4;
+  AppDomain* late = system.CreateApp(late_cfg);
+  bool late_ok = false;
+  late->SpawnWorkload(SequentialPass(*late, AccessType::kWrite, &late_ok), "late-pass");
+  system.sim().RunUntil(Seconds(30));
+
+  // The hog missed the 100 ms deadline and was killed; its frames were
+  // reclaimed and the late-comer proceeded.
+  EXPECT_EQ(system.frames().domains_killed(), 1u);
+  EXPECT_FALSE(hog->alive());
+  EXPECT_FALSE(system.frames().IsClient(hog->id()));
+  EXPECT_TRUE(late_ok);
+}
+
+TEST(Integration, TransparentRevocationIsInvisibleToVictim) {
+  SystemConfig sys_cfg;
+  sys_cfg.phys_frames = 8;
+  System system(sys_cfg);
+
+  // Victim holds optimistic frames but keeps them UNUSED (physical driver,
+  // allocate then relinquish naturally: use a paged app that only ever
+  // touches 2 pages, then manually grow its pool? Simpler: admit a client
+  // that allocates frames without mapping them).
+  Domain* idle = system.kernel().CreateDomain("idle-holder");
+  ASSERT_TRUE(system.frames().AdmitClient(idle->id(), {2, 6}).ok());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(system.frames().AllocFrame(idle->id()).has_value());
+  }
+  ASSERT_EQ(system.frames().free_frames(), 0u);
+
+  AppConfig late_cfg = PagedApp("late", 50, 4);
+  late_cfg.contract = {4, 0};
+  late_cfg.driver_max_frames = 4;
+  AppDomain* late = system.CreateApp(late_cfg);
+  bool late_ok = false;
+  late->SpawnWorkload(SequentialPass(*late, AccessType::kWrite, &late_ok), "pass");
+  system.sim().RunUntil(Seconds(10));
+
+  EXPECT_TRUE(late_ok);
+  EXPECT_GE(system.frames().revocations_transparent(), 1u);
+  EXPECT_EQ(system.frames().revocations_intrusive(), 0u);
+  EXPECT_EQ(system.frames().domains_killed(), 0u);
+}
+
+TEST(Integration, FsClientUnaffectedByPagers) {
+  // Miniature Figure 9: a pipelined FS client at 50% runs at the same
+  // bandwidth alone and against two paging apps.
+  auto RunFs = [](bool with_pagers) -> uint64_t {
+    System system;
+    auto fs = system.usd().OpenClient(
+        "fs", QosSpec{Milliseconds(250), Milliseconds(125), false, Milliseconds(10)}, 8);
+    EXPECT_TRUE(fs.has_value());
+    const Extent fs_extent{2000000, 400000};
+    (*fs)->AddExtent(fs_extent);
+    uint64_t fs_bytes = 0;
+    system.sim().Spawn(
+        PipelinedFsClient(system.sim(), *fs, fs_extent, 8, Seconds(20), &fs_bytes), "fs");
+    if (with_pagers) {
+      AppDomain* a = system.CreateApp(PagedApp("pager-a", 25, 128));
+      AppDomain* b = system.CreateApp(PagedApp("pager-b", 50, 128));
+      bool ok_a = false;
+      bool ok_b = false;
+      uint64_t ba = 0;
+      uint64_t bb = 0;
+      a->SpawnWorkload(SequentialAccessLoop(*a, AccessType::kWrite, Seconds(20), &ba, &ok_a),
+                       "loop");
+      b->SpawnWorkload(SequentialAccessLoop(*b, AccessType::kWrite, Seconds(20), &bb, &ok_b),
+                       "loop");
+    }
+    system.sim().RunUntil(Seconds(20));
+    return fs_bytes;
+  };
+  const uint64_t alone = RunFs(false);
+  const uint64_t contended = RunFs(true);
+  ASSERT_GT(alone, 0u);
+  // "the throughput observed by the file-system client remains almost
+  // exactly the same despite the addition of two heavily paging applications"
+  const double ratio = static_cast<double>(contended) / static_cast<double>(alone);
+  EXPECT_GT(ratio, 0.85);
+  EXPECT_LT(ratio, 1.15);
+}
+
+TEST(Integration, ConcurrentThreadsInOneDomain) {
+  // Two "user threads" (the paper's ULTS) of one domain page through disjoint
+  // halves of the stretch concurrently; the MMEntry serialises resolution and
+  // both complete with intact data.
+  System system;
+  AppConfig cfg = PagedApp("multi", 100, 64);
+  cfg.driver_max_frames = 4;
+  cfg.contract = {4, 0};
+  AppDomain* app = system.CreateApp(cfg);
+  struct Half {
+    static Task Run(AppDomain* app, size_t first_page, size_t pages, bool* ok) {
+      TaskHandle h = app->sim().Spawn(
+          app->vmem().AccessRange(app->stretch()->PageBase(first_page),
+                                  pages * kDefaultPageSize, AccessType::kWrite, ok, nullptr),
+          "half");
+      co_await Join(h);
+    }
+  };
+  bool ok_a = false;
+  bool ok_b = false;
+  app->SpawnWorkload(Half::Run(app, 0, 32, &ok_a), "t1");
+  app->SpawnWorkload(Half::Run(app, 32, 32, &ok_b), "t2");
+  system.sim().RunUntil(Seconds(60));
+  EXPECT_TRUE(ok_a);
+  EXPECT_TRUE(ok_b);
+  EXPECT_EQ(app->mm_entry().faults_failed(), 0u);
+}
+
+TEST(Integration, ConcurrentFaultsOnSamePageAreDeduplicated) {
+  // Many threads touch the same page simultaneously: the MMEntry resolves the
+  // fault once and wakes all of them.
+  System system;
+  AppConfig cfg = PagedApp("dedup", 100, 16);
+  cfg.driver_max_frames = 4;
+  cfg.contract = {4, 0};
+  AppDomain* app = system.CreateApp(cfg);
+  struct Toucher {
+    static Task Run(AppDomain* app, bool* ok) {
+      TaskHandle h = app->sim().Spawn(
+          app->vmem().AccessRange(app->stretch()->base(), kDefaultPageSize, AccessType::kRead,
+                                  ok, nullptr),
+          "touch");
+      co_await Join(h);
+    }
+  };
+  bool oks[8] = {};
+  for (bool& ok : oks) {
+    app->SpawnWorkload(Toucher::Run(app, &ok), "toucher");
+  }
+  system.sim().RunUntil(Seconds(10));
+  for (bool ok : oks) {
+    EXPECT_TRUE(ok);
+  }
+  // One page was needed; the MMEntry resolved it at most a couple of times
+  // (not once per thread).
+  EXPECT_LE(app->mm_entry().faults_fast_path() + app->mm_entry().faults_worker(), 2u);
+}
+
+TEST(Integration, EightDomainsStress) {
+  // System-wide stress: eight self-paging domains with mixed configurations
+  // run concurrently; everything completes and frame accounting balances.
+  System system;
+  AppDomain* apps[8];
+  bool ok[8] = {};
+  for (int i = 0; i < 8; ++i) {
+    AppConfig cfg = PagedApp("s" + std::to_string(i), 20, 32 + 16 * (i % 3));
+    cfg.driver_max_frames = 2 + (i % 3);
+    cfg.contract = {2 + static_cast<uint64_t>(i % 3), 0};
+    cfg.stream_paging = (i % 2) == 0;
+    cfg.usd_depth = cfg.stream_paging ? 2 : 1;
+    apps[i] = system.CreateApp(cfg);
+    apps[i]->SpawnWorkload(SequentialPass(*apps[i], AccessType::kWrite, &ok[i]), "pass");
+  }
+  system.sim().RunUntil(Seconds(300));
+  uint64_t held = 0;
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(ok[i]) << "domain " << i;
+    held += system.frames().AllocatedCount(apps[i]->id());
+  }
+  EXPECT_EQ(system.frames().free_frames() + held, system.frames().total_frames());
+}
+
+TEST(Integration, FowDirtyTrackingForIncrementalCheckpoint) {
+  // The exposure principle in action: an application uses the FOW mechanism
+  // to find exactly the pages written between two checkpoints.
+  System system;
+  AppConfig cfg;
+  cfg.name = "ckpt";
+  cfg.driver = AppConfig::DriverKind::kNailed;
+  cfg.contract = {16, 0};
+  cfg.stretch_bytes = 16 * kDefaultPageSize;
+  AppDomain* app = system.CreateApp(cfg);
+  struct Checkpointer {
+    static Task Run(AppDomain* app, size_t* dirty_pages, bool* ok) {
+      System& system = app->system();
+      Stretch* stretch = app->stretch();
+      // Touch everything once.
+      bool pass_ok = false;
+      TaskHandle h = app->sim().Spawn(
+          app->vmem().AccessRange(stretch->base(), stretch->length(), AccessType::kWrite,
+                                  &pass_ok, nullptr),
+          "fill");
+      co_await Join(h);
+      // "Checkpoint": re-arm dirty tracking on every page.
+      for (size_t i = 0; i < stretch->page_count(); ++i) {
+        if (!system.kernel().syscalls()
+                 .ArmDirtyTracking(app->id(), &app->pdom(), stretch->PageBase(i))
+                 .ok()) {
+          *ok = false;
+          co_return;
+        }
+      }
+      // Touch only pages 3 and 7.
+      bool t_ok = false;
+      TaskHandle h3 = app->sim().Spawn(
+          app->vmem().AccessRange(stretch->PageBase(3), 16, AccessType::kWrite, &t_ok, nullptr),
+          "t3");
+      co_await Join(h3);
+      TaskHandle h7 = app->sim().Spawn(
+          app->vmem().AccessRange(stretch->PageBase(7), 16, AccessType::kWrite, &t_ok, nullptr),
+          "t7");
+      co_await Join(h7);
+      // Incremental scan: count dirty pages via the user-visible trans().
+      size_t dirty = 0;
+      for (size_t i = 0; i < stretch->page_count(); ++i) {
+        auto t = system.kernel().syscalls().Trans(stretch->PageBase(i));
+        if (t.has_value() && t->dirty) {
+          ++dirty;
+        }
+      }
+      *dirty_pages = dirty;
+      *ok = pass_ok;
+    }
+  };
+  size_t dirty_pages = 0;
+  bool ok = false;
+  app->SpawnWorkload(Checkpointer::Run(app, &dirty_pages, &ok), "ckpt");
+  system.sim().RunUntil(Seconds(10));
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(dirty_pages, 2u);
+}
+
+}  // namespace
+}  // namespace nemesis

@@ -1,0 +1,287 @@
+// Property-based tests: randomized operation sequences checked against the
+// system's core invariants, parameterised over seeds (INSTANTIATE_TEST_SUITE_P
+// sweeps). These complement the example-based unit tests by exploring state
+// spaces no hand-written case covers.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/base/bitmap.h"
+#include "src/base/random.h"
+#include "src/hw/disk.h"
+#include "src/kernel/ramtab.h"
+#include "src/mm/frames_allocator.h"
+#include "src/sched/atropos.h"
+#include "src/sim/simulator.h"
+
+namespace nemesis {
+namespace {
+
+// --- Frames allocator: conservation and contract invariants -----------------
+
+class FramesPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FramesPropertyTest, RandomOpsPreserveInvariants) {
+  constexpr uint64_t kTotal = 64;
+  Simulator sim;
+  RamTab ramtab(kTotal);
+  FramesAllocator frames(sim, ramtab, kTotal);
+  Random rng(GetParam());
+
+  struct ClientModel {
+    FramesContract contract;
+    std::vector<Pfn> held;
+  };
+  std::map<DomainId, ClientModel> model;
+  DomainId next_domain = 1;
+  uint64_t guaranteed_sum = 0;
+
+  for (int step = 0; step < 3000; ++step) {
+    const uint64_t op = rng.NextBelow(100);
+    if (op < 10 && model.size() < 6) {
+      // Admit a client with a random contract.
+      const uint64_t g = rng.NextBelow(kTotal / 4);
+      const uint64_t x = rng.NextBelow(kTotal / 4);
+      const DomainId d = next_domain++;
+      auto s = frames.AdmitClient(d, {g, x});
+      if (guaranteed_sum + g <= kTotal) {
+        ASSERT_TRUE(s.ok());
+        guaranteed_sum += g;
+        model[d] = ClientModel{{g, x}, {}};
+      } else {
+        ASSERT_FALSE(s.ok());
+        EXPECT_EQ(s.error(), FramesError::kAdmissionFailed);
+      }
+    } else if (op < 15 && !model.empty()) {
+      // Remove a random client; all its frames must return to the pool.
+      auto it = model.begin();
+      std::advance(it, rng.NextBelow(model.size()));
+      ASSERT_TRUE(frames.RemoveClient(it->first).ok());
+      guaranteed_sum -= it->second.contract.guaranteed;
+      model.erase(it);
+    } else if (op < 70 && !model.empty()) {
+      // Allocate for a random client.
+      auto it = model.begin();
+      std::advance(it, rng.NextBelow(model.size()));
+      const DomainId d = it->first;
+      ClientModel& m = it->second;
+      auto f = frames.AllocFrame(d);
+      if (f.has_value()) {
+        EXPECT_EQ(ramtab.OwnerOf(*f), d);
+        EXPECT_LT(m.held.size(), m.contract.limit());
+        m.held.push_back(*f);
+      } else if (m.held.size() >= m.contract.limit()) {
+        EXPECT_EQ(f.error(), FramesError::kQuotaExceeded);
+      }
+      // INVARIANT: while under its guarantee and frames are free, an
+      // allocation request must succeed.
+      if (!f.has_value() && m.held.size() < m.contract.guaranteed &&
+          frames.free_frames() > 0) {
+        ADD_FAILURE() << "guaranteed allocation failed with free frames";
+      }
+    } else if (!model.empty()) {
+      // Free a random held frame.
+      auto it = model.begin();
+      std::advance(it, rng.NextBelow(model.size()));
+      ClientModel& m = it->second;
+      if (!m.held.empty()) {
+        const size_t idx = rng.NextBelow(m.held.size());
+        ASSERT_TRUE(frames.FreeFrame(it->first, m.held[idx]).ok());
+        m.held.erase(m.held.begin() + idx);
+      }
+    }
+
+    // INVARIANT: conservation — free + Σ held == total.
+    uint64_t held_sum = 0;
+    for (const auto& [d, m] : model) {
+      held_sum += m.held.size();
+      EXPECT_EQ(frames.AllocatedCount(d), m.held.size());
+      // INVARIANT: the frame stack mirrors the held set exactly.
+      const FrameStack* stack = frames.StackOf(d);
+      ASSERT_NE(stack, nullptr);
+      EXPECT_EQ(stack->size(), m.held.size());
+    }
+    ASSERT_EQ(frames.free_frames() + held_sum, kTotal);
+    // INVARIANT: admission — reserved guarantees never exceed memory.
+    ASSERT_LE(frames.guaranteed_total(), kTotal);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FramesPropertyTest, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// --- Atropos: reservations hold for arbitrary client mixes ------------------
+
+class AtroposPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AtroposPropertyTest, ChargedTimeTracksReservationUnderSaturation) {
+  Simulator sim;
+  AtroposScheduler sched(sim);
+  Random rng(GetParam());
+
+  // Random client set with total reservation <= 90%.
+  struct ClientInfo {
+    SchedClientId id;
+    QosSpec spec;
+  };
+  std::vector<ClientInfo> clients;
+  double reserved = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    const int64_t period_ms = 50 + static_cast<int64_t>(rng.NextBelow(400));
+    const int64_t slice_ms =
+        1 + static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(period_ms) / 4));
+    const double fraction = static_cast<double>(slice_ms) / static_cast<double>(period_ms);
+    if (reserved + fraction > 0.9) {
+      continue;
+    }
+    auto id = sched.Admit("c" + std::to_string(i),
+                          QosSpec{Milliseconds(period_ms), Milliseconds(slice_ms), false, 0});
+    ASSERT_TRUE(id.has_value());
+    reserved += fraction;
+    sched.SetQueued(*id, 1000000);  // always busy
+    clients.push_back({*id, QosSpec{Milliseconds(period_ms), Milliseconds(slice_ms), false, 0}});
+  }
+  ASSERT_FALSE(clients.empty());
+
+  // Saturated executor with variable transaction lengths (1..8 ms).
+  const SimTime horizon = Seconds(60);
+  while (sim.Now() < horizon) {
+    auto pick = sched.PickNext();
+    if (!pick.has_value()) {
+      if (!sim.Step()) {
+        break;
+      }
+      continue;
+    }
+    const SimDuration txn = Milliseconds(1 + static_cast<int64_t>(rng.NextBelow(8)));
+    sim.RunUntil(sim.Now() + txn);
+    sched.Charge(pick->client, txn, pick->lax);
+  }
+
+  for (const auto& c : clients) {
+    const double share = ToSeconds(sched.total_charged(c.id)) / ToSeconds(horizon);
+    const double reservation = c.spec.Fraction();
+    // INVARIANT (upper): roll-over accounting caps the share at the
+    // reservation plus at most one transaction's worth of jitter.
+    EXPECT_LE(share, reservation + 8.0e-3 / ToSeconds(c.spec.period) * reservation + 0.02)
+        << sched.name(c.id);
+    // INVARIANT (lower): an always-busy client receives (nearly) its full
+    // reservation even with every other client saturating.
+    EXPECT_GE(share, reservation * 0.85) << sched.name(c.id);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AtroposPropertyTest, ::testing::Values(11, 22, 33, 44, 55, 66));
+
+// --- Disk model: timing sanity over random request streams ------------------
+
+class DiskPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DiskPropertyTest, ServiceTimesBoundedAndDeterministic) {
+  DiskGeometry geometry;
+  Disk disk_a(geometry);
+  Disk disk_b(geometry);
+  Random rng(GetParam());
+  SimTime now = 0;
+  const SimDuration rev = geometry.revolution_time();
+  for (int i = 0; i < 2000; ++i) {
+    DiskRequest req;
+    req.lba = AlignDown(rng.NextBelow(geometry.total_blocks - 64), 16);
+    req.nblocks = 16;
+    req.is_write = rng.NextBelow(4) == 0;
+    const SimDuration ta = disk_a.Access(req, now);
+    const SimDuration tb = disk_b.Access(req, now);
+    // INVARIANT: determinism — identical streams give identical timings.
+    ASSERT_EQ(ta, tb);
+    // INVARIANT: positive and bounded by worst-case mechanics
+    // (full seek + one rotation + transfer + head switches + overhead).
+    ASSERT_GT(ta, 0);
+    const SimDuration worst = FromMilliseconds(geometry.seek_max_ms) + 2 * rev +
+                              FromMilliseconds(geometry.command_overhead_ms) +
+                              FromMilliseconds(3 * geometry.head_switch_ms);
+    ASSERT_LE(ta, worst);
+    now += ta + static_cast<SimDuration>(rng.NextBelow(Milliseconds(2)));
+  }
+  EXPECT_EQ(disk_a.stats().reads + disk_a.stats().writes, 2000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiskPropertyTest, ::testing::Values(3, 7, 13));
+
+TEST(DiskProperty, SequentialStreamMostlyCacheHits) {
+  Disk disk;
+  SimTime now = 0;
+  for (uint64_t i = 0; i < 500; ++i) {
+    now += disk.Access(DiskRequest{1000 + i * 16, 16, false}, now);
+  }
+  // INVARIANT: sequential reads are dominated by read-ahead hits.
+  EXPECT_GT(disk.stats().cache_hits, 450u);
+}
+
+// --- Bitmap: model-checked against std::set ---------------------------------
+
+class BitmapPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BitmapPropertyTest, MatchesReferenceModel) {
+  constexpr size_t kBits = 200;
+  Bitmap bm(kBits);
+  std::set<size_t> model;
+  Random rng(GetParam());
+  for (int step = 0; step < 5000; ++step) {
+    const size_t index = rng.NextBelow(kBits);
+    switch (rng.NextBelow(3)) {
+      case 0:
+        bm.Set(index);
+        model.insert(index);
+        break;
+      case 1:
+        bm.Clear(index);
+        model.erase(index);
+        break;
+      case 2: {
+        ASSERT_EQ(bm.Test(index), model.count(index) != 0);
+        break;
+      }
+    }
+    ASSERT_EQ(bm.count_set(), model.size());
+    // Cross-check FindFirstClear against the model.
+    auto found = bm.FindFirstClear();
+    size_t expected = kBits;
+    for (size_t i = 0; i < kBits; ++i) {
+      if (model.count(i) == 0) {
+        expected = i;
+        break;
+      }
+    }
+    if (expected == kBits) {
+      ASSERT_FALSE(found.has_value());
+    } else {
+      ASSERT_TRUE(found.has_value());
+      ASSERT_EQ(*found, expected);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitmapPropertyTest, ::testing::Values(101, 202, 303));
+
+// --- Simulator: deterministic replay ----------------------------------------
+
+TEST(SimulatorProperty, IdenticalRunsProduceIdenticalSchedules) {
+  auto Run = [](uint64_t seed) {
+    Simulator sim;
+    Random rng(seed);
+    std::vector<std::pair<SimTime, int>> log;
+    for (int i = 0; i < 200; ++i) {
+      const SimTime t = static_cast<SimTime>(rng.NextBelow(Milliseconds(100)));
+      sim.CallAt(t, [&log, i, &sim] { log.emplace_back(sim.Now(), i); });
+    }
+    sim.Run();
+    return log;
+  };
+  EXPECT_EQ(Run(42), Run(42));
+  EXPECT_NE(Run(42), Run(43));
+}
+
+}  // namespace
+}  // namespace nemesis

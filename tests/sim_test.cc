@@ -1,0 +1,347 @@
+// Unit tests for the discrete-event simulator and coroutine layer.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+#include "src/sim/trace.h"
+
+namespace nemesis {
+namespace {
+
+TEST(Simulator, CallbacksRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.CallAt(Milliseconds(30), [&] { order.push_back(3); });
+  sim.CallAt(Milliseconds(10), [&] { order.push_back(1); });
+  sim.CallAt(Milliseconds(20), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), Milliseconds(30));
+}
+
+TEST(Simulator, SameTimeIsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.CallAt(Milliseconds(5), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  uint64_t id = sim.CallAt(Milliseconds(1), [&] { ran = true; });
+  sim.Cancel(id);
+  sim.Run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int count = 0;
+  sim.CallAt(Milliseconds(10), [&] { ++count; });
+  sim.CallAt(Milliseconds(20), [&] { ++count; });
+  sim.CallAt(Milliseconds(30), [&] { ++count; });
+  sim.RunUntil(Milliseconds(20));
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.Now(), Milliseconds(20));
+  sim.Run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.RunUntil(Seconds(5));
+  EXPECT_EQ(sim.Now(), Seconds(5));
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  int hits = 0;
+  sim.CallAt(Milliseconds(1), [&] {
+    ++hits;
+    sim.CallAfter(Milliseconds(1), [&] { ++hits; });
+  });
+  sim.Run();
+  EXPECT_EQ(hits, 2);
+  EXPECT_EQ(sim.Now(), Milliseconds(2));
+}
+
+Task SimpleCounter(Simulator& sim, int* counter, int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await SleepFor(sim, Milliseconds(10));
+    ++*counter;
+  }
+}
+
+TEST(Tasks, RunsToCompletion) {
+  Simulator sim;
+  int counter = 0;
+  TaskHandle h = sim.Spawn(SimpleCounter(sim, &counter, 5), "counter");
+  sim.Run();
+  EXPECT_EQ(counter, 5);
+  EXPECT_TRUE(h.done());
+  EXPECT_EQ(sim.Now(), Milliseconds(50));
+}
+
+TEST(Tasks, KillStopsTask) {
+  Simulator sim;
+  int counter = 0;
+  TaskHandle h = sim.Spawn(SimpleCounter(sim, &counter, 100), "counter");
+  sim.CallAt(Milliseconds(35), [&] { h.Kill(); });
+  sim.Run();
+  EXPECT_EQ(counter, 3);
+  EXPECT_TRUE(h.done());
+  EXPECT_TRUE(h.killed());
+}
+
+TEST(Tasks, KillBeforeFirstResume) {
+  Simulator sim;
+  int counter = 0;
+  TaskHandle h = sim.Spawn(SimpleCounter(sim, &counter, 5), "counter");
+  h.Kill();
+  sim.Run();
+  EXPECT_EQ(counter, 0);
+  EXPECT_TRUE(h.killed());
+}
+
+Task Joiner(Simulator& sim, TaskHandle target, bool* joined, SimTime* when) {
+  co_await Join(target);
+  *joined = true;
+  *when = sim.Now();
+}
+
+TEST(Tasks, JoinWaitsForCompletion) {
+  Simulator sim;
+  int counter = 0;
+  TaskHandle worker = sim.Spawn(SimpleCounter(sim, &counter, 3), "worker");
+  bool joined = false;
+  SimTime when = 0;
+  sim.Spawn(Joiner(sim, worker, &joined, &when), "joiner");
+  sim.Run();
+  EXPECT_TRUE(joined);
+  EXPECT_EQ(when, Milliseconds(30));
+}
+
+TEST(Tasks, JoinOnKilledTaskCompletes) {
+  Simulator sim;
+  int counter = 0;
+  TaskHandle worker = sim.Spawn(SimpleCounter(sim, &counter, 100), "worker");
+  bool joined = false;
+  SimTime when = 0;
+  sim.Spawn(Joiner(sim, worker, &joined, &when), "joiner");
+  sim.CallAt(Milliseconds(15), [&] { worker.Kill(); });
+  sim.Run();
+  EXPECT_TRUE(joined);
+  EXPECT_EQ(when, Milliseconds(15));
+}
+
+Task WaitOnCondition(Condition& cv, int* wakeups) {
+  co_await cv.Wait();
+  ++*wakeups;
+}
+
+TEST(Sync, ConditionNotifyAllWakesEveryWaiter) {
+  Simulator sim;
+  Condition cv(sim);
+  int wakeups = 0;
+  for (int i = 0; i < 4; ++i) {
+    sim.Spawn(WaitOnCondition(cv, &wakeups), "waiter");
+  }
+  sim.RunUntil(Milliseconds(1));
+  EXPECT_EQ(wakeups, 0);
+  EXPECT_EQ(cv.waiter_count(), 4u);
+  cv.NotifyAll();
+  sim.Run();
+  EXPECT_EQ(wakeups, 4);
+}
+
+TEST(Sync, ConditionNotifyOneWakesOne) {
+  Simulator sim;
+  Condition cv(sim);
+  int wakeups = 0;
+  for (int i = 0; i < 3; ++i) {
+    sim.Spawn(WaitOnCondition(cv, &wakeups), "waiter");
+  }
+  sim.RunUntil(Milliseconds(1));
+  cv.NotifyOne();
+  sim.Run();
+  EXPECT_EQ(wakeups, 1);
+  cv.NotifyAll();
+  sim.Run();
+  EXPECT_EQ(wakeups, 3);
+}
+
+Task TimedWaiter(Simulator& sim, Condition& cv, SimDuration timeout, bool* notified,
+                 SimTime* when) {
+  *notified = co_await cv.WaitFor(timeout);
+  *when = sim.Now();
+}
+
+TEST(Sync, TimedWaitTimesOut) {
+  Simulator sim;
+  Condition cv(sim);
+  bool notified = true;
+  SimTime when = 0;
+  sim.Spawn(TimedWaiter(sim, cv, Milliseconds(25), &notified, &when), "tw");
+  sim.Run();
+  EXPECT_FALSE(notified);
+  EXPECT_EQ(when, Milliseconds(25));
+  EXPECT_EQ(cv.waiter_count(), 0u);
+}
+
+TEST(Sync, TimedWaitNotifiedBeforeTimeout) {
+  Simulator sim;
+  Condition cv(sim);
+  bool notified = false;
+  SimTime when = 0;
+  sim.Spawn(TimedWaiter(sim, cv, Milliseconds(25), &notified, &when), "tw");
+  sim.CallAt(Milliseconds(5), [&] { cv.NotifyAll(); });
+  sim.Run();
+  EXPECT_TRUE(notified);
+  EXPECT_EQ(when, Milliseconds(5));
+}
+
+Task SemWorker(Simulator& sim, Semaphore& sem, int* active, int* max_active) {
+  co_await sem.Acquire();
+  ++*active;
+  *max_active = std::max(*max_active, *active);
+  co_await SleepFor(sim, Milliseconds(10));
+  --*active;
+  sem.Release();
+}
+
+TEST(Sync, SemaphoreLimitsConcurrency) {
+  Simulator sim;
+  Semaphore sem(sim, 2);
+  int active = 0;
+  int max_active = 0;
+  for (int i = 0; i < 6; ++i) {
+    sim.Spawn(SemWorker(sim, sem, &active, &max_active), "sw");
+  }
+  sim.Run();
+  EXPECT_EQ(active, 0);
+  EXPECT_EQ(max_active, 2);
+  EXPECT_EQ(sem.count(), 2);
+}
+
+Task Producer(Simulator& sim, Mailbox<int>& box, int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await box.Send(i);
+    co_await SleepFor(sim, Milliseconds(1));
+  }
+}
+
+Task Consumer(Mailbox<int>& box, int n, std::vector<int>* out) {
+  for (int i = 0; i < n; ++i) {
+    int v = co_await box.Recv();
+    out->push_back(v);
+  }
+}
+
+TEST(Sync, MailboxDeliversInOrder) {
+  Simulator sim;
+  Mailbox<int> box(sim, 4);
+  std::vector<int> got;
+  sim.Spawn(Producer(sim, box, 10), "prod");
+  sim.Spawn(Consumer(box, 10, &got), "cons");
+  sim.Run();
+  ASSERT_EQ(got.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(got[i], i);
+  }
+}
+
+Task BlockingProducer(Simulator& sim, Mailbox<int>& box, int n, SimTime* finished) {
+  for (int i = 0; i < n; ++i) {
+    co_await box.Send(i);
+  }
+  *finished = sim.Now();
+}
+
+Task SlowConsumer(Simulator& sim, Mailbox<int>& box, int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await SleepFor(sim, Milliseconds(10));
+    (void)co_await box.Recv();
+  }
+}
+
+TEST(Sync, MailboxBackpressureBlocksSender) {
+  Simulator sim;
+  Mailbox<int> box(sim, 2);
+  SimTime finished = 0;
+  sim.Spawn(BlockingProducer(sim, box, 6, &finished), "prod");
+  sim.Spawn(SlowConsumer(sim, box, 6), "cons");
+  sim.Run();
+  // With capacity 2 the producer cannot finish before 4 consumer receives.
+  EXPECT_GE(finished, Milliseconds(40));
+}
+
+TEST(Sync, MailboxTryOperations) {
+  Simulator sim;
+  Mailbox<int> box(sim, 1);
+  EXPECT_FALSE(box.TryRecv().has_value());
+  EXPECT_TRUE(box.TrySend(7));
+  EXPECT_FALSE(box.TrySend(8));
+  auto v = box.TryRecv();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(Sync, MailboxRendezvousCapacityZero) {
+  Simulator sim;
+  Mailbox<int> box(sim, 0);
+  std::vector<int> got;
+  sim.Spawn(Producer(sim, box, 3), "prod");
+  sim.Spawn(Consumer(box, 3, &got), "cons");
+  sim.Run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Trace, RecordsAndFilters) {
+  TraceRecorder tr;
+  tr.Record(Milliseconds(1), "usd", 0, "txn", 5.0, 1.0);
+  tr.Record(Milliseconds(2), "usd", 1, "txn", 6.0, 2.0);
+  tr.Record(Milliseconds(3), "usd", 0, "lax", 1.0, 0.0);
+  tr.Record(Milliseconds(4), "mm", 0, "fault", 0.0, 0.0);
+  EXPECT_EQ(tr.records().size(), 4u);
+  EXPECT_EQ(tr.Filter("usd").size(), 3u);
+  EXPECT_EQ(tr.Filter("usd", "txn").size(), 2u);
+  EXPECT_EQ(tr.Filter("usd", "txn", 0).size(), 1u);
+  EXPECT_EQ(tr.Filter("", "", 0).size(), 3u);
+}
+
+TEST(Trace, DisabledRecorderDropsRecords) {
+  TraceRecorder tr;
+  tr.set_enabled(false);
+  tr.Record(0, "usd", 0, "txn");
+  EXPECT_TRUE(tr.records().empty());
+}
+
+TEST(Trace, WritesCsv) {
+  TraceRecorder tr;
+  tr.Record(Milliseconds(1), "usd", 0, "txn", 5.0, 1.0);
+  const std::string path = ::testing::TempDir() + "/trace_test.csv";
+  ASSERT_TRUE(tr.WriteCsv(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char line[256];
+  ASSERT_NE(std::fgets(line, sizeof(line), f), nullptr);
+  EXPECT_EQ(std::string(line), "time_ms,category,client,event,value_a,value_b\n");
+  ASSERT_NE(std::fgets(line, sizeof(line), f), nullptr);
+  EXPECT_NE(std::string(line).find("usd"), std::string::npos);
+  std::fclose(f);
+}
+
+}  // namespace
+}  // namespace nemesis

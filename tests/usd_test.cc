@@ -1,0 +1,357 @@
+// Integration tests for the User-Safe Disk and the swap filesystem: QoS
+// admission, extent safety, proportional sharing, laxity behaviour, and the
+// data path (real bytes through the IO channel to the disk store).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "src/base/random.h"
+#include "src/base/units.h"
+#include "src/hw/disk.h"
+#include "src/sim/simulator.h"
+#include "src/sim/sync.h"
+#include "src/sim/trace.h"
+#include "src/usd/io_channel.h"
+#include "src/usd/sfs.h"
+#include "src/usd/usd.h"
+
+namespace nemesis {
+namespace {
+
+QosSpec Spec(int64_t period_ms, int64_t slice_ms, int64_t laxity_ms = 0, bool extra = false) {
+  return QosSpec{Milliseconds(period_ms), Milliseconds(slice_ms), extra, Milliseconds(laxity_ms)};
+}
+
+class UsdTest : public ::testing::Test {
+ protected:
+  UsdTest() : usd_(sim_, disk_, &trace_) { usd_.Start(); }
+
+  Simulator sim_;
+  Disk disk_;
+  TraceRecorder trace_;
+  Usd usd_;
+};
+
+TEST_F(UsdTest, OpenClientAdmissionControl) {
+  EXPECT_TRUE(usd_.OpenClient("a", Spec(250, 125)).has_value());
+  EXPECT_TRUE(usd_.OpenClient("b", Spec(250, 100)).has_value());
+  auto c = usd_.OpenClient("c", Spec(250, 50));
+  ASSERT_FALSE(c.has_value());
+  EXPECT_EQ(c.error(), UsdError::kOverCommitted);
+}
+
+TEST_F(UsdTest, InvalidSpecRejected) {
+  auto c = usd_.OpenClient("bad", QosSpec{0, 0, false, 0});
+  ASSERT_FALSE(c.has_value());
+  EXPECT_EQ(c.error(), UsdError::kInvalidSpec);
+}
+
+// A simple client task: writes `count` transactions of 16 blocks each at
+// sequential positions, waiting for each reply (no pipelining).
+Task WriteLoop(Simulator& sim, UsdClient* client, uint64_t base_lba, int count, int* completed) {
+  for (int i = 0; i < count; ++i) {
+    co_await client->AcquireSlot();
+    UsdRequest req;
+    req.id = static_cast<uint64_t>(i);
+    req.lba = base_lba + static_cast<uint64_t>(i) * 16;
+    req.nblocks = 16;
+    req.is_write = true;
+    req.data.assign(16 * 512, static_cast<uint8_t>(i));
+    client->Push(std::move(req));
+    UsdReply reply = co_await client->ReceiveReply();
+    if (reply.ok) {
+      ++*completed;
+    }
+  }
+  (void)sim;
+}
+
+TEST_F(UsdTest, SingleClientCompletesTransactions) {
+  auto client = usd_.OpenClient("w", Spec(100, 50, 5));
+  ASSERT_TRUE(client.has_value());
+  (*client)->AddExtent(Extent{0, 100000});
+  int completed = 0;
+  sim_.Spawn(WriteLoop(sim_, *client, 1000, 10, &completed), "writer");
+  sim_.RunUntil(Seconds(5));
+  EXPECT_EQ(completed, 10);
+  EXPECT_EQ((*client)->transactions(), 10u);
+  EXPECT_EQ(usd_.transactions(), 10u);
+}
+
+TEST_F(UsdTest, ExtentViolationRejectedWithoutDiskAccess) {
+  auto client = usd_.OpenClient("w", Spec(100, 50, 5));
+  ASSERT_TRUE(client.has_value());
+  (*client)->AddExtent(Extent{1000, 100});  // only blocks [1000, 1100)
+  struct Violator {
+    static Task Run(UsdClient* client, bool* ok_flag) {
+      co_await client->AcquireSlot();
+      UsdRequest req;
+      req.id = 1;
+      req.lba = 5000;  // outside the extent
+      req.nblocks = 16;
+      req.is_write = false;
+      client->Push(std::move(req));
+      UsdReply reply = co_await client->ReceiveReply();
+      *ok_flag = reply.ok;
+    }
+  };
+  bool ok = true;
+  sim_.Spawn(Violator::Run(*client, &ok), "violator");
+  sim_.RunUntil(Seconds(1));
+  EXPECT_FALSE(ok);
+  EXPECT_EQ((*client)->rejected(), 1u);
+  EXPECT_EQ(disk_.stats().reads + disk_.stats().writes, 0u);
+}
+
+TEST_F(UsdTest, DataRoundTripsThroughUsd) {
+  auto client = usd_.OpenClient("rw", Spec(100, 50, 5));
+  ASSERT_TRUE(client.has_value());
+  (*client)->AddExtent(Extent{2000, 1000});
+  struct RoundTrip {
+    static Task Run(UsdClient* client, bool* match) {
+      std::vector<uint8_t> payload(16 * 512);
+      std::iota(payload.begin(), payload.end(), 0);
+      co_await client->AcquireSlot();
+      UsdRequest w;
+      w.id = 1;
+      w.lba = 2048;
+      w.nblocks = 16;
+      w.is_write = true;
+      w.data = payload;
+      client->Push(std::move(w));
+      (void)co_await client->ReceiveReply();
+      co_await client->AcquireSlot();
+      UsdRequest r;
+      r.id = 2;
+      r.lba = 2048;
+      r.nblocks = 16;
+      r.is_write = false;
+      client->Push(std::move(r));
+      UsdReply reply = co_await client->ReceiveReply();
+      *match = reply.ok && reply.data == payload;
+    }
+  };
+  bool match = false;
+  sim_.Spawn(RoundTrip::Run(*client, &match), "roundtrip");
+  sim_.RunUntil(Seconds(1));
+  EXPECT_TRUE(match);
+}
+
+// Saturating read client used for sharing tests: keeps `depth` transactions
+// outstanding over a private disk region, either sequentially (uniform
+// cache-friendly transaction times, as in the paper's paging-in experiment)
+// or at random positions.
+Task SaturatingReader(UsdClient* client, uint64_t base_lba, uint64_t region_blocks, int depth,
+                      SimTime until, Simulator& sim, uint64_t seed, bool sequential = false) {
+  Random rng(seed);
+  int outstanding = 0;
+  uint64_t next_id = 0;
+  uint64_t cursor = 0;
+  while (sim.Now() < until) {
+    while (outstanding < depth) {
+      co_await client->AcquireSlot();
+      UsdRequest req;
+      req.id = next_id++;
+      if (sequential) {
+        req.lba = base_lba + cursor;
+        cursor = (cursor + 16) % (region_blocks - 16);
+      } else {
+        req.lba = base_lba + AlignDown(rng.NextBelow(region_blocks - 16), 16);
+      }
+      req.nblocks = 16;
+      req.is_write = false;
+      client->Push(std::move(req));
+      ++outstanding;
+    }
+    (void)co_await client->ReceiveReply();
+    --outstanding;
+  }
+}
+
+TEST_F(UsdTest, ProportionalSharingUnderSaturation) {
+  // Three always-busy clients with guarantees 25/50/100 ms per 250 ms reading
+  // from different disk areas: bytes moved should be close to 1:2:4.
+  struct ClientSetup {
+    const char* name;
+    int64_t slice_ms;
+    uint64_t base;
+  };
+  const ClientSetup setups[3] = {{"a", 25, 0}, {"b", 50, 1000000}, {"c", 100, 2000000}};
+  UsdClient* clients[3];
+  for (int i = 0; i < 3; ++i) {
+    auto c = usd_.OpenClient(setups[i].name, Spec(250, setups[i].slice_ms, 10), 4);
+    ASSERT_TRUE(c.has_value());
+    (*c)->AddExtent(Extent{setups[i].base, 500000});
+    clients[i] = *c;
+    sim_.Spawn(SaturatingReader(clients[i], setups[i].base, 500000, 4, Seconds(20), sim_,
+                                static_cast<uint64_t>(i) + 1, /*sequential=*/true),
+               setups[i].name);
+  }
+  sim_.RunUntil(Seconds(20));
+  const double a = static_cast<double>(clients[0]->bytes_transferred());
+  const double b = static_cast<double>(clients[1]->bytes_transferred());
+  const double c = static_cast<double>(clients[2]->bytes_transferred());
+  ASSERT_GT(a, 0.0);
+  EXPECT_NEAR(b / a, 2.0, 0.4);
+  EXPECT_NEAR(c / a, 4.0, 0.8);
+}
+
+TEST_F(UsdTest, SlackClientUsesIdleDisk) {
+  auto c = usd_.OpenClient("x", Spec(250, 25, 0, /*extra=*/true), 4);
+  ASSERT_TRUE(c.has_value());
+  (*c)->AddExtent(Extent{0, 1000000});
+  sim_.Spawn(SaturatingReader(*c, 0, 1000000, 4, Seconds(10), sim_, 7), "x");
+  sim_.RunUntil(Seconds(10));
+  // With the whole disk otherwise idle, a 10% client with the extra flag gets
+  // far more than its guarantee.
+  const double seconds_of_disk =
+      ToSeconds(usd_.scheduler().total_charged((*c)->sched_id())) / 10.0;
+  const double bytes = static_cast<double>((*c)->bytes_transferred());
+  EXPECT_LT(seconds_of_disk, 0.15);     // charged only its guarantee
+  EXPECT_GT(bytes, 4.0 * 1024 * 1024);  // but moved far more data via slack
+  EXPECT_GT(trace_.Filter("usd", "slack-txn").size(), 0u);
+}
+
+TEST_F(UsdTest, NonSlackClientCappedAtGuarantee) {
+  auto c = usd_.OpenClient("cap", Spec(250, 25, 0, /*extra=*/false), 4);
+  ASSERT_TRUE(c.has_value());
+  (*c)->AddExtent(Extent{0, 1000000});
+  sim_.Spawn(SaturatingReader(*c, 0, 1000000, 4, Seconds(10), sim_, 8), "cap");
+  sim_.RunUntil(Seconds(10));
+  // Charged time can not exceed the reservation (10% of 10 s) by more than
+  // one transaction of roll-over jitter.
+  const double charged_s = ToSeconds(usd_.scheduler().total_charged((*c)->sched_id()));
+  EXPECT_LT(charged_s, 1.0 + 0.05);
+  EXPECT_GT(charged_s, 0.8);
+}
+
+// One-outstanding-transaction client, as a pager: issues the next read only
+// after consuming the previous reply, with a small compute gap.
+Task PagerLike(UsdClient* client, uint64_t base_lba, SimTime until, Simulator& sim,
+               SimDuration gap) {
+  uint64_t lba = base_lba;
+  while (sim.Now() < until) {
+    co_await client->AcquireSlot();
+    UsdRequest req;
+    req.id = lba;
+    req.lba = lba;
+    req.nblocks = 16;
+    req.is_write = false;
+    client->Push(std::move(req));
+    (void)co_await client->ReceiveReply();
+    lba += 16;
+    co_await SleepFor(sim, gap);
+  }
+}
+
+TEST_F(UsdTest, LaxityRescuesShortBlockClient) {
+  // Two runs of the same single-outstanding pager with a competing saturating
+  // client: with laxity 10 ms it achieves many transactions per period; with
+  // laxity 0 it collapses to about one transaction per period (the paper's
+  // short-block problem).
+  auto RunOnce = [](int64_t laxity_ms) -> uint64_t {
+    Simulator sim;
+    Disk disk;
+    Usd usd(sim, disk, nullptr);
+    usd.Start();
+    auto pager = usd.OpenClient("pager", Spec(250, 100, laxity_ms));
+    auto hog = usd.OpenClient("hog", Spec(250, 100, 0), 8);
+    EXPECT_TRUE(pager.has_value());
+    EXPECT_TRUE(hog.has_value());
+    (*pager)->AddExtent(Extent{0, 1000000});
+    (*hog)->AddExtent(Extent{2000000, 1000000});
+    sim.Spawn(PagerLike(*pager, 0, Seconds(10), sim, Microseconds(50)), "pager");
+    sim.Spawn(SaturatingReader(*hog, 2000000, 1000000, 8, Seconds(10), sim, 3), "hog");
+    sim.RunUntil(Seconds(10));
+    return (*pager)->transactions();
+  };
+  const uint64_t with_laxity = RunOnce(10);
+  const uint64_t without_laxity = RunOnce(0);
+  EXPECT_GT(with_laxity, 4 * without_laxity);
+  // Without laxity: roughly one transaction per 250 ms period (40 periods).
+  EXPECT_LE(without_laxity, 80u);
+}
+
+TEST_F(UsdTest, LaxTimeNeverExceedsLaxityPerEpisode) {
+  auto pager = usd_.OpenClient("pager", Spec(250, 100, 10));
+  ASSERT_TRUE(pager.has_value());
+  (*pager)->AddExtent(Extent{0, 1000000});
+  sim_.Spawn(PagerLike(*pager, 0, Seconds(5), sim_, Milliseconds(2)), "pager");
+  sim_.RunUntil(Seconds(5));
+  for (const auto& rec : trace_.Filter("usd", "lax")) {
+    EXPECT_LE(rec.value_a, 10.0 + 1e-6);  // ms
+  }
+  EXPECT_GT(trace_.Filter("usd", "lax").size(), 0u);
+}
+
+TEST_F(UsdTest, TraceContainsTransactionsAndAllocations) {
+  auto client = usd_.OpenClient("t", Spec(100, 50, 5));
+  ASSERT_TRUE(client.has_value());
+  (*client)->AddExtent(Extent{0, 100000});
+  int completed = 0;
+  sim_.Spawn(WriteLoop(sim_, *client, 0, 5, &completed), "w");
+  sim_.RunUntil(Seconds(2));
+  EXPECT_EQ(trace_.Filter("usd", "txn").size(), 5u);
+  EXPECT_GT(trace_.Filter("usd", "alloc").size(), 10u);  // one per 100 ms
+}
+
+class SfsTest : public ::testing::Test {
+ protected:
+  SfsTest() : usd_(sim_, disk_, nullptr), sfs_(usd_, Extent{100000, 200000}) { usd_.Start(); }
+
+  Simulator sim_;
+  Disk disk_;
+  Usd usd_;
+  SwapFilesystem sfs_;
+};
+
+TEST_F(SfsTest, CreateSwapFileAllocatesExtentAndClient) {
+  auto f = sfs_.CreateSwapFile("swap0", 16 * kMiB, Spec(250, 25, 10));
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->extent.length, 16 * kMiB / 512);
+  EXPECT_GE(f->extent.start, 100000u);
+  EXPECT_NE(f->client, nullptr);
+  EXPECT_EQ(sfs_.free_blocks(), 200000u - f->extent.length);
+}
+
+TEST_F(SfsTest, SwapFilesDoNotOverlap) {
+  auto a = sfs_.CreateSwapFile("a", 8 * kMiB, Spec(250, 25, 10));
+  auto b = sfs_.CreateSwapFile("b", 8 * kMiB, Spec(250, 25, 10));
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  const uint64_t a_end = a->extent.start + a->extent.length;
+  const uint64_t b_end = b->extent.start + b->extent.length;
+  EXPECT_TRUE(a_end <= b->extent.start || b_end <= a->extent.start);
+}
+
+TEST_F(SfsTest, NoSpaceRejected) {
+  auto big = sfs_.CreateSwapFile("big", 200000ull * 512, Spec(250, 25, 10));
+  ASSERT_TRUE(big.has_value());
+  auto more = sfs_.CreateSwapFile("more", 512, Spec(250, 25, 10));
+  ASSERT_FALSE(more.has_value());
+  EXPECT_EQ(more.error(), SfsError::kNoSpace);
+}
+
+TEST_F(SfsTest, QosRejectionPropagates) {
+  auto a = sfs_.CreateSwapFile("a", kMiB, Spec(250, 200, 0));
+  ASSERT_TRUE(a.has_value());
+  auto b = sfs_.CreateSwapFile("b", kMiB, Spec(250, 100, 0));
+  ASSERT_FALSE(b.has_value());
+  EXPECT_EQ(b.error(), SfsError::kQosRejected);
+}
+
+TEST_F(SfsTest, DeleteSwapFileReleasesSpace) {
+  auto a = sfs_.CreateSwapFile("a", 8 * kMiB, Spec(250, 25, 10));
+  ASSERT_TRUE(a.has_value());
+  const uint64_t free_before = sfs_.free_blocks();
+  ASSERT_TRUE(sfs_.DeleteSwapFile(*a).ok());
+  EXPECT_EQ(sfs_.free_blocks(), free_before + 8 * kMiB / 512);
+  // QoS capacity was released too.
+  auto b = sfs_.CreateSwapFile("b", kMiB, Spec(250, 240, 0));
+  EXPECT_TRUE(b.has_value());
+}
+
+}  // namespace
+}  // namespace nemesis

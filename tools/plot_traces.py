@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Render the USD scheduler traces (the paper's Figure 7/8 bottom plots).
+
+Usage:
+    bench/bench_fig7_paging_in            # writes fig7_usd_trace.csv
+    tools/plot_traces.py fig7_usd_trace.csv [t_start_ms t_end_ms]
+
+With matplotlib installed, produces <trace>.png with one row per client:
+filled boxes for transactions (width = duration), lines for laxity charges,
+and arrows at new periodic allocations — matching the paper's rendering.
+Without matplotlib, prints an ASCII timeline instead.
+"""
+import csv
+import sys
+
+
+def load(path):
+    rows = []
+    with open(path) as f:
+        for rec in csv.DictReader(f):
+            rows.append({
+                "t": float(rec["time_ms"]),
+                "cat": rec["category"],
+                "client": int(rec["client"]),
+                "event": rec["event"],
+                "a": float(rec["value_a"]),
+                "b": float(rec["value_b"]),
+            })
+    return rows
+
+
+def ascii_timeline(rows, t0, t1, width=110):
+    clients = sorted({r["client"] for r in rows if r["cat"] == "usd" and r["event"] == "txn"})
+    scale = width / (t1 - t0)
+    print(f"USD schedule {t0:.0f}..{t1:.0f} ms  ('#' txn, '-' laxity, '|' allocation)")
+    for c in clients:
+        line = [" "] * width
+        for r in rows:
+            if r["cat"] != "usd" or r["client"] != c:
+                continue
+            x = int((r["t"] - t0) * scale)
+            if not 0 <= x < width:
+                continue
+            if r["event"] == "txn":
+                span = max(1, int(r["a"] * scale))
+                for i in range(x, min(width, x + span)):
+                    line[i] = "#"
+            elif r["event"] == "lax":
+                span = max(1, int(r["a"] * scale))
+                for i in range(x, min(width, x + span)):
+                    if line[i] == " ":
+                        line[i] = "-"
+            elif r["event"] == "alloc":
+                if line[x] == " ":
+                    line[x] = "|"
+        print(f"  client {c}: {''.join(line)}")
+
+
+def matplotlib_plot(rows, t0, t1, out):
+    import matplotlib
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    clients = sorted({r["client"] for r in rows if r["cat"] == "usd" and r["event"] == "txn"})
+    fig, ax = plt.subplots(figsize=(12, 1 + len(clients)))
+    shades = ["0.2", "0.5", "0.75", "0.35", "0.6"]
+    for i, c in enumerate(clients):
+        y = len(clients) - i
+        for r in rows:
+            if r["cat"] != "usd" or r["client"] != c or not (t0 <= r["t"] <= t1):
+                continue
+            if r["event"] == "txn":
+                ax.broken_barh([(r["t"], r["a"])], (y - 0.3, 0.6),
+                               color=shades[i % len(shades)])
+            elif r["event"] == "lax":
+                ax.plot([r["t"], r["t"] + r["a"]], [y, y], lw=1.0, color="black")
+            elif r["event"] == "alloc":
+                ax.annotate("", xy=(r["t"], y + 0.45), xytext=(r["t"], y + 0.75),
+                            arrowprops=dict(arrowstyle="->", lw=0.8))
+    ax.set_yticks([len(clients) - i for i in range(len(clients))])
+    ax.set_yticklabels([f"client {c}" for c in clients])
+    ax.set_xlabel("time (ms)")
+    ax.set_xlim(t0, t1)
+    ax.set_title("USD scheduler trace (boxes: transactions, lines: laxity, arrows: allocations)")
+    fig.tight_layout()
+    fig.savefig(out, dpi=140)
+    print(f"wrote {out}")
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 1
+    rows = load(sys.argv[1])
+    usd_times = [r["t"] for r in rows if r["cat"] == "usd"]
+    if not usd_times:
+        print("no usd records in trace")
+        return 1
+    t0 = float(sys.argv[2]) if len(sys.argv) > 2 else min(usd_times)
+    t1 = float(sys.argv[3]) if len(sys.argv) > 3 else min(t0 + 1000.0, max(usd_times))
+    try:
+        matplotlib_plot(rows, t0, t1, sys.argv[1].rsplit(".", 1)[0] + ".png")
+    except ImportError:
+        ascii_timeline(rows, t0, t1)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
