@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_crosstalk.dir/bench_ablation_crosstalk.cc.o"
+  "CMakeFiles/bench_ablation_crosstalk.dir/bench_ablation_crosstalk.cc.o.d"
+  "bench_ablation_crosstalk"
+  "bench_ablation_crosstalk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_crosstalk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_laxity.dir/bench_ablation_laxity.cc.o"
+  "CMakeFiles/bench_ablation_laxity.dir/bench_ablation_laxity.cc.o.d"
+  "bench_ablation_laxity"
+  "bench_ablation_laxity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_laxity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pagetable.dir/bench_ablation_pagetable.cc.o"
+  "CMakeFiles/bench_ablation_pagetable.dir/bench_ablation_pagetable.cc.o.d"
+  "bench_ablation_pagetable"
+  "bench_ablation_pagetable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pagetable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rollover.dir/bench_ablation_rollover.cc.o"
+  "CMakeFiles/bench_ablation_rollover.dir/bench_ablation_rollover.cc.o.d"
+  "bench_ablation_rollover"
+  "bench_ablation_rollover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rollover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_streampaging.dir/bench_ablation_streampaging.cc.o"
+  "CMakeFiles/bench_ablation_streampaging.dir/bench_ablation_streampaging.cc.o.d"
+  "bench_ablation_streampaging"
+  "bench_ablation_streampaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_streampaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

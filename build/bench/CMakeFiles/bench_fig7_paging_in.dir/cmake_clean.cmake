@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_paging_in.dir/bench_fig7_paging_in.cc.o"
+  "CMakeFiles/bench_fig7_paging_in.dir/bench_fig7_paging_in.cc.o.d"
+  "bench_fig7_paging_in"
+  "bench_fig7_paging_in.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_paging_in.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_paging_in.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_paging_out.dir/bench_fig8_paging_out.cc.o"
+  "CMakeFiles/bench_fig8_paging_out.dir/bench_fig8_paging_out.cc.o.d"
+  "bench_fig8_paging_out"
+  "bench_fig8_paging_out.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_paging_out.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

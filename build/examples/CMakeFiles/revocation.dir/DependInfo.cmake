@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/revocation.cc" "examples/CMakeFiles/revocation.dir/revocation.cc.o" "gcc" "examples/CMakeFiles/revocation.dir/revocation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nemesis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/nemesis_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/usd/CMakeFiles/nemesis_usd.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/nemesis_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/nemesis_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/nemesis_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/nemesis_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nemesis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/nemesis_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revocation.dir/revocation.cc.o"
+  "CMakeFiles/revocation.dir/revocation.cc.o.d"
+  "revocation"
+  "revocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/blok_allocator.cc" "src/app/CMakeFiles/nemesis_app.dir/blok_allocator.cc.o" "gcc" "src/app/CMakeFiles/nemesis_app.dir/blok_allocator.cc.o.d"
+  "/root/repo/src/app/entry.cc" "src/app/CMakeFiles/nemesis_app.dir/entry.cc.o" "gcc" "src/app/CMakeFiles/nemesis_app.dir/entry.cc.o.d"
+  "/root/repo/src/app/mm_entry.cc" "src/app/CMakeFiles/nemesis_app.dir/mm_entry.cc.o" "gcc" "src/app/CMakeFiles/nemesis_app.dir/mm_entry.cc.o.d"
+  "/root/repo/src/app/nailed_driver.cc" "src/app/CMakeFiles/nemesis_app.dir/nailed_driver.cc.o" "gcc" "src/app/CMakeFiles/nemesis_app.dir/nailed_driver.cc.o.d"
+  "/root/repo/src/app/paged_driver.cc" "src/app/CMakeFiles/nemesis_app.dir/paged_driver.cc.o" "gcc" "src/app/CMakeFiles/nemesis_app.dir/paged_driver.cc.o.d"
+  "/root/repo/src/app/physical_driver.cc" "src/app/CMakeFiles/nemesis_app.dir/physical_driver.cc.o" "gcc" "src/app/CMakeFiles/nemesis_app.dir/physical_driver.cc.o.d"
+  "/root/repo/src/app/vmem.cc" "src/app/CMakeFiles/nemesis_app.dir/vmem.cc.o" "gcc" "src/app/CMakeFiles/nemesis_app.dir/vmem.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/nemesis_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nemesis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/nemesis_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/nemesis_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/nemesis_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/usd/CMakeFiles/nemesis_usd.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/nemesis_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nemesis_app.dir/blok_allocator.cc.o"
+  "CMakeFiles/nemesis_app.dir/blok_allocator.cc.o.d"
+  "CMakeFiles/nemesis_app.dir/entry.cc.o"
+  "CMakeFiles/nemesis_app.dir/entry.cc.o.d"
+  "CMakeFiles/nemesis_app.dir/mm_entry.cc.o"
+  "CMakeFiles/nemesis_app.dir/mm_entry.cc.o.d"
+  "CMakeFiles/nemesis_app.dir/nailed_driver.cc.o"
+  "CMakeFiles/nemesis_app.dir/nailed_driver.cc.o.d"
+  "CMakeFiles/nemesis_app.dir/paged_driver.cc.o"
+  "CMakeFiles/nemesis_app.dir/paged_driver.cc.o.d"
+  "CMakeFiles/nemesis_app.dir/physical_driver.cc.o"
+  "CMakeFiles/nemesis_app.dir/physical_driver.cc.o.d"
+  "CMakeFiles/nemesis_app.dir/vmem.cc.o"
+  "CMakeFiles/nemesis_app.dir/vmem.cc.o.d"
+  "libnemesis_app.a"
+  "libnemesis_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nemesis_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nemesis_base.dir/bitmap.cc.o"
+  "CMakeFiles/nemesis_base.dir/bitmap.cc.o.d"
+  "CMakeFiles/nemesis_base.dir/log.cc.o"
+  "CMakeFiles/nemesis_base.dir/log.cc.o.d"
+  "CMakeFiles/nemesis_base.dir/random.cc.o"
+  "CMakeFiles/nemesis_base.dir/random.cc.o.d"
+  "libnemesis_base.a"
+  "libnemesis_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nemesis_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

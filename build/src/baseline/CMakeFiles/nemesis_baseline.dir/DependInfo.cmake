@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/central_vm.cc" "src/baseline/CMakeFiles/nemesis_baseline.dir/central_vm.cc.o" "gcc" "src/baseline/CMakeFiles/nemesis_baseline.dir/central_vm.cc.o.d"
+  "/root/repo/src/baseline/external_pager.cc" "src/baseline/CMakeFiles/nemesis_baseline.dir/external_pager.cc.o" "gcc" "src/baseline/CMakeFiles/nemesis_baseline.dir/external_pager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/nemesis_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nemesis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/nemesis_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nemesis_baseline.dir/central_vm.cc.o"
+  "CMakeFiles/nemesis_baseline.dir/central_vm.cc.o.d"
+  "CMakeFiles/nemesis_baseline.dir/external_pager.cc.o"
+  "CMakeFiles/nemesis_baseline.dir/external_pager.cc.o.d"
+  "libnemesis_baseline.a"
+  "libnemesis_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nemesis_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nemesis_core.dir/system.cc.o"
+  "CMakeFiles/nemesis_core.dir/system.cc.o.d"
+  "CMakeFiles/nemesis_core.dir/workloads.cc.o"
+  "CMakeFiles/nemesis_core.dir/workloads.cc.o.d"
+  "libnemesis_core.a"
+  "libnemesis_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nemesis_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

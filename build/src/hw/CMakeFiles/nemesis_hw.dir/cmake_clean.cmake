@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nemesis_hw.dir/disk.cc.o"
+  "CMakeFiles/nemesis_hw.dir/disk.cc.o.d"
+  "CMakeFiles/nemesis_hw.dir/mmu.cc.o"
+  "CMakeFiles/nemesis_hw.dir/mmu.cc.o.d"
+  "CMakeFiles/nemesis_hw.dir/page_table.cc.o"
+  "CMakeFiles/nemesis_hw.dir/page_table.cc.o.d"
+  "libnemesis_hw.a"
+  "libnemesis_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nemesis_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nemesis_kernel.dir/domain.cc.o"
+  "CMakeFiles/nemesis_kernel.dir/domain.cc.o.d"
+  "CMakeFiles/nemesis_kernel.dir/kernel.cc.o"
+  "CMakeFiles/nemesis_kernel.dir/kernel.cc.o.d"
+  "CMakeFiles/nemesis_kernel.dir/syscalls.cc.o"
+  "CMakeFiles/nemesis_kernel.dir/syscalls.cc.o.d"
+  "libnemesis_kernel.a"
+  "libnemesis_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nemesis_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nemesis_mm.dir/frames_allocator.cc.o"
+  "CMakeFiles/nemesis_mm.dir/frames_allocator.cc.o.d"
+  "CMakeFiles/nemesis_mm.dir/stretch_allocator.cc.o"
+  "CMakeFiles/nemesis_mm.dir/stretch_allocator.cc.o.d"
+  "CMakeFiles/nemesis_mm.dir/translation.cc.o"
+  "CMakeFiles/nemesis_mm.dir/translation.cc.o.d"
+  "libnemesis_mm.a"
+  "libnemesis_mm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nemesis_mm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nemesis_sched.dir/atropos.cc.o"
+  "CMakeFiles/nemesis_sched.dir/atropos.cc.o.d"
+  "CMakeFiles/nemesis_sched.dir/cpu_server.cc.o"
+  "CMakeFiles/nemesis_sched.dir/cpu_server.cc.o.d"
+  "libnemesis_sched.a"
+  "libnemesis_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nemesis_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nemesis_sim.dir/simulator.cc.o"
+  "CMakeFiles/nemesis_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/nemesis_sim.dir/task.cc.o"
+  "CMakeFiles/nemesis_sim.dir/task.cc.o.d"
+  "CMakeFiles/nemesis_sim.dir/trace.cc.o"
+  "CMakeFiles/nemesis_sim.dir/trace.cc.o.d"
+  "libnemesis_sim.a"
+  "libnemesis_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nemesis_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

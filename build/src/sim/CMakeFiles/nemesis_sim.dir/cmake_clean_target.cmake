@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnemesis_sim.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nemesis_usd.dir/sfs.cc.o"
+  "CMakeFiles/nemesis_usd.dir/sfs.cc.o.d"
+  "CMakeFiles/nemesis_usd.dir/usd.cc.o"
+  "CMakeFiles/nemesis_usd.dir/usd.cc.o.d"
+  "libnemesis_usd.a"
+  "libnemesis_usd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nemesis_usd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for nemesis_usd.
+# This may be replaced when dependencies are built.
