@@ -1,0 +1,128 @@
+// SmallFunction: a move-only std::function replacement with inline storage.
+//
+// The simulator schedules millions of short-lived callbacks per experiment;
+// std::function heap-allocates any capture larger than (typically) two
+// pointers, which made every CallAt() an allocation. SmallFunction stores
+// callables up to kInlineSize bytes inline (48 bytes covers every capture in
+// the tree today) and only falls back to the heap beyond that, so the event
+// loop runs allocation-free in the steady state.
+#ifndef SRC_BASE_SMALL_FUNCTION_H_
+#define SRC_BASE_SMALL_FUNCTION_H_
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "src/base/assert.h"
+
+namespace nemesis {
+
+template <typename Signature, size_t kInlineSize = 48>
+class SmallFunction;
+
+template <typename R, typename... Args, size_t kInlineSize>
+class SmallFunction<R(Args...), kInlineSize> {
+ public:
+  SmallFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  SmallFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Decayed = std::decay_t<F>;
+    if constexpr (sizeof(Decayed) <= kInlineSize &&
+                  alignof(Decayed) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Decayed>) {
+      ::new (static_cast<void*>(storage_)) Decayed(std::forward<F>(f));
+      ops_ = &InlineOps<Decayed>::kOps;
+    } else {
+      // Large or over-aligned callable: keep a heap pointer inline instead.
+      using Boxed = Decayed*;
+      static_assert(sizeof(Boxed) <= kInlineSize);
+      ::new (static_cast<void*>(storage_)) Boxed(new Decayed(std::forward<F>(f)));
+      ops_ = &HeapOps<Decayed>::kOps;
+    }
+  }
+
+  SmallFunction(SmallFunction&& other) noexcept { MoveFrom(std::move(other)); }
+
+  SmallFunction& operator=(SmallFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  SmallFunction(const SmallFunction&) = delete;
+  SmallFunction& operator=(const SmallFunction&) = delete;
+
+  ~SmallFunction() { Reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  R operator()(Args... args) {
+    NEM_ASSERT_MSG(ops_ != nullptr, "calling an empty SmallFunction");
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void* storage, Args&&... args);
+    void (*move)(void* dst, void* src);  // src is destroyed
+    void (*destroy)(void* storage);
+  };
+
+  template <typename F>
+  struct InlineOps {
+    static R Invoke(void* storage, Args&&... args) {
+      return (*std::launder(reinterpret_cast<F*>(storage)))(std::forward<Args>(args)...);
+    }
+    static void Move(void* dst, void* src) {
+      F* from = std::launder(reinterpret_cast<F*>(src));
+      ::new (dst) F(std::move(*from));
+      from->~F();
+    }
+    static void Destroy(void* storage) { std::launder(reinterpret_cast<F*>(storage))->~F(); }
+    static constexpr Ops kOps{&Invoke, &Move, &Destroy};
+  };
+
+  template <typename F>
+  struct HeapOps {
+    static F*& Slot(void* storage) { return *std::launder(reinterpret_cast<F**>(storage)); }
+    static R Invoke(void* storage, Args&&... args) {
+      return (*Slot(storage))(std::forward<Args>(args)...);
+    }
+    static void Move(void* dst, void* src) {
+      ::new (dst) F*(Slot(src));
+      Slot(src) = nullptr;
+    }
+    static void Destroy(void* storage) { delete Slot(storage); }
+    static constexpr Ops kOps{&Invoke, &Move, &Destroy};
+  };
+
+  void MoveFrom(SmallFunction&& other) noexcept {
+    if (other.ops_ != nullptr) {
+      ops_ = other.ops_;
+      ops_->move(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace nemesis
+
+#endif  // SRC_BASE_SMALL_FUNCTION_H_

@@ -21,72 +21,74 @@ const char* FaultTypeName(FaultType type) {
 }
 
 TranslateResult Mmu::Translate(VirtAddr va, AccessType access, const RightsResolver* resolver) {
-  ++translations_;
   const Vpn vpn = VpnOf(va);
+  // The hot loop: one iteration normally; a second only when a stale TLB
+  // entry is dropped and the translation retries as a miss (kept as a loop,
+  // not recursion, so the fast path stays flat).
+  for (;;) {
+    ++translations_;
+    Pte* pte;
+    // TLB hit path first: rights are re-resolved (through the version-keyed
+    // cache) because protection-domain switches do not flush the TLB in this
+    // model (entries carry the sid); the PTE is revalidated through the
+    // single-entry walk cache, which for repeat accesses to the same page
+    // costs a compare instead of a table walk.
+    const Tlb::Entry* tlb_entry = tlb_.Lookup(vpn);
+    if (tlb_entry != nullptr) [[likely]] {
+      pte = Walk(vpn);
+      if (pte == nullptr || !pte->valid || pte->pfn != tlb_entry->pfn) [[unlikely]] {
+        // Stale entry (mapping changed underneath); drop it and retry.
+        tlb_.Invalidate(vpn);
+        continue;
+      }
+    } else {
+      pte = Walk(vpn);
+      if (pte == nullptr) {
+        ++faults_;
+        return TranslateResult{FaultType::kFaultUnallocated, 0, kNoSid};
+      }
+      if (pte->valid) {
+        tlb_.Fill(vpn, pte->pfn, pte->rights, pte->sid);
+      }
+    }
 
-  // TLB hit path: rights are re-resolved because protection-domain switches do
-  // not flush the TLB in this model (entries carry the sid).
-  Pte* pte = nullptr;
-  const Tlb::Entry* tlb_entry = tlb_.Lookup(vpn);
-  if (tlb_entry == nullptr) {
-    pte = page_table_->Lookup(vpn);
-    if (pte == nullptr) {
+    const Sid sid = pte->sid;
+    const uint8_t rights = ResolveRights(resolver, sid, pte->rights);
+
+    if (!RightsAllow(rights, access)) [[unlikely]] {
       ++faults_;
-      return TranslateResult{FaultType::kFaultUnallocated, 0, kNoSid};
+      return TranslateResult{FaultType::kFaultAcv, 0, sid};
     }
-    if (pte->valid) {
-      tlb_.Fill(vpn, pte->pfn, pte->rights, pte->sid);
+    if (!pte->valid) [[unlikely]] {
+      ++faults_;
+      return TranslateResult{FaultType::kFaultTnv, 0, sid};
     }
-  } else {
-    pte = page_table_->Lookup(vpn);
-    if (pte == nullptr || !pte->valid || pte->pfn != tlb_entry->pfn) {
-      // Stale entry (mapping changed underneath); drop it and retry the walk.
-      tlb_.Invalidate(vpn);
-      return Translate(va, access, resolver);
-    }
-  }
 
-  const Sid sid = pte->sid;
-  uint8_t rights = pte->rights;
-  if (resolver != nullptr) {
-    if (auto r = resolver->RightsFor(sid); r.has_value()) {
-      rights = *r;
+    // DFault path: referenced/dirty via FOR/FOW.
+    if (pte->fault_on_read && access == AccessType::kRead) [[unlikely]] {
+      pte->fault_on_read = false;
+      pte->referenced = true;
+      if (deliver_fow_faults_) {
+        ++faults_;
+        return TranslateResult{FaultType::kFaultFor, 0, sid};
+      }
     }
-  }
-
-  if (!RightsAllow(rights, access)) {
-    ++faults_;
-    return TranslateResult{FaultType::kFaultAcv, 0, sid};
-  }
-  if (!pte->valid) {
-    ++faults_;
-    return TranslateResult{FaultType::kFaultTnv, 0, sid};
-  }
-
-  // DFault path: referenced/dirty via FOR/FOW.
-  if (pte->fault_on_read && access == AccessType::kRead) {
-    pte->fault_on_read = false;
+    if (pte->fault_on_write && access == AccessType::kWrite) [[unlikely]] {
+      pte->fault_on_write = false;
+      pte->dirty = true;
+      pte->referenced = true;
+      if (deliver_fow_faults_) {
+        ++faults_;
+        return TranslateResult{FaultType::kFaultFow, 0, sid};
+      }
+    }
     pte->referenced = true;
-    if (deliver_fow_faults_) {
-      ++faults_;
-      return TranslateResult{FaultType::kFaultFor, 0, sid};
+    if (access == AccessType::kWrite) {
+      pte->dirty = true;
     }
-  }
-  if (pte->fault_on_write && access == AccessType::kWrite) {
-    pte->fault_on_write = false;
-    pte->dirty = true;
-    pte->referenced = true;
-    if (deliver_fow_faults_) {
-      ++faults_;
-      return TranslateResult{FaultType::kFaultFow, 0, sid};
-    }
-  }
-  pte->referenced = true;
-  if (access == AccessType::kWrite) {
-    pte->dirty = true;
-  }
 
-  return TranslateResult{FaultType::kNone, pte->pfn * page_size_ + OffsetOf(va), sid};
+    return TranslateResult{FaultType::kNone, pte->pfn * page_size_ + OffsetOf(va), sid};
+  }
 }
 
 TranslateResult Mmu::Probe(VirtAddr va, AccessType access, const RightsResolver* resolver) const {

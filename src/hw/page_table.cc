@@ -38,9 +38,14 @@ Pte* GuardedPageTable::Ensure(Vpn vpn) {
   if (mid->leaves[mid_index] == nullptr) {
     mid->leaves[mid_index] = std::make_unique<Leaf>();
     footprint_ += sizeof(Leaf);
+    ++mid->leaf_count;
   }
-  Pte* pte = &mid->leaves[mid_index]->entries[leaf_index];
-  pte->allocated = true;
+  Leaf* leaf = mid->leaves[mid_index].get();
+  Pte* pte = &leaf->entries[leaf_index];
+  if (!pte->allocated) {
+    pte->allocated = true;
+    ++leaf->allocated_count;
+  }
   return pte;
 }
 
@@ -52,10 +57,21 @@ void GuardedPageTable::Remove(Vpn vpn) {
     return;
   }
   Mid* mid = top_[top_index].get();
-  if (mid->leaves[mid_index] == nullptr) {
+  Leaf* leaf = mid->leaves[mid_index].get();
+  if (leaf == nullptr || !leaf->entries[leaf_index].allocated) {
     return;
   }
-  mid->leaves[mid_index]->entries[leaf_index] = Pte{};
+  leaf->entries[leaf_index] = Pte{};
+  // Reclaim translation memory bottom-up so footprint_bytes() tracks the
+  // structures actually in use (callers invalidate any cached PTE pointers).
+  if (--leaf->allocated_count == 0) {
+    mid->leaves[mid_index].reset();
+    footprint_ -= sizeof(Leaf);
+    if (--mid->leaf_count == 0) {
+      top_[top_index].reset();
+      footprint_ -= sizeof(Mid);
+    }
+  }
 }
 
 }  // namespace nemesis

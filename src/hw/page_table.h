@@ -89,9 +89,13 @@ class GuardedPageTable : public PageTable {
 
   struct Leaf {
     Pte entries[kFanout];
+    // Live entries in this leaf; the leaf is freed (and footprint_ shrinks)
+    // when the count returns to zero.
+    uint32_t allocated_count = 0;
   };
   struct Mid {
     std::unique_ptr<Leaf> leaves[kFanout];
+    uint32_t leaf_count = 0;
   };
 
   Vpn max_vpn_;

@@ -39,11 +39,13 @@ class ProtectionDomain : public RightsResolver {
   void SetRights(Sid sid, uint8_t rights) {
     NEM_ASSERT(sid < rights_.size());
     rights_[sid] = rights;
+    BumpVersion();  // invalidates the MMU's cached resolution for this domain
   }
 
   void RemoveEntry(Sid sid) {
     NEM_ASSERT(sid < rights_.size());
     rights_[sid] = kNoEntry;
+    BumpVersion();
   }
 
   uint64_t changes() const { return changes_; }
@@ -62,6 +64,7 @@ class ProtectionDomain : public RightsResolver {
     if (rights_[sid] != rights) {  // idempotent-change detection
       rights_[sid] = rights;
       ++changes_;
+      BumpVersion();
     }
     return Status<VmError>::Ok();
   }

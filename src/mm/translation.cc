@@ -23,6 +23,9 @@ void TranslationSystem::RemoveRange(VirtAddr base, size_t npages) {
     mmu_.page_table()->Remove(first + i);
     mmu_.tlb().Invalidate(first + i);
   }
+  // Remove() may reclaim page-table memory (GuardedPageTable frees empty
+  // leaves), so the MMU's last-PTE pointer must not survive this call.
+  mmu_.InvalidateTranslationCaches();
 }
 
 ProtectionDomain* TranslationSystem::CreateProtectionDomain() {
@@ -32,6 +35,9 @@ ProtectionDomain* TranslationSystem::CreateProtectionDomain() {
 
 void TranslationSystem::DeleteProtectionDomain(PdomId id) {
   std::erase_if(pdoms_, [id](const auto& p) { return p->id() == id; });
+  // A new domain could be allocated at the freed address; drop the MMU's
+  // cached (resolver, sid) resolution so it can never alias.
+  mmu_.InvalidateTranslationCaches();
 }
 
 ProtectionDomain* TranslationSystem::FindProtectionDomain(PdomId id) {

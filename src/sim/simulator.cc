@@ -6,23 +6,168 @@
 
 namespace nemesis {
 
-uint64_t Simulator::CallAt(SimTime t, std::function<void()> fn) {
+namespace {
+constexpr size_t kArity = 4;
+}  // namespace
+
+uint32_t Simulator::AllocSlot() {
+  if (!free_slots_.empty()) {
+    const uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  NEM_ASSERT_MSG(slots_.size() < UINT32_MAX, "handle table exhausted");
+  slots_.push_back(Slot{});
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::ReleaseSlot(uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn.Reset();
+  s.pending = false;
+  s.cancelled = false;
+  if (++s.gen == 0) {
+    s.gen = 1;  // keep ids nonzero so 0 stays a safe "no timer" sentinel
+  }
+  free_slots_.push_back(slot);
+}
+
+uint32_t Simulator::BucketFor(SimTime t) {
+  const size_t h = TimeCacheIndex(t);
+  const uint32_t cached = time_cache_[h];
+  if (cached != kNoBucket && buckets_[cached].time == t) {
+    return cached;
+  }
+  // Cache miss: open a new bucket for `t` and make it the routing target. Any
+  // older bucket for the same time (evicted by a colliding timestamp) can no
+  // longer receive events, so it holds strictly earlier arrivals and drains
+  // first via its smaller bseq.
+  uint32_t bidx;
+  if (!free_buckets_.empty()) {
+    bidx = free_buckets_.back();
+    free_buckets_.pop_back();
+  } else {
+    NEM_ASSERT_MSG(buckets_.size() < kNoBucket, "bucket table exhausted");
+    buckets_.push_back(Bucket{});
+    bidx = static_cast<uint32_t>(buckets_.size() - 1);
+  }
+  Bucket& b = buckets_[bidx];
+  b.time = t;
+  b.head = 0;
+  NEM_ASSERT(b.entries.empty());
+  HeapPush(Event{t, next_bucket_seq_++, bidx});
+  time_cache_[h] = bidx;
+  return bidx;
+}
+
+void Simulator::FreeBucket(uint32_t bidx) {
+  Bucket& b = buckets_[bidx];
+  const size_t h = TimeCacheIndex(b.time);
+  if (time_cache_[h] == bidx) {
+    time_cache_[h] = kNoBucket;  // stop CallAt from appending to a dead bucket
+  }
+  b.entries.clear();  // keeps capacity for reuse
+  b.head = 0;
+  free_buckets_.push_back(bidx);
+}
+
+void Simulator::HeapPush(Event ev) {
+  size_t i = heap_.size();
+  heap_.push_back(ev);
+  // Sift up with a hole to avoid per-level swaps.
+  while (i > 0) {
+    const size_t parent = (i - 1) / kArity;
+    if (!EarlierThan(ev, heap_[parent])) {
+      break;
+    }
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = ev;
+}
+
+void Simulator::SiftDownFromTop() {
+  const size_t n = heap_.size();
+  if (n == 0) {
+    return;
+  }
+  size_t i = 0;
+  const Event tmp = heap_[0];
+  for (;;) {
+    const size_t first_child = kArity * i + 1;
+    if (first_child >= n) {
+      break;
+    }
+    const size_t end = std::min(first_child + kArity, n);
+    size_t best = first_child;
+    for (size_t c = first_child + 1; c < end; ++c) {
+      if (EarlierThan(heap_[c], heap_[best])) {
+        best = c;
+      }
+    }
+    if (!EarlierThan(heap_[best], tmp)) {
+      break;
+    }
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = tmp;
+}
+
+void Simulator::HeapPopTop() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  SiftDownFromTop();
+}
+
+uint32_t Simulator::FindLiveTop() {
+  while (!heap_.empty()) {
+    const uint32_t bidx = heap_.front().bucket;
+    Bucket& b = buckets_[bidx];
+    // Drop cancelled entries off the front of the bucket.
+    while (b.head < b.entries.size() && slots_[b.entries[b.head]].cancelled) {
+      ReleaseSlot(b.entries[b.head]);
+      ++b.head;
+    }
+    if (b.head < b.entries.size()) {
+      return bidx;
+    }
+    HeapPopTop();
+    FreeBucket(bidx);
+  }
+  return kNoBucket;
+}
+
+uint64_t Simulator::CallAt(SimTime t, Callback fn) {
   NEM_ASSERT_MSG(t >= now_, "cannot schedule into the past");
-  const uint64_t id = next_id_++;
-  queue_.push(Entry{t, next_seq_++, id});
-  callbacks_.emplace(id, std::move(fn));
+  const uint32_t slot = AllocSlot();
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.pending = true;
+  const uint64_t id = (static_cast<uint64_t>(slot) << 32) | s.gen;
+  buckets_[BucketFor(t)].entries.push_back(slot);
+  ++live_pending_;
   return id;
 }
 
-uint64_t Simulator::CallAfter(SimDuration d, std::function<void()> fn) {
+uint64_t Simulator::CallAfter(SimDuration d, Callback fn) {
   NEM_ASSERT_MSG(d >= 0, "negative delay");
   return CallAt(now_ + d, std::move(fn));
 }
 
 void Simulator::Cancel(uint64_t id) {
-  if (callbacks_.erase(id) != 0) {
-    ++cancelled_in_queue_;
+  const uint32_t slot = static_cast<uint32_t>(id >> 32);
+  const uint32_t gen = static_cast<uint32_t>(id);
+  if (slot >= slots_.size()) {
+    return;
   }
+  Slot& s = slots_[slot];
+  if (s.gen != gen || !s.pending || s.cancelled) {
+    return;  // already fired, already cancelled, or never issued
+  }
+  s.cancelled = true;
+  s.fn.Reset();  // destroy captures now, as the map erase in the old loop did
+  --live_pending_;
 }
 
 TaskHandle Simulator::Spawn(Task task, std::string name) {
@@ -39,27 +184,65 @@ TaskHandle Simulator::Spawn(Task task, std::string name) {
   return TaskHandle(state);
 }
 
+uint64_t Simulator::DrainBatch() {
+  const uint32_t bidx = FindLiveTop();
+  if (bidx == kNoBucket) {
+    return 0;
+  }
+  const SimTime t = buckets_[bidx].time;
+  NEM_ASSERT(t >= now_);
+  now_ = t;
+  uint64_t n = 0;
+  // Events scheduled for `t` during the batch append behind `head`, so the
+  // bucket keeps handing them out in FIFO order. Re-deref `buckets_[bidx]`
+  // every iteration: a callback may open a new bucket and grow the vector.
+  for (;;) {
+    Bucket& b = buckets_[bidx];
+    if (b.head == b.entries.size()) {
+      break;
+    }
+    const uint32_t slot = b.entries[b.head++];
+    Slot& s = slots_[slot];
+    if (s.cancelled) {
+      ReleaseSlot(slot);
+      continue;
+    }
+    // Release before invoking: Cancel() of the now-running id is a no-op, and
+    // the callback is free to schedule into the recycled slot.
+    Callback fn = std::move(s.fn);
+    ReleaseSlot(slot);
+    ++events_executed_;
+    --live_pending_;
+    ++n;
+    fn();
+  }
+  // The bucket drained dry; it is still the heap top (nothing earlier can
+  // appear while it runs, and a same-time sibling has a later bseq).
+  NEM_ASSERT(!heap_.empty() && heap_.front().bucket == bidx);
+  HeapPopTop();
+  FreeBucket(bidx);
+  return n;
+}
+
 uint64_t Simulator::Run() {
   uint64_t n = 0;
-  while (Step()) {
-    ++n;
+  for (;;) {
+    const uint64_t batch = DrainBatch();
+    if (batch == 0) {
+      return n;
+    }
+    n += batch;
   }
-  return n;
 }
 
 uint64_t Simulator::RunUntil(SimTime deadline) {
   uint64_t n = 0;
   for (;;) {
-    // Skip cancelled entries to find the next live event.
-    while (!queue_.empty() && callbacks_.find(queue_.top().id) == callbacks_.end()) {
-      queue_.pop();
-      --cancelled_in_queue_;
-    }
-    if (queue_.empty() || queue_.top().time > deadline) {
+    const uint32_t bidx = FindLiveTop();
+    if (bidx == kNoBucket || buckets_[bidx].time > deadline) {
       break;
     }
-    Step();
-    ++n;
+    n += DrainBatch();
   }
   if (now_ < deadline) {
     now_ = deadline;
@@ -68,23 +251,22 @@ uint64_t Simulator::RunUntil(SimTime deadline) {
 }
 
 bool Simulator::Step() {
-  while (!queue_.empty()) {
-    const Entry entry = queue_.top();
-    auto it = callbacks_.find(entry.id);
-    queue_.pop();
-    if (it == callbacks_.end()) {
-      --cancelled_in_queue_;
-      continue;
-    }
-    NEM_ASSERT(entry.time >= now_);
-    now_ = entry.time;
-    auto fn = std::move(it->second);
-    callbacks_.erase(it);
-    ++events_executed_;
-    fn();
-    return true;
+  const uint32_t bidx = FindLiveTop();
+  if (bidx == kNoBucket) {
+    return false;
   }
-  return false;
+  Bucket& b = buckets_[bidx];
+  NEM_ASSERT(b.time >= now_);
+  now_ = b.time;
+  const uint32_t slot = b.entries[b.head++];  // FindLiveTop ensured liveness
+  Callback fn = std::move(slots_[slot].fn);
+  ReleaseSlot(slot);
+  ++events_executed_;
+  --live_pending_;
+  fn();
+  // A drained bucket is left on the heap: a later CallAt at the same time may
+  // still revive it, and FindLiveTop reclaims it otherwise.
+  return true;
 }
 
 void Simulator::PruneTasks() {

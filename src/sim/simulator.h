@@ -5,17 +5,31 @@
 // consumes simulated time — domain workloads, fault handling, the USD service
 // loop, the disk mechanism — is driven from this single-threaded loop, which
 // makes every experiment deterministic.
+//
+// The event loop is allocation-free in the steady state: callback bodies live
+// inline in recycled handle-table slots (SmallFunction, 48-byte small-buffer
+// storage — no unordered_map, no per-callback heap node). Events are grouped
+// into per-timestamp *buckets*: a bucket is a recycled vector of slot indices
+// in scheduling order, and a small 4-ary heap orders the buckets by time. A
+// discrete-event simulation fires bursts of same-time events (quantum
+// boundaries, batched disk completions), so the heap pays O(log #timestamps)
+// per *timestamp* instead of per *event* — scheduling and firing within a
+// batch are plain vector appends/reads. A direct-mapped time→bucket cache
+// routes CallAt to its bucket without a hash map; a cache collision merely
+// opens a second bucket for the same time (ordered after the first by a
+// creation stamp), never reorders events. Cancel is lazy — it flags the
+// generation-stamped slot, destroys the callback eagerly, and the entry is
+// dropped when it surfaces. Same-time events always fire in scheduling (FIFO)
+// order: appends only ever go to the newest bucket for a given time.
 #ifndef SRC_SIM_SIMULATOR_H_
 #define SRC_SIM_SIMULATOR_H_
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "src/base/small_function.h"
 #include "src/sim/task.h"
 #include "src/sim/time.h"
 
@@ -23,21 +37,28 @@ namespace nemesis {
 
 class Simulator {
  public:
-  Simulator() = default;
+  using Callback = SmallFunction<void()>;
+
+  Simulator() {
+    for (uint32_t& c : time_cache_) {
+      c = kNoBucket;
+    }
+  }
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   SimTime Now() const { return now_; }
 
   // Schedules `fn` to run at absolute simulated time `t` (>= Now()). Returns
-  // an id usable with Cancel().
-  uint64_t CallAt(SimTime t, std::function<void()> fn);
+  // an id usable with Cancel(); ids are never 0, so 0 is a safe sentinel.
+  uint64_t CallAt(SimTime t, Callback fn);
 
   // Schedules `fn` to run `d` after Now().
-  uint64_t CallAfter(SimDuration d, std::function<void()> fn);
+  uint64_t CallAfter(SimDuration d, Callback fn);
 
   // Cancels a pending callback; cancelling an already-fired or unknown id is a
-  // no-op.
+  // no-op (ids carry a generation stamp, so a recycled handle slot can never
+  // be cancelled through a stale id).
   void Cancel(uint64_t id);
 
   // Starts a coroutine task. The first resume happens from the run loop at the
@@ -55,34 +76,89 @@ class Simulator {
   // Executes a single event if one is pending. Returns false when idle.
   bool Step();
 
-  size_t pending_events() const { return queue_.size() - cancelled_in_queue_; }
+  size_t pending_events() const { return live_pending_; }
   uint64_t events_executed() const { return events_executed_; }
 
  private:
-  struct Entry {
+  static constexpr uint32_t kNoBucket = UINT32_MAX;
+  static constexpr size_t kTimeCacheSize = 64;  // power of two
+
+  // Heap key: one entry per live timestamp bucket. `bseq` is the bucket
+  // creation stamp — it tiebreaks the (rare) case where a cache collision
+  // opened a second bucket for the same time, keeping global FIFO order.
+  struct Event {
     SimTime time;
-    uint64_t seq;
-    uint64_t id;
-    // Entries are kept in a max-heap; invert the comparison for earliest-first
-    // and use seq for FIFO order among same-time events.
-    bool operator<(const Entry& other) const {
-      if (time != other.time) {
-        return time > other.time;
-      }
-      return seq > other.seq;
-    }
+    uint64_t bseq;
+    uint32_t bucket;
   };
+
+  // All events scheduled for one timestamp, slot indices in scheduling order.
+  // `head` walks forward as the batch drains; callbacks appending to the same
+  // time land behind it. Freed buckets keep their vector capacity, so the
+  // steady state never allocates.
+  struct Bucket {
+    SimTime time = 0;
+    size_t head = 0;
+    std::vector<uint32_t> entries;
+  };
+
+  // Handle-table slot: owns the callback body and the cancellation state. An
+  // id is (slot << 32) | generation; the generation is bumped every time the
+  // slot is released, so stale ids never match.
+  struct Slot {
+    Callback fn;
+    uint32_t gen = 1;
+    bool pending = false;
+    bool cancelled = false;
+  };
+
+  static bool EarlierThan(const Event& a, const Event& b) {
+    return a.time < b.time || (a.time == b.time && a.bseq < b.bseq);
+  }
+
+  // Fibonacci hash: spreads strided timestamps (all multiples of some quantum)
+  // across the cache instead of aliasing a few lines.
+  static size_t TimeCacheIndex(SimTime t) {
+    return static_cast<size_t>(
+        (static_cast<uint64_t>(t) * 0x9E3779B97F4A7C15ull) >>
+        (64 - 6));  // log2(kTimeCacheSize)
+  }
+
+  uint32_t AllocSlot();
+  void ReleaseSlot(uint32_t slot);
+
+  // Returns the bucket for time `t`, creating (and heap-pushing) it on a
+  // cache miss.
+  uint32_t BucketFor(SimTime t);
+  void FreeBucket(uint32_t bidx);
+
+  // 4-ary heap primitives over heap_.
+  void HeapPush(Event ev);
+  void HeapPopTop();
+  void SiftDownFromTop();
+
+  // Skips cancelled entries (releasing their slots) and pops drained buckets
+  // off the heap top; returns the bucket holding the earliest live event, or
+  // kNoBucket when the queue is empty.
+  uint32_t FindLiveTop();
+
+  // Executes every event at the earliest pending timestamp (including events
+  // scheduled *for that same timestamp* while the batch runs). Returns the
+  // number of events executed (0 when idle).
+  uint64_t DrainBatch();
 
   void PruneTasks();
 
   SimTime now_ = 0;
-  uint64_t next_seq_ = 0;
-  uint64_t next_id_ = 1;
+  uint64_t next_bucket_seq_ = 0;
   uint64_t events_executed_ = 0;
-  size_t cancelled_in_queue_ = 0;
-  std::priority_queue<Entry> queue_;
-  // Callback bodies live here so Cancel() can drop them without heap surgery.
-  std::unordered_map<uint64_t, std::function<void()>> callbacks_;
+  size_t live_pending_ = 0;
+  std::vector<Event> heap_;
+  std::vector<Bucket> buckets_;
+  std::vector<uint32_t> free_buckets_;
+  uint32_t time_cache_[kTimeCacheSize];
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
   std::vector<std::shared_ptr<TaskState>> tasks_;
 };
 

@@ -96,6 +96,71 @@ TYPED_TEST(PageTableTest, ManyRandomEntries) {
   }
 }
 
+TEST(GuardedPageTableModel, RemoveReclaimsLeafAndMidFootprint) {
+  GuardedPageTable pt(1 << 20);
+  const size_t empty = pt.footprint_bytes();
+  // Two VPNs in the same leaf, one in a sibling leaf under the same mid.
+  const Vpn a = 5;
+  const Vpn b = 6;
+  const Vpn c = 5 + 512;  // next leaf
+  ASSERT_NE(pt.Ensure(a), nullptr);
+  const size_t one_leaf = pt.footprint_bytes();
+  EXPECT_GT(one_leaf, empty);
+  ASSERT_NE(pt.Ensure(b), nullptr);
+  EXPECT_EQ(pt.footprint_bytes(), one_leaf);  // same leaf: no new structure
+  ASSERT_NE(pt.Ensure(c), nullptr);
+  const size_t two_leaves = pt.footprint_bytes();
+  EXPECT_GT(two_leaves, one_leaf);
+
+  pt.Remove(a);
+  EXPECT_EQ(pt.footprint_bytes(), two_leaves);  // leaf still holds `b`
+  EXPECT_EQ(pt.Lookup(a), nullptr);
+  EXPECT_NE(pt.Lookup(b), nullptr);
+  pt.Remove(b);
+  EXPECT_EQ(pt.footprint_bytes(), one_leaf);  // first leaf freed
+  EXPECT_NE(pt.Lookup(c), nullptr);           // sibling leaf untouched
+  pt.Remove(c);
+  EXPECT_EQ(pt.footprint_bytes(), empty);  // mid freed too: back to baseline
+  EXPECT_EQ(pt.Lookup(c), nullptr);
+}
+
+TEST(GuardedPageTableModel, RemoveOfUnallocatedOrRepeatIsNoOp) {
+  GuardedPageTable pt(1 << 20);
+  const size_t empty = pt.footprint_bytes();
+  pt.Remove(123);  // nothing mapped at all
+  EXPECT_EQ(pt.footprint_bytes(), empty);
+
+  ASSERT_NE(pt.Ensure(123), nullptr);
+  pt.Remove(124);  // same leaf, never allocated
+  EXPECT_NE(pt.Lookup(123), nullptr);
+  pt.Remove(123);
+  const size_t after = pt.footprint_bytes();
+  EXPECT_EQ(after, empty);
+  pt.Remove(123);  // double remove must not underflow the counters
+  EXPECT_EQ(pt.footprint_bytes(), empty);
+  // The structure still works after a full drain.
+  ASSERT_NE(pt.Ensure(123), nullptr);
+  EXPECT_NE(pt.Lookup(123), nullptr);
+}
+
+TEST(GuardedPageTableModel, ChurnReturnsFootprintToBaseline) {
+  GuardedPageTable pt(1 << 20);
+  const size_t empty = pt.footprint_bytes();
+  Random rng(7);
+  std::vector<Vpn> vpns;
+  for (int i = 0; i < 300; ++i) {
+    const Vpn vpn = rng.NextBelow(1 << 20);
+    if (pt.Ensure(vpn) != nullptr) {
+      vpns.push_back(vpn);
+    }
+  }
+  EXPECT_GT(pt.footprint_bytes(), empty);
+  for (Vpn vpn : vpns) {
+    pt.Remove(vpn);
+  }
+  EXPECT_EQ(pt.footprint_bytes(), empty);
+}
+
 TEST(TlbModel, HitAfterFill) {
   Tlb tlb(4);
   EXPECT_EQ(tlb.Lookup(10), nullptr);
@@ -131,6 +196,101 @@ TEST(TlbModel, RefillSameVpnReplaces) {
   const Tlb::Entry* e = tlb.Lookup(5);
   ASSERT_NE(e, nullptr);
   EXPECT_EQ(e->pfn, 9u);
+}
+
+TEST(TlbModel, DefaultGeometryIsFourWaySixteenSets) {
+  Tlb tlb;
+  EXPECT_EQ(tlb.capacity(), 64u);
+  EXPECT_EQ(tlb.ways(), 4u);
+  EXPECT_EQ(tlb.sets(), 16u);
+}
+
+TEST(TlbModel, EvictionIsConfinedToOneSet) {
+  // VPNs congruent mod `sets` share a set; overfilling that set must never
+  // disturb entries that live in other sets.
+  Tlb tlb;  // 4 ways x 16 sets
+  const size_t sets = tlb.sets();
+  tlb.Fill(1, 100, kRightRead, 1);      // set 1, stays resident throughout
+  for (Vpn i = 0; i < 8; ++i) {
+    tlb.Fill(i * sets, i, kRightRead, 1);  // 8 VPNs all mapping to set 0
+  }
+  // Set 0 holds only the 4 most recent of its 8 fills...
+  int set0_resident = 0;
+  for (Vpn i = 0; i < 8; ++i) {
+    if (tlb.Lookup(i * sets) != nullptr) {
+      ++set0_resident;
+    }
+  }
+  EXPECT_EQ(set0_resident, 4);
+  // ...and the round-robin victim is always the oldest fill.
+  for (Vpn i = 0; i < 4; ++i) {
+    EXPECT_EQ(tlb.Lookup(i * sets), nullptr) << "vpn " << i * sets;
+    EXPECT_NE(tlb.Lookup((i + 4) * sets), nullptr) << "vpn " << (i + 4) * sets;
+  }
+  // ...while set 1 was never touched.
+  EXPECT_NE(tlb.Lookup(1), nullptr);
+}
+
+TEST(TlbModel, InvalidateOnlyTouchesItsOwnSet) {
+  Tlb tlb;
+  const size_t sets = tlb.sets();
+  tlb.Fill(7, 1, kRightRead, 1);             // set 7
+  tlb.Fill(7 + sets, 2, kRightRead, 1);      // set 7, different tag
+  tlb.Fill(8, 3, kRightRead, 1);             // set 8
+  tlb.Invalidate(7);
+  EXPECT_EQ(tlb.Lookup(7), nullptr);
+  EXPECT_NE(tlb.Lookup(7 + sets), nullptr);  // same set, different VPN: kept
+  EXPECT_NE(tlb.Lookup(8), nullptr);         // other set: untouched
+}
+
+TEST(TlbModel, InvalidateAllFlushesEverySetAndCountsFlush) {
+  Tlb tlb;
+  for (Vpn v = 0; v < 64; ++v) {
+    tlb.Fill(v, v, kRightRead, 1);
+  }
+  EXPECT_EQ(tlb.flushes(), 0u);
+  tlb.InvalidateAll();
+  EXPECT_EQ(tlb.flushes(), 1u);
+  for (Vpn v = 0; v < 64; ++v) {
+    EXPECT_EQ(tlb.Lookup(v), nullptr);
+  }
+}
+
+TEST(TlbModel, OddCapacityDegradesGracefully) {
+  // Capacities that don't split into ways*2^k sets fall back toward fewer
+  // sets; the TLB must still hold `capacity` entries and stay correct.
+  Tlb tlb(9, 4);
+  EXPECT_EQ(tlb.capacity(), 9u);
+  EXPECT_EQ(tlb.sets() * tlb.ways(), tlb.capacity());
+  for (Vpn v = 0; v < 9; ++v) {
+    tlb.Fill(v, v + 1, kRightRead, 1);
+  }
+  for (Vpn v = 0; v < 9; ++v) {
+    const Tlb::Entry* e = tlb.Lookup(v);
+    ASSERT_NE(e, nullptr) << "vpn " << v;
+    EXPECT_EQ(e->pfn, v + 1);
+  }
+}
+
+TEST(TlbModel, AgreesWithLinearScanOnSingleSetConfig) {
+  // With one set, the set-associative TLB degenerates to the original
+  // fully-associative FIFO model; drive both with the same trace.
+  Tlb tlb(8, 8);
+  LinearScanTlb ref(8);
+  uint32_t x = 12345;
+  for (int i = 0; i < 2000; ++i) {
+    x = x * 1103515245 + 12345;  // deterministic LCG
+    const Vpn vpn = (x >> 16) & 15;
+    const auto* a = tlb.Lookup(vpn);
+    const auto* b = ref.Lookup(vpn);
+    ASSERT_EQ(a == nullptr, b == nullptr) << "step " << i << " vpn " << vpn;
+    if (a == nullptr) {
+      tlb.Fill(vpn, vpn + 1, kRightRead, 1);
+      ref.Fill(vpn, vpn + 1, kRightRead, 1);
+    }
+  }
+  EXPECT_EQ(tlb.hits(), ref.hits());
+  EXPECT_EQ(tlb.misses(), ref.misses());
 }
 
 class MmuTest : public ::testing::Test {
@@ -224,16 +384,24 @@ class TestResolver : public RightsResolver {
     }
     return std::nullopt;
   }
+  // Protection changes must bump the version (RightsResolver contract) so the
+  // MMU's cached resolution is invalidated.
+  void set_rights(uint8_t rights) {
+    rights_ = rights;
+    BumpVersion();
+  }
+
+ private:
   uint8_t rights_ = kRightNone;
 };
 
 TEST_F(MmuTest, ResolverOverridesPteRights) {
   MapPage(3, 11, kRightRead | kRightWrite, /*sid=*/1);
   TestResolver resolver;
-  resolver.rights_ = kRightNone;
+  resolver.set_rights(kRightNone);
   auto r = mmu_.Translate(3 * kDefaultPageSize, AccessType::kRead, &resolver);
   EXPECT_EQ(r.fault, FaultType::kFaultAcv);
-  resolver.rights_ = kRightRead;
+  resolver.set_rights(kRightRead);
   r = mmu_.Translate(3 * kDefaultPageSize, AccessType::kRead, &resolver);
   EXPECT_EQ(r.fault, FaultType::kNone);
 }
@@ -243,10 +411,10 @@ TEST_F(MmuTest, ResolverSwitchIsImmediateDespiteTlb) {
   // entries are tagged with the stretch id and rights are re-resolved.
   MapPage(3, 11, kRightRead, /*sid=*/1);
   TestResolver resolver;
-  resolver.rights_ = kRightRead;
+  resolver.set_rights(kRightRead);
   EXPECT_EQ(mmu_.Translate(3 * kDefaultPageSize, AccessType::kRead, &resolver).fault,
             FaultType::kNone);
-  resolver.rights_ = kRightNone;  // revoke via "protection domain"
+  resolver.set_rights(kRightNone);  // revoke via "protection domain"
   EXPECT_EQ(mmu_.Translate(3 * kDefaultPageSize, AccessType::kRead, &resolver).fault,
             FaultType::kFaultAcv);
 }

@@ -1,7 +1,9 @@
 // Unit tests for the discrete-event simulator and coroutine layer.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/sim/simulator.h"
@@ -341,6 +343,213 @@ TEST(Trace, WritesCsv) {
   ASSERT_NE(std::fgets(line, sizeof(line), f), nullptr);
   EXPECT_NE(std::string(line).find("usd"), std::string::npos);
   std::fclose(f);
+}
+
+// ---------------------------------------------------------------------------
+// Invariants the bucketed event loop must preserve exactly (the figure
+// benches depend on scheduling order being bit-for-bit stable).
+// ---------------------------------------------------------------------------
+
+TEST(Simulator, InterleavedTimesStayFifoWithinEachTime) {
+  Simulator sim;
+  // Issue events over 4 timestamps in a scrambled order; within each
+  // timestamp they must fire in issue order, and timestamps in time order.
+  std::vector<std::pair<SimTime, int>> fired;
+  std::vector<std::pair<SimTime, int>> issued;
+  int issue = 0;
+  for (int round = 0; round < 8; ++round) {
+    for (SimTime t : {30, 10, 40, 20}) {
+      issued.emplace_back(t, issue);
+      sim.CallAt(t, [&fired, t, i = issue] { fired.emplace_back(t, i); });
+      ++issue;
+    }
+  }
+  sim.Run();
+  std::stable_sort(issued.begin(), issued.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  EXPECT_EQ(fired, issued);
+}
+
+TEST(Simulator, SameTimeEventScheduledMidBatchRunsLast) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.CallAt(Milliseconds(5), [&] {
+    order.push_back(1);
+    // Scheduled *for the running timestamp* during the batch: must fire
+    // after every event that was already pending at t=5.
+    sim.CallAt(Milliseconds(5), [&] { order.push_back(3); });
+  });
+  sim.CallAt(Milliseconds(5), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), Milliseconds(5));
+}
+
+TEST(Simulator, StepHonoursGlobalOrderAcrossTimes) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.CallAt(Milliseconds(2), [&] { order.push_back(3); });
+  sim.CallAt(Milliseconds(1), [&] { order.push_back(1); });
+  sim.CallAt(Milliseconds(1), [&] { order.push_back(2); });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(sim.Now(), Milliseconds(1));
+  EXPECT_TRUE(sim.Step());
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(sim.Now(), Milliseconds(2));
+  EXPECT_FALSE(sim.Step());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, IdsAreNeverZero) {
+  // Atropos and the frames allocator use id 0 as a "no timer pending"
+  // sentinel, so CallAt may never hand out 0.
+  Simulator sim;
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t id = sim.CallAfter(1, [] {});
+    EXPECT_NE(id, 0u);
+  }
+  sim.Run();
+}
+
+TEST(Simulator, CancelFiredIdIsNoOp) {
+  Simulator sim;
+  int count = 0;
+  const uint64_t id = sim.CallAt(Milliseconds(1), [&] { ++count; });
+  sim.Run();
+  EXPECT_EQ(count, 1);
+  sim.Cancel(id);  // already fired: must not disturb anything
+  sim.CallAt(Milliseconds(2), [&] { ++count; });
+  sim.Run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, CancelUnknownIdIsNoOp) {
+  Simulator sim;
+  sim.Cancel(0);                        // the sentinel
+  sim.Cancel((1ull << 32) | 12345);     // never-issued slot/generation
+  sim.Cancel((9999ull << 32) | 1);      // slot index out of range
+  bool ran = false;
+  sim.CallAt(Milliseconds(1), [&] { ran = true; });
+  sim.Run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, StaleIdCannotCancelRecycledSlot) {
+  Simulator sim;
+  bool second_ran = false;
+  const uint64_t id1 = sim.CallAt(Milliseconds(1), [] {});
+  sim.Run();  // id1 fires; its handle slot is recycled
+  const uint64_t id2 = sim.CallAt(Milliseconds(2), [&] { second_ran = true; });
+  EXPECT_NE(id1, id2);  // generation stamp differs even if the slot matches
+  sim.Cancel(id1);      // stale id: must NOT cancel the recycled slot
+  sim.Run();
+  EXPECT_TRUE(second_ran);
+}
+
+TEST(Simulator, DoubleCancelIsNoOp) {
+  Simulator sim;
+  bool ran = false;
+  const uint64_t id = sim.CallAt(Milliseconds(1), [&] { ran = true; });
+  sim.Cancel(id);
+  sim.Cancel(id);
+  sim.Run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, CancelOwnIdDuringCallbackIsNoOp) {
+  Simulator sim;
+  uint64_t id = 0;
+  bool after_ran = false;
+  id = sim.CallAt(Milliseconds(1), [&] {
+    sim.Cancel(id);  // the running event's id is already released
+    sim.CallAt(Milliseconds(2), [&] { after_ran = true; });
+  });
+  sim.Run();
+  EXPECT_TRUE(after_ran);
+}
+
+TEST(Simulator, PendingEventsTracksCancelAndFire) {
+  Simulator sim;
+  const uint64_t a = sim.CallAt(Milliseconds(1), [] {});
+  sim.CallAt(Milliseconds(1), [] {});
+  sim.CallAt(Milliseconds(2), [] {});
+  EXPECT_EQ(sim.pending_events(), 3u);
+  sim.Cancel(a);
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.RunUntil(Milliseconds(1));
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.Run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.events_executed(), 2u);
+}
+
+TEST(Simulator, ManyColocatedTimestampsKeepOrder) {
+  // More live timestamps than the time->bucket cache has lines: collisions
+  // must only cost speed, never ordering.
+  Simulator sim;
+  std::vector<int> order;
+  const int kTimes = 300;  // > 64 cache lines, strided
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int i = 0; i < kTimes; ++i) {
+      const SimTime t = 1000 + static_cast<SimTime>(i) * 64;  // alias-prone stride
+      sim.CallAt(t, [&order, i, pass] { order.push_back(i * 2 + pass); });
+    }
+  }
+  sim.Run();
+  ASSERT_EQ(order.size(), static_cast<size_t>(kTimes * 2));
+  for (int i = 0; i < kTimes; ++i) {
+    EXPECT_EQ(order[i * 2], i * 2);          // pass-0 event first (FIFO)
+    EXPECT_EQ(order[i * 2 + 1], i * 2 + 1);  // then the pass-1 event
+  }
+}
+
+// A miniature workload recorded twice must produce identical traces: the
+// golden-trace guard for the figure benches' determinism.
+void RunGoldenScenario(TraceRecorder* tr) {
+  Simulator sim;
+  uint64_t cancel_me = 0;
+  for (int lane = 0; lane < 4; ++lane) {
+    sim.CallAt(Milliseconds(1 + lane % 2), [&sim, tr, lane] {
+      tr->Record(sim.Now(), "sim", lane, "fire", lane, 0.0);
+      sim.CallAfter(Milliseconds(2), [&sim, tr, lane] {
+        tr->Record(sim.Now(), "sim", lane, "echo", lane, 1.0);
+      });
+    });
+  }
+  cancel_me = sim.CallAt(Milliseconds(2), [&sim, tr] {
+    tr->Record(sim.Now(), "sim", -1, "never", 0.0, 0.0);
+  });
+  sim.Cancel(cancel_me);
+  sim.RunUntil(Milliseconds(2));
+  sim.Run();
+}
+
+TEST(Simulator, GoldenTraceIsDeterministic) {
+  TraceRecorder a;
+  TraceRecorder b;
+  RunGoldenScenario(&a);
+  RunGoldenScenario(&b);
+  ASSERT_EQ(a.records().size(), b.records().size());
+  for (size_t i = 0; i < a.records().size(); ++i) {
+    const TraceRecord& ra = a.records()[i];
+    const TraceRecord& rb = b.records()[i];
+    EXPECT_EQ(ra.time, rb.time) << "record " << i;
+    EXPECT_EQ(ra.client, rb.client) << "record " << i;
+    EXPECT_EQ(ra.event, rb.event) << "record " << i;
+    EXPECT_EQ(ra.value_a, rb.value_a) << "record " << i;
+  }
+  // Golden expectations: fires at t=1/t=2 in lane order, echoes 2ms later,
+  // and the cancelled event never records.
+  ASSERT_EQ(a.records().size(), 8u);
+  EXPECT_EQ(a.Filter("sim", "fire").size(), 4u);
+  EXPECT_EQ(a.Filter("sim", "echo").size(), 4u);
+  EXPECT_EQ(a.Filter("sim", "never").size(), 0u);
+  EXPECT_EQ(a.records()[0].event, "fire");   // lanes 0,2 at t=1
+  EXPECT_EQ(a.records()[0].client, 0);
+  EXPECT_EQ(a.records()[1].client, 2);
+  EXPECT_EQ(a.records()[2].client, 1);       // lanes 1,3 at t=2
+  EXPECT_EQ(a.records()[3].client, 3);
 }
 
 }  // namespace

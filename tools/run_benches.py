@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Run the wall-clock perf harness and distill it into BENCH_core.json.
+
+Usage:
+    cmake -B build -S . && cmake --build build -j
+    tools/run_benches.py [--build build] [--out BENCH_core.json] [--min-time 0.2]
+
+Two layers of results go into the JSON:
+
+  * "core": ns/op and items/s for every bench_core microbenchmark, plus the
+    baseline-vs-optimized speedups the PR acceptance gates on (set-associative
+    Tlb vs LinearScanTlb, bucketed Simulator vs the seed event-loop replica).
+    Both sides of each pair run behind the same interface in the same binary,
+    so the speedups stay measurable in any future checkout.
+  * "simulated": the Figure 7/8 shape checks (progress ratios and PASS/FAIL),
+    which must not move at all — wall-clock optimizations are only valid if
+    the simulated-time results stay put.
+
+Wall-clock numbers vary by machine; the committed BENCH_core.json records the
+numbers from the machine that produced it (see "host" in the file).
+"""
+import argparse
+import json
+import platform
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+# (benchmark prefix, baseline template arg, optimized template arg)
+SPEEDUP_PAIRS = [
+    ("BM_TlbLookupHit", "LinearScanTlb", "Tlb"),
+    ("BM_TlbLookupMiss", "LinearScanTlb", "Tlb"),
+    ("BM_TlbFillEvict", "LinearScanTlb", "Tlb"),
+    ("BM_SimScheduleFire", "SeedEventLoop", "Simulator"),
+    ("BM_SimScheduleCancelFire", "SeedEventLoop", "Simulator"),
+    ("BM_SimSelfRescheduling", "SeedEventLoop", "Simulator"),
+]
+
+
+def run_bench_core(build_dir, min_time):
+    binary = build_dir / "bench" / "bench_core"
+    if not binary.exists():
+        sys.exit(f"error: {binary} not found; build the repo first")
+    # NOTE: this google-benchmark vintage wants a plain double for
+    # --benchmark_min_time ("0.2", not "0.2s").
+    out = subprocess.run(
+        [str(binary), "--benchmark_format=json",
+         f"--benchmark_min_time={min_time}"],
+        check=True, capture_output=True, text=True)
+    report = json.loads(out.stdout)
+    results = {}
+    for b in report["benchmarks"]:
+        results[b["name"]] = {
+            "ns_per_op": b["real_time"],
+            "items_per_second": b.get("items_per_second"),
+        }
+    return report.get("context", {}), results
+
+
+def compute_speedups(results):
+    speedups = {}
+    for prefix, base, opt in SPEEDUP_PAIRS:
+        base_name = f"{prefix}<{base}>"
+        opt_name = f"{prefix}<{opt}>"
+        if base_name in results and opt_name in results:
+            speedups[prefix] = round(
+                results[base_name]["ns_per_op"] /
+                results[opt_name]["ns_per_op"], 2)
+    return speedups
+
+
+def run_figure(build_dir, name):
+    """Runs a simulated-time figure bench and extracts its shape checks."""
+    binary = (build_dir / "bench" / name).resolve()
+    if not binary.exists():
+        return {"error": "binary not found"}
+    # cwd=build_dir keeps the *_usd_trace.csv side outputs out of the repo root.
+    out = subprocess.run([str(binary)], check=True, capture_output=True,
+                         text=True, cwd=build_dir).stdout
+    fig = {
+        "averages": [[float(x) for x in re.findall(r"[\d.]+", line)]
+                     for line in out.splitlines()
+                     if line.strip().startswith("average")],
+        "ratios": re.findall(r"= ?([\d.]+) \(paper", out) or
+                  re.findall(r"ratios: ([\d.]+) .*?, ([\d.]+)", out),
+        "shape_checks": re.findall(r"shape check: (\w+)", out),
+    }
+    return fig
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--build", default="build", type=Path)
+    ap.add_argument("--out", default="BENCH_core.json", type=Path)
+    ap.add_argument("--min-time", default="0.2")
+    ap.add_argument("--skip-figures", action="store_true",
+                    help="only run bench_core (figures take ~a minute)")
+    args = ap.parse_args()
+
+    context, results = run_bench_core(args.build, args.min_time)
+    speedups = compute_speedups(results)
+
+    doc = {
+        "host": {
+            "machine": platform.machine(),
+            "num_cpus": context.get("num_cpus"),
+            "mhz_per_cpu": context.get("mhz_per_cpu"),
+            "build_type": context.get("library_build_type"),
+        },
+        "core": results,
+        "speedups_vs_baseline": speedups,
+    }
+    if not args.skip_figures:
+        doc["simulated"] = {
+            "fig7_paging_in": run_figure(args.build, "bench_fig7_paging_in"),
+            "fig8_paging_out": run_figure(args.build, "bench_fig8_paging_out"),
+        }
+
+    args.out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    for name, s in speedups.items():
+        print(f"  {name}: {s}x")
+    for fig, data in doc.get("simulated", {}).items():
+        print(f"  {fig}: shape checks {data.get('shape_checks')}")
+
+
+if __name__ == "__main__":
+    main()
