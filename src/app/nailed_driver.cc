@@ -1,5 +1,6 @@
 #include "src/app/nailed_driver.h"
 
+#include "src/base/assert.h"
 #include "src/base/log.h"
 
 namespace nemesis {
@@ -20,7 +21,7 @@ Status<VmError> NailedStretchDriver::Bind(Stretch* stretch) {
     }
     // Nail after mapping so the mapping can never be torn down underneath the
     // application.
-    env_.kernel->ramtab().SetNailed(*frame);
+    NEM_ASSERT(env_.syscalls().Nail(env_.domain, *frame).ok());
     frames_.push_back(*frame);
   }
   return Status<VmError>::Ok();

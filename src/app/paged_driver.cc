@@ -51,6 +51,24 @@ uint64_t PagedStretchDriver::BlokLba(uint64_t blok) const {
   return swap_extent_.start + blok * blocks_per_page_;
 }
 
+void PagedStretchDriver::Reserve(Pfn pfn) {
+  // Frames arrive here either unused (pool / fresh allocation) or already
+  // reserved by EvictOne; nailing twice is a syscall error, so only nail the
+  // former.
+  if (env_.kernel->ramtab().StateOf(pfn) != FrameState::kNailed) {
+    NEM_ASSERT(env_.syscalls().Nail(env_.domain, pfn).ok());
+  }
+}
+
+void PagedStretchDriver::ReleaseReservation(Pfn pfn) {
+  // Tolerates frames revoked underneath us (no longer owned, or re-granted
+  // unused): unnail only what is still nailed under this domain.
+  if (env_.kernel->ramtab().OwnerOf(pfn) == env_.domain &&
+      env_.kernel->ramtab().StateOf(pfn) == FrameState::kNailed) {
+    NEM_ASSERT(env_.syscalls().Unnail(env_.domain, pfn).ok());
+  }
+}
+
 FaultResult PagedStretchDriver::HandleFault(const FaultRecord& fault, Stretch& stretch) {
   if (fault.type == FaultType::kFaultAcv || fault.type == FaultType::kFaultUnallocated) {
     return FaultResult::kFailure;
@@ -67,9 +85,7 @@ FaultResult PagedStretchDriver::HandleFault(const FaultRecord& fault, Stretch& s
     const Pfn staged = staging_.pfn;
     staging_.active = false;
     staging_.ready = false;
-    if (env_.kernel->ramtab().OwnerOf(staged) == env_.domain) {
-      env_.kernel->ramtab().SetUnused(staged);
-    }
+    ReleaseReservation(staged);
     if (env_.kernel->ramtab().OwnerOf(staged) == env_.domain &&
         env_.syscalls().Map(env_.domain, env_.pdom, page_va, staged, MapAttrs{}).ok()) {
       page.resident = true;
@@ -184,7 +200,7 @@ Task PagedStretchDriver::EvictOne(Pfn* out_pfn, bool* ok) {
   // Reserve the frame (RamTab nailed) for the duration of the write-back and
   // until the caller maps or releases it: a concurrent fast-path fault must
   // not grab a frame whose dirty contents are still in flight to swap.
-  env_.kernel->ramtab().SetNailed(pfn);
+  NEM_ASSERT(env_.syscalls().Nail(env_.domain, pfn).ok());
   ++evictions_;
   page.resident = false;
 
@@ -194,7 +210,7 @@ Task PagedStretchDriver::EvictOne(Pfn* out_pfn, bool* ok) {
       page.blok = bloks_.Alloc();
       if (!page.blok.has_value()) {
         NEM_LOG_WARN("paged", "swap space exhausted");
-        env_.kernel->ramtab().SetUnused(pfn);
+        ReleaseReservation(pfn);
         *ok = false;
         co_return;
       }
@@ -203,7 +219,7 @@ Task PagedStretchDriver::EvictOne(Pfn* out_pfn, bool* ok) {
     TaskHandle h = env_.sim->Spawn(SwapWrite(*page.blok, pfn, &write_ok), "swap-write");
     co_await Join(h);
     if (!write_ok) {
-      env_.kernel->ramtab().SetUnused(pfn);
+      ReleaseReservation(pfn);
       *ok = false;
       co_return;
     }
@@ -244,9 +260,7 @@ Task PagedStretchDriver::ResolveFault(FaultRecord fault, Stretch* stretch, Fault
       const Pfn staged = staging_.pfn;
       staging_.active = false;
       staging_.ready = false;
-      if (env_.kernel->ramtab().OwnerOf(staged) == env_.domain) {
-        env_.kernel->ramtab().SetUnused(staged);
-      }
+      ReleaseReservation(staged);
       if (env_.kernel->ramtab().OwnerOf(staged) == env_.domain &&
           env_.syscalls().Map(env_.domain, env_.pdom, page_va, staged, MapAttrs{}).ok()) {
         page.resident = true;
@@ -311,13 +325,13 @@ Task PagedStretchDriver::ResolveFault(FaultRecord fault, Stretch* stretch, Fault
   // 2. Fill the frame: page in from swap, or demand-zero. The frame stays
   //    reserved (nailed) across the asynchronous fill so concurrent fault
   //    handling cannot map it; the reservation is dropped just before Map.
-  env_.kernel->ramtab().SetNailed(*pfn);
+  Reserve(*pfn);
   if (page.has_disk_copy && !config_.forgetful) {
     NEM_ASSERT(page.blok.has_value());
     bool ok = false;
     TaskHandle h = env_.sim->Spawn(SwapRead(*page.blok, *pfn, &ok), "swap-read");
     co_await Join(h);
-    env_.kernel->ramtab().SetUnused(*pfn);
+    ReleaseReservation(*pfn);
     if (!ok) {
       *result = FaultResult::kFailure;
       co_return;
@@ -327,7 +341,7 @@ Task PagedStretchDriver::ResolveFault(FaultRecord fault, Stretch* stretch, Fault
       co_return;
     }
   } else {
-    env_.kernel->ramtab().SetUnused(*pfn);
+    ReleaseReservation(*pfn);
     if (!MapZeroedFrame(page_va, *pfn).ok()) {
       *result = FaultResult::kFailure;
       co_return;
@@ -389,14 +403,14 @@ Task PagedStretchDriver::PrefetchTask(size_t index) {
     co_return;
   }
   staging_.pfn = *pfn;
-  env_.kernel->ramtab().SetNailed(*pfn);  // reserve until mapped or cancelled
+  Reserve(*pfn);  // reserve until mapped or cancelled
   NEM_ASSERT(pages_[index].blok.has_value());
   bool read_ok = false;
   TaskHandle h = env_.sim->Spawn(SwapRead(*pages_[index].blok, *pfn, &read_ok), "prefetch-read");
   co_await Join(h);
   if (!read_ok || !staging_.active || staging_.page != index) {
     staging_.active = false;
-    env_.kernel->ramtab().SetUnused(*pfn);
+    ReleaseReservation(*pfn);
     ++prefetch_wasted_;
   } else {
     staging_.ready = true;
@@ -428,7 +442,7 @@ Task PagedStretchDriver::RelinquishFrames(uint64_t target, uint64_t* freed) {
     if (!ok) {
       co_return;
     }
-    env_.kernel->ramtab().SetUnused(evicted);
+    ReleaseReservation(evicted);
     if (stack != nullptr) {
       stack->MoveToTop(evicted);
     }

@@ -85,6 +85,11 @@ class PagedStretchDriver : public PhysicalStretchDriver {
   std::optional<Pfn> FindUnusedPoolFrame() const;
   void PrunePool();
   uint64_t BlokLba(uint64_t blok) const;
+  // IO-reservation helpers over the nail/unnail syscalls: Reserve pins a
+  // frame (tolerating one already pinned by EvictOne), ReleaseReservation
+  // unpins it (tolerating frames revoked underneath the driver).
+  void Reserve(Pfn pfn);
+  void ReleaseReservation(Pfn pfn);
   // Chooses (and removes from fifo_) the victim page per the configured
   // replacement policy.
   size_t SelectVictim();

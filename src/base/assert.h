@@ -3,36 +3,106 @@
 // NEM_ASSERT is compiled in all build types: this codebase models an OS whose
 // invariants (frame ownership, accounting, scheduler state) must hold for the
 // experiments to be meaningful, so we never silently strip the checks.
+//
+// The failure paths are [[noreturn]] and cold, so the success path of every
+// assert compiles down to a single predictable-not-taken branch; the
+// value-capturing comparison variants (NEM_ASSERT_EQ/NE/LT/LE) print both
+// operands, which turns "assert fired" into "assert fired because pfn=2049
+// but the RamTab holds 2048 frames".
 #ifndef SRC_BASE_ASSERT_H_
 #define SRC_BASE_ASSERT_H_
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <type_traits>
 
 namespace nemesis {
 
-[[noreturn]] inline void AssertFail(const char* expr, const char* file, int line,
-                                    const char* msg) {
+[[noreturn]] [[gnu::cold]] inline void AssertFail(const char* expr, const char* file, int line,
+                                                  const char* msg) {
   std::fprintf(stderr, "NEM_ASSERT failed: %s at %s:%d%s%s\n", expr, file, line,
                msg[0] != '\0' ? " — " : "", msg);
   std::abort();
 }
 
+namespace detail {
+
+// Renders an operand for the comparison-assert failure message. Only the
+// kinds of values that appear in invariants (integers, enums, pointers,
+// bools) are supported; everything else prints as "<?>".
+template <typename T>
+std::string AssertValueString(const T& v) {
+  using D = std::decay_t<T>;
+  if constexpr (std::is_same_v<D, bool>) {
+    return v ? "true" : "false";
+  } else if constexpr (std::is_arithmetic_v<D>) {
+    return std::to_string(v);
+  } else if constexpr (std::is_enum_v<D>) {
+    return std::to_string(static_cast<long long>(v));
+  } else if constexpr (std::is_pointer_v<D>) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%p", static_cast<const void*>(v));
+    return buf;
+  } else {
+    return "<?>";
+  }
+}
+
+[[noreturn]] [[gnu::cold]] inline void AssertCmpFail(const char* expr, const char* file, int line,
+                                                     const std::string& lhs,
+                                                     const std::string& rhs) {
+  std::fprintf(stderr, "NEM_ASSERT failed: %s at %s:%d — lhs=%s rhs=%s\n", expr, file, line,
+               lhs.c_str(), rhs.c_str());
+  std::abort();
+}
+
+// Out-of-line so the string formatting (and its cleanup code) never lands in
+// the caller: comparison asserts sit in hot accessors (RamTab::Get), where an
+// inlined std::string failure path is enough to defeat inlining of the
+// accessor itself.
+template <typename A, typename B>
+[[noreturn]] [[gnu::cold]] [[gnu::noinline]] void AssertCmpFailT(const char* expr,
+                                                                 const char* file, int line,
+                                                                 const A& lhs, const B& rhs) {
+  AssertCmpFail(expr, file, line, AssertValueString(lhs), AssertValueString(rhs));
+}
+
+}  // namespace detail
+
 }  // namespace nemesis
 
 #define NEM_ASSERT(expr)                                         \
   do {                                                           \
-    if (!(expr)) {                                               \
+    if (!(expr)) [[unlikely]] {                                  \
       ::nemesis::AssertFail(#expr, __FILE__, __LINE__, "");      \
     }                                                            \
   } while (0)
 
 #define NEM_ASSERT_MSG(expr, msg)                                \
   do {                                                           \
-    if (!(expr)) {                                               \
+    if (!(expr)) [[unlikely]] {                                  \
       ::nemesis::AssertFail(#expr, __FILE__, __LINE__, (msg));   \
     }                                                            \
   } while (0)
+
+// Comparison asserts that capture and print both operands on failure. The
+// operands are evaluated exactly once; the formatting work lives entirely in
+// the cold [[noreturn]] slow path.
+#define NEM_ASSERT_CMP_(a, b, op, text)                                            \
+  do {                                                                             \
+    const auto& nem_lhs_ = (a);                                                    \
+    const auto& nem_rhs_ = (b);                                                    \
+    if (!(nem_lhs_ op nem_rhs_)) [[unlikely]] {                                    \
+      ::nemesis::detail::AssertCmpFailT(#a " " text " " #b, __FILE__, __LINE__,    \
+                                        nem_lhs_, nem_rhs_);                       \
+    }                                                                              \
+  } while (0)
+
+#define NEM_ASSERT_EQ(a, b) NEM_ASSERT_CMP_(a, b, ==, "==")
+#define NEM_ASSERT_NE(a, b) NEM_ASSERT_CMP_(a, b, !=, "!=")
+#define NEM_ASSERT_LT(a, b) NEM_ASSERT_CMP_(a, b, <, "<")
+#define NEM_ASSERT_LE(a, b) NEM_ASSERT_CMP_(a, b, <=, "<=")
 
 // Marks a code path that must be unreachable.
 #define NEM_UNREACHABLE(msg) ::nemesis::AssertFail("unreachable", __FILE__, __LINE__, (msg))

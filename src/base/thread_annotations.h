@@ -1,0 +1,51 @@
+// Clang thread-safety annotation shim (the ownership half of the memory-model
+// checker; see DESIGN.md "Checked builds and the isolation contract").
+//
+// The simulation is single-threaded today, but the ROADMAP's parallel
+// per-domain simulation needs machine-checked ownership boundaries before the
+// event loop can be threaded: which shared structures (RamTab, frame stacks,
+// page table, TLB, frames-allocator accounting) may be touched from which
+// context, and at which synchronization points. These macros record that
+// contract in the types now, so `clang -Wthread-safety` can enforce it the
+// moment real locks replace the phantom capability below. Under GCC (the
+// default toolchain) they expand to nothing.
+#ifndef SRC_BASE_THREAD_ANNOTATIONS_H_
+#define SRC_BASE_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && (!defined(SWIG))
+#define NEM_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define NEM_THREAD_ANNOTATION_(x)  // no-op outside clang
+#endif
+
+#define NEM_CAPABILITY(x) NEM_THREAD_ANNOTATION_(capability(x))
+#define NEM_SCOPED_CAPABILITY NEM_THREAD_ANNOTATION_(scoped_lockable)
+#define NEM_GUARDED_BY(x) NEM_THREAD_ANNOTATION_(guarded_by(x))
+#define NEM_PT_GUARDED_BY(x) NEM_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define NEM_REQUIRES(...) NEM_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define NEM_ACQUIRE(...) NEM_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define NEM_RELEASE(...) NEM_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define NEM_EXCLUDES(...) NEM_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define NEM_RETURN_CAPABILITY(x) NEM_THREAD_ANNOTATION_(lock_returned(x))
+#define NEM_NO_THREAD_SAFETY_ANALYSIS NEM_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace nemesis {
+
+// Phantom capability standing in for "executing inside the system domain's
+// serialized section". Today that section is the (single-threaded) event
+// loop: every event callback runs with the capability implicitly held. The
+// parallel simulator will replace this with a real lock (or per-structure
+// locks) acquired at the USD / frame-stealing merge points; the GUARDED_BY /
+// REQUIRES annotations referencing it then become compiler-enforced.
+class NEM_CAPABILITY("system_domain") SystemDomainCapability {
+ public:
+  void Acquire() NEM_ACQUIRE() {}
+  void Release() NEM_RELEASE() {}
+};
+
+// The single global capability instance annotations refer to.
+inline SystemDomainCapability g_system_domain;
+
+}  // namespace nemesis
+
+#endif  // SRC_BASE_THREAD_ANNOTATIONS_H_

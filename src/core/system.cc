@@ -30,8 +30,26 @@ System::System(SystemConfig config)
                          config.page_size),
       frames_allocator_(sim_, kernel_.ramtab(), config.phys_frames, &trace_),
       usd_(sim_, disk_, &trace_),
-      sfs_(usd_, config.swap_partition) {
+      sfs_(usd_, config.swap_partition),
+      auditor_(frames_allocator_, kernel_.ramtab(), mmu_, stretch_allocator_, translation_) {
   usd_.Start();
+
+  if (config_.audit) {
+    if (config_.audit_stride == 0) {
+      config_.audit_stride = 1;
+    }
+    frames_allocator_.set_access_checker(&access_checker_);
+    kernel_.syscalls().set_access_checker(&access_checker_);
+    // Each event callback is the unit that becomes an atomically-scheduled
+    // task under a threaded design: close the access window after every one,
+    // and audit the cross-layer state at batch (quiescent) boundaries.
+    sim_.set_post_event_hook([this] { access_checker_.SyncPoint(); });
+    sim_.set_post_batch_hook([this] {
+      if (++audit_batches_ % config_.audit_stride == 0) {
+        auditor_.AuditOrDie(InvariantAuditor::Depth::kFast);
+      }
+    });
+  }
 
   // Wire the frames allocator's revocation protocol into the application
   // domains' MMEntries and the kernel teardown paths.
@@ -50,14 +68,8 @@ System::System(SystemConfig config)
       app->Kill();
     }
   });
-  frames_allocator_.set_force_unmap([this](Vpn vpn) {
-    Pte* pte = page_table_->Lookup(vpn);
-    if (pte != nullptr && pte->valid) {
-      pte->valid = false;
-      pte->pfn = 0;
-      mmu_.tlb().Invalidate(vpn);
-    }
-  });
+  frames_allocator_.set_force_unmap(
+      [this](Vpn vpn) { (void)kernel_.syscalls().ForceUnmap(vpn); });
 }
 
 System::~System() = default;
@@ -142,18 +154,21 @@ TaskHandle AppDomain::SpawnWorkload(Task task, const std::string& label) {
 void AppDomain::Shutdown() {
   Kill();
   // Force-unmap any live mappings so the frames can be reclaimed, then hand
-  // everything back to the system-domain allocators.
+  // everything back to the system-domain allocators. Sanctioned cross-domain
+  // teardown: the checker must not attribute these touches to the dead domain.
+  CrossDomainSection cross(&system_.access_checker());
   if (FrameStack* stack = system_.frames().StackOf(domain_->id()); stack != nullptr) {
     for (Pfn pfn : stack->frames()) {
-      const auto& entry = system_.kernel().ramtab().Get(pfn);
-      if (entry.state != FrameState::kUnused) {
-        Pte* pte = system_.page_table().Lookup(entry.mapped_vpn);
-        if (pte != nullptr && pte->valid) {
-          pte->valid = false;
-          pte->pfn = 0;
-          system_.mmu().tlb().Invalidate(entry.mapped_vpn);
-        }
-        system_.kernel().ramtab().SetUnused(pfn);
+      auto& syscalls = system_.kernel().syscalls();
+      const RamTab& ramtab = system_.kernel().ramtab();
+      // Unnail first: a nailed frame either returns to kMapped (its mapping is
+      // still installed) and falls to the ForceUnmap below, or — for an
+      // unmapped IO reservation — straight to kUnused.
+      if (ramtab.StateOf(pfn) == FrameState::kNailed) {
+        (void)syscalls.Unnail(domain_->id(), pfn);
+      }
+      if (ramtab.StateOf(pfn) == FrameState::kMapped) {
+        (void)syscalls.ForceUnmap(ramtab.Get(pfn).mapped_vpn);
       }
     }
   }

@@ -17,6 +17,8 @@
 #include "src/app/paged_driver.h"
 #include "src/app/physical_driver.h"
 #include "src/app/vmem.h"
+#include "src/check/domain_access.h"
+#include "src/check/invariants.h"
 #include "src/hw/disk.h"
 #include "src/hw/mmu.h"
 #include "src/hw/page_table.h"
@@ -48,6 +50,19 @@ struct SystemConfig {
   // Virtual-address arena handed to the stretch allocator.
   VirtAddr stretch_arena_base = 256 * kDefaultPageSize;
   VirtAddr stretch_arena_limit = uint64_t{1} << 33;  // 8 GiB
+
+  // Checked-build knobs (DESIGN.md "Checked builds and the isolation
+  // contract"). With `audit` on, the DomainAccessChecker records which domain
+  // touches which shared structure inside every event callback, and the
+  // invariant auditor walks the cross-layer state after every
+  // `audit_stride`-th event batch, aborting on the first violation. Defaults
+  // on in NEMESIS_AUDIT builds; can be toggled per System in any build.
+#ifdef NEMESIS_AUDIT
+  bool audit = true;
+#else
+  bool audit = false;
+#endif
+  uint32_t audit_stride = 1;  // audit every Nth batch (0 behaves as 1)
 };
 
 class AppDomain;
@@ -103,6 +118,18 @@ class System {
   SwapFilesystem& sfs() { return sfs_; }
   const SystemConfig& config() const { return config_; }
 
+  // --- Checked-build access --------------------------------------------------
+
+  // Runs the cross-layer invariant auditor now and returns the report.
+  // Available in every build (the auditor is always constructed); tests use
+  // it to assert audit-clean state at phase boundaries.
+  AuditReport AuditNow(InvariantAuditor::Depth depth = InvariantAuditor::Depth::kFull) {
+    return auditor_.Audit(depth);
+  }
+
+  InvariantAuditor& auditor() { return auditor_; }
+  DomainAccessChecker& access_checker() { return access_checker_; }
+
  private:
   SystemConfig config_;
   Simulator sim_;
@@ -117,6 +144,9 @@ class System {
   FramesAllocator frames_allocator_;
   Usd usd_;
   SwapFilesystem sfs_;
+  InvariantAuditor auditor_;  // after every structure it references
+  DomainAccessChecker access_checker_;
+  uint64_t audit_batches_ = 0;
   std::vector<std::unique_ptr<AppDomain>> apps_;
 };
 

@@ -83,7 +83,9 @@ class Mmu {
   TranslateResult Probe(VirtAddr va, AccessType access, const RightsResolver* resolver) const;
 
   Tlb& tlb() { return tlb_; }
+  const Tlb& tlb() const { return tlb_; }
   PageTable* page_table() { return page_table_; }
+  const PageTable* page_table() const { return page_table_; }
   size_t page_size() const { return page_size_; }
 
   Vpn VpnOf(VirtAddr va) const { return va / page_size_; }

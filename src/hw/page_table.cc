@@ -74,4 +74,25 @@ void GuardedPageTable::Remove(Vpn vpn) {
   }
 }
 
+void GuardedPageTable::ForEachAllocated(const std::function<void(Vpn, const Pte&)>& fn) const {
+  for (size_t top_index = 0; top_index < top_.size(); ++top_index) {
+    const Mid* mid = top_[top_index].get();
+    if (mid == nullptr) {
+      continue;
+    }
+    for (size_t mid_index = 0; mid_index < kFanout; ++mid_index) {
+      const Leaf* leaf = mid->leaves[mid_index].get();
+      if (leaf == nullptr) {
+        continue;
+      }
+      for (size_t leaf_index = 0; leaf_index < kFanout; ++leaf_index) {
+        const Pte& pte = leaf->entries[leaf_index];
+        if (pte.allocated) {
+          fn((top_index << (2 * kLevelBits)) | (mid_index << kLevelBits) | leaf_index, pte);
+        }
+      }
+    }
+  }
+}
+
 }  // namespace nemesis

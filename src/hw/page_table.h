@@ -9,6 +9,7 @@
 #define SRC_HW_PAGE_TABLE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -35,6 +36,10 @@ class PageTable {
 
   // Approximate bytes consumed by translation structures (reported in stats).
   virtual size_t footprint_bytes() const = 0;
+
+  // Visits every allocated PTE. Audit/debug path only: a full sweep is O(VA
+  // space) for the linear table, so the hot simulation loop never calls it.
+  virtual void ForEachAllocated(const std::function<void(Vpn, const Pte&)>& fn) const = 0;
 };
 
 // Flat array of PTEs indexed by VPN over a bounded virtual address space.
@@ -66,6 +71,14 @@ class LinearPageTable : public PageTable {
   Vpn max_vpn() const override { return entries_.size(); }
   size_t footprint_bytes() const override { return entries_.size() * sizeof(Pte); }
 
+  void ForEachAllocated(const std::function<void(Vpn, const Pte&)>& fn) const override {
+    for (Vpn vpn = 0; vpn < entries_.size(); ++vpn) {
+      if (entries_[vpn].allocated) {
+        fn(vpn, entries_[vpn]);
+      }
+    }
+  }
+
  private:
   std::vector<Pte> entries_;
 };
@@ -82,6 +95,7 @@ class GuardedPageTable : public PageTable {
   void Remove(Vpn vpn) override;
   Vpn max_vpn() const override { return max_vpn_; }
   size_t footprint_bytes() const override { return footprint_; }
+  void ForEachAllocated(const std::function<void(Vpn, const Pte&)>& fn) const override;
 
  private:
   static constexpr unsigned kLevelBits = 9;  // 512-entry directories

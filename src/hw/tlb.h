@@ -75,6 +75,15 @@ class Tlb {
   void Invalidate(Vpn vpn);
   void InvalidateAll();
 
+  // Read-only sweep over every slot (valid or not), for the invariant auditor
+  // and debug dumps. Does not touch the hit/miss counters.
+  template <typename Fn>
+  void ForEachEntry(Fn&& fn) const {
+    for (const Entry& e : slots_) {
+      fn(e);
+    }
+  }
+
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
   uint64_t flushes() const { return flushes_; }

@@ -25,6 +25,8 @@ const char* VmErrorName(VmError error) {
       return "not-mapped";
     case VmError::kAlreadyMapped:
       return "already-mapped";
+    case VmError::kNotNailed:
+      return "not-nailed";
   }
   return "?";
 }

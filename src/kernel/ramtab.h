@@ -3,6 +3,12 @@
 // frame ownership here; the low-level translation system validates map/unmap
 // requests against it ("ensuring that the calling domain owns the frame, and
 // that the frame is not currently mapped or nailed").
+//
+// Mutation is confined to the ownership authorities — the frames allocator
+// (src/mm/frames_allocator.cc) and the translation syscalls
+// (src/kernel/syscalls.cc); tools/lint.py enforces the confinement and the
+// invariant auditor (src/check/invariants.h) cross-checks the contents
+// against the allocator, page table and TLB.
 #ifndef SRC_KERNEL_RAMTAB_H_
 #define SRC_KERNEL_RAMTAB_H_
 
@@ -10,6 +16,7 @@
 #include <vector>
 
 #include "src/base/assert.h"
+#include "src/base/thread_annotations.h"
 #include "src/base/units.h"
 #include "src/kernel/types.h"
 
@@ -40,32 +47,32 @@ class RamTab {
   bool ValidPfn(Pfn pfn) const { return pfn < entries_.size(); }
 
   const RamTabEntry& Get(Pfn pfn) const {
-    NEM_ASSERT(ValidPfn(pfn));
+    NEM_ASSERT_LT(pfn, entries_.size());
     return entries_[pfn];
   }
 
   DomainId OwnerOf(Pfn pfn) const { return Get(pfn).owner; }
   FrameState StateOf(Pfn pfn) const { return Get(pfn).state; }
 
-  void SetOwner(Pfn pfn, DomainId owner) {
-    NEM_ASSERT(ValidPfn(pfn));
+  void SetOwner(Pfn pfn, DomainId owner) NEM_REQUIRES(g_system_domain) {
+    NEM_ASSERT_LT(pfn, entries_.size());
     entries_[pfn].owner = owner;
   }
 
-  void SetMapped(Pfn pfn, Vpn vpn) {
-    NEM_ASSERT(ValidPfn(pfn));
+  void SetMapped(Pfn pfn, Vpn vpn) NEM_REQUIRES(g_system_domain) {
+    NEM_ASSERT_LT(pfn, entries_.size());
     entries_[pfn].state = FrameState::kMapped;
     entries_[pfn].mapped_vpn = vpn;
   }
 
-  void SetUnused(Pfn pfn) {
-    NEM_ASSERT(ValidPfn(pfn));
+  void SetUnused(Pfn pfn) NEM_REQUIRES(g_system_domain) {
+    NEM_ASSERT_LT(pfn, entries_.size());
     entries_[pfn].state = FrameState::kUnused;
     entries_[pfn].mapped_vpn = 0;
   }
 
-  void SetNailed(Pfn pfn) {
-    NEM_ASSERT(ValidPfn(pfn));
+  void SetNailed(Pfn pfn) NEM_REQUIRES(g_system_domain) {
+    NEM_ASSERT_LT(pfn, entries_.size());
     entries_[pfn].state = FrameState::kNailed;
   }
 
@@ -80,7 +87,10 @@ class RamTab {
   }
 
  private:
-  std::vector<RamTabEntry> entries_;
+  // The frame-use table is shared by every domain's fault path under the
+  // threaded design; writes happen only inside the system domain's
+  // serialized section.
+  std::vector<RamTabEntry> entries_ NEM_GUARDED_BY(g_system_domain);
 };
 
 }  // namespace nemesis

@@ -46,6 +46,8 @@ Status<VmError> TranslationSyscalls::Map(DomainId caller, const RightsResolver* 
     return MakeUnexpected(VmError::kFrameNailed);
   }
 
+  RecordAccess(SharedStructure::kPageTable, caller);
+  RecordAccess(SharedStructure::kRamTab, caller);
   pte->valid = true;
   pte->pfn = pfn;
   if (attrs.rights != kRightNone) {
@@ -78,6 +80,8 @@ Status<VmError> TranslationSyscalls::Unmap(DomainId caller, const RightsResolver
   if (ramtab_.StateOf(pfn) == FrameState::kNailed) {
     return MakeUnexpected(VmError::kFrameNailed);
   }
+  RecordAccess(SharedStructure::kPageTable, caller);
+  RecordAccess(SharedStructure::kRamTab, caller);
   pte->valid = false;
   pte->pfn = 0;
   ramtab_.SetUnused(pfn);
@@ -87,6 +91,60 @@ Status<VmError> TranslationSyscalls::Unmap(DomainId caller, const RightsResolver
     *out_pfn = pfn;
   }
   return Status<VmError>::Ok();
+}
+
+Status<VmError> TranslationSyscalls::Nail(DomainId caller, Pfn pfn) {
+  if (!ramtab_.ValidPfn(pfn)) {
+    return MakeUnexpected(VmError::kBadFrame);
+  }
+  if (ramtab_.OwnerOf(pfn) != caller) {
+    return MakeUnexpected(VmError::kNotOwner);
+  }
+  if (ramtab_.StateOf(pfn) == FrameState::kNailed) {
+    return MakeUnexpected(VmError::kFrameNailed);
+  }
+  RecordAccess(SharedStructure::kRamTab, caller);
+  // SetNailed preserves mapped_vpn, so a nailed-while-mapped frame can return
+  // to kMapped on unnail.
+  ramtab_.SetNailed(pfn);
+  return Status<VmError>::Ok();
+}
+
+Status<VmError> TranslationSyscalls::Unnail(DomainId caller, Pfn pfn) {
+  if (!ramtab_.ValidPfn(pfn)) {
+    return MakeUnexpected(VmError::kBadFrame);
+  }
+  if (ramtab_.OwnerOf(pfn) != caller) {
+    return MakeUnexpected(VmError::kNotOwner);
+  }
+  if (ramtab_.StateOf(pfn) != FrameState::kNailed) {
+    return MakeUnexpected(VmError::kNotNailed);
+  }
+  RecordAccess(SharedStructure::kRamTab, caller);
+  const Vpn vpn = ramtab_.Get(pfn).mapped_vpn;
+  const Pte* pte = vpn != 0 ? mmu_.page_table()->Lookup(vpn) : nullptr;
+  if (pte != nullptr && pte->valid && pte->pfn == pfn) {
+    ramtab_.SetMapped(pfn, vpn);
+  } else {
+    ramtab_.SetUnused(pfn);
+  }
+  return Status<VmError>::Ok();
+}
+
+bool TranslationSyscalls::ForceUnmap(Vpn vpn) {
+  Pte* pte = mmu_.page_table()->Lookup(vpn);
+  if (pte == nullptr || !pte->valid) {
+    return false;
+  }
+  const Pfn pfn = pte->pfn;
+  pte->valid = false;
+  pte->pfn = 0;
+  if (ramtab_.ValidPfn(pfn)) {
+    ramtab_.SetUnused(pfn);
+  }
+  mmu_.tlb().Invalidate(vpn);
+  ++unmap_count_;
+  return true;
 }
 
 Expected<TransResult, VmError> TranslationSyscalls::Trans(VirtAddr va) const {

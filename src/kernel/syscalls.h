@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "src/base/expected.h"
+#include "src/check/domain_access.h"
 #include "src/hw/mmu.h"
 #include "src/kernel/ramtab.h"
 #include "src/kernel/types.h"
@@ -66,6 +67,26 @@ class TranslationSyscalls {
   // drivers. Requires the meta right.
   Status<VmError> ClearReferenced(DomainId caller, const RightsResolver* pdom, VirtAddr va);
 
+  // nail(pfn): pins a frame the caller owns. A nailed frame may not be mapped
+  // or unmapped until unnailed; stretch drivers use it both to pin mapped
+  // frames (physically-addressed DMA) and to reserve unmapped frames for
+  // in-flight paging IO. A mapped frame keeps its mapping (and mapped_vpn)
+  // while nailed.
+  Status<VmError> Nail(DomainId caller, Pfn pfn);
+
+  // unnail(pfn): releases the pin. The frame returns to kMapped when its
+  // recorded mapping is still installed in the page table, else to kUnused.
+  Status<VmError> Unnail(DomainId caller, Pfn pfn);
+
+  // System-domain teardown path (revocation, kill): removes any valid
+  // translation at `vpn` without rights checks and returns the frame to
+  // kUnused. Returns true when a valid mapping was removed. This is the only
+  // sanctioned way to strip a mapping from an uncooperative domain.
+  bool ForceUnmap(Vpn vpn);
+
+  // Wires the ownership/race checker (audit builds). Null disables recording.
+  void set_access_checker(DomainAccessChecker* checker) { access_checker_ = checker; }
+
   uint64_t map_count() const { return map_count_; }
   uint64_t unmap_count() const { return unmap_count_; }
 
@@ -74,8 +95,15 @@ class TranslationSyscalls {
   // stretch containing va.
   Expected<Pte*, VmError> ValidateMeta(const RightsResolver* pdom, VirtAddr va);
 
+  void RecordAccess(SharedStructure structure, DomainId caller) {
+    if (access_checker_ != nullptr) {
+      access_checker_->Record(structure, caller);
+    }
+  }
+
   Mmu& mmu_;
   RamTab& ramtab_;
+  DomainAccessChecker* access_checker_ = nullptr;
   uint64_t map_count_ = 0;
   uint64_t unmap_count_ = 0;
 };

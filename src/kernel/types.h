@@ -47,6 +47,7 @@ enum class VmError {
   kBadFrame,      // PFN out of range
   kNotMapped,     // unmap/trans of an unmapped VA
   kAlreadyMapped, // map over an existing valid mapping
+  kNotNailed,     // unnail of a frame that is not nailed
 };
 
 const char* VmErrorName(VmError error);

@@ -23,7 +23,7 @@ class FrameStack {
 
   // Index 0 is the TOP of the stack (first to be revoked).
   Pfn At(size_t index) const {
-    NEM_ASSERT(index < frames_.size());
+    NEM_ASSERT_LT(index, frames_.size());
     return frames_[index];
   }
 

@@ -11,7 +11,7 @@ FramesAllocator::FramesAllocator(Simulator& sim, RamTab& ramtab, uint64_t total_
                                  TraceRecorder* trace)
     : sim_(sim), ramtab_(ramtab), trace_(trace), total_frames_(total_frames),
       frames_available_(sim) {
-  NEM_ASSERT(total_frames <= ramtab.size());
+  NEM_ASSERT_LE(total_frames, ramtab.size());
   free_list_.reserve(total_frames);
   // Keep the free list so that low PFNs are handed out first.
   for (uint64_t pfn = total_frames; pfn > 0; --pfn) {
@@ -117,6 +117,7 @@ Expected<Pfn, FramesError> FramesAllocator::AllocSpecificFrame(DomainId domain, 
   if (c == nullptr) {
     return MakeUnexpected(FramesError::kNotClient);
   }
+  RecordAccess(domain);
   if (!ramtab_.ValidPfn(pfn)) {
     return MakeUnexpected(FramesError::kNoMemory);
   }
@@ -133,6 +134,7 @@ Expected<Pfn, FramesError> FramesAllocator::AllocFrameInRegion(DomainId domain, 
   if (c == nullptr) {
     return MakeUnexpected(FramesError::kNotClient);
   }
+  RecordAccess(domain);
   bool guaranteed_request = false;
   if (auto err = CheckAllocation(*c, &guaranteed_request); err.has_value()) {
     return MakeUnexpected(*err);
@@ -151,6 +153,7 @@ Expected<Pfn, FramesError> FramesAllocator::AllocFrameWithColour(DomainId domain
   if (c == nullptr) {
     return MakeUnexpected(FramesError::kNotClient);
   }
+  RecordAccess(domain);
   NEM_ASSERT(num_colours > 0 && colour < num_colours);
   bool guaranteed_request = false;
   if (auto err = CheckAllocation(*c, &guaranteed_request); err.has_value()) {
@@ -169,6 +172,7 @@ Expected<Pfn, FramesError> FramesAllocator::AllocFrame(DomainId domain) {
   if (c == nullptr) {
     return MakeUnexpected(FramesError::kNotClient);
   }
+  RecordAccess(domain);
   bool guaranteed_request = false;
   if (auto err = CheckAllocation(*c, &guaranteed_request); err.has_value()) {
     return MakeUnexpected(*err);
@@ -213,6 +217,7 @@ Status<FramesError> FramesAllocator::FreeFrame(DomainId domain, Pfn pfn) {
   if (c == nullptr) {
     return MakeUnexpected(FramesError::kNotClient);
   }
+  RecordAccess(domain);
   if (!ramtab_.ValidPfn(pfn) || ramtab_.OwnerOf(pfn) != domain) {
     return MakeUnexpected(FramesError::kNotOwner);
   }
@@ -230,6 +235,9 @@ Status<FramesError> FramesAllocator::FreeFrame(DomainId domain, Pfn pfn) {
 uint64_t FramesAllocator::ReclaimUnusedTop(Client& victim, uint64_t k) {
   // "the frames allocator can simply reclaim these frames and update the
   // application's frame stack" — but only while the top frames are unused.
+  // Sanctioned frame-stealing interface: the allocator touches the victim's
+  // stack on another domain's behalf.
+  CrossDomainSection cross(access_checker_);
   uint64_t reclaimed = 0;
   while (reclaimed < k && !victim.stack.empty()) {
     const Pfn top = victim.stack.Top();
@@ -265,6 +273,9 @@ FramesAllocator::Client* FramesAllocator::PickVictim() {
 }
 
 void FramesAllocator::StartIntrusiveRevocation(Client& victim, uint64_t k) {
+  // Sanctioned: the notifier may run the victim's revocation handler
+  // synchronously, inside the requester's access window.
+  CrossDomainSection cross(access_checker_);
   revocation_active_ = true;
   revocation_victim_ = victim.domain;
   revocation_k_ = k;
@@ -289,6 +300,7 @@ void FramesAllocator::RevocationComplete(DomainId domain) {
   if (!revocation_active_ || revocation_victim_ != domain) {
     return;
   }
+  RecordAccess(domain);
   sim_.Cancel(revocation_timer_);
   FinishRevocation(domain, /*deadline_expired=*/false);
 }
@@ -324,11 +336,18 @@ void FramesAllocator::FinishRevocation(DomainId victim_id, bool deadline_expired
 }
 
 void FramesAllocator::KillAndReclaim(Client& victim) {
-  // Reclaim every frame, forcibly tearing down live mappings.
+  // Sanctioned: teardown strips another domain's frames and mappings.
+  CrossDomainSection cross(access_checker_);
+  // Reclaim every frame, forcibly tearing down live mappings. A nailed frame
+  // can still carry a live translation (SetNailed preserves mapped_vpn for
+  // nailed-while-mapped frames), so teardown keys off the recorded mapping
+  // rather than the kMapped state — leaving the PTE valid here would let the
+  // stale mapping point at a frame the next owner writes to.
   while (!victim.stack.empty()) {
     const Pfn pfn = victim.stack.PopTop();
-    if (ramtab_.StateOf(pfn) == FrameState::kMapped && force_unmap_) {
-      force_unmap_(ramtab_.Get(pfn).mapped_vpn);
+    const Vpn mapped_vpn = ramtab_.Get(pfn).mapped_vpn;
+    if (ramtab_.StateOf(pfn) != FrameState::kUnused && mapped_vpn != 0 && force_unmap_) {
+      force_unmap_(mapped_vpn);
     }
     ramtab_.SetUnused(pfn);
     ramtab_.SetOwner(pfn, kNoDomain);
@@ -338,6 +357,15 @@ void FramesAllocator::KillAndReclaim(Client& victim) {
   guaranteed_total_ -= victim.contract.guaranteed;
   victim.alive = false;
   frames_available_.NotifyAll();
+}
+
+void FramesAllocator::ForEachClient(const std::function<void(const ClientView&)>& fn) const {
+  for (const auto& c : clients_) {
+    if (!c->alive) {
+      continue;
+    }
+    fn(ClientView{c->domain, c->contract, c->allocated, &c->stack});
+  }
 }
 
 FrameStack* FramesAllocator::StackOf(DomainId domain) {

@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "src/base/expected.h"
+#include "src/base/thread_annotations.h"
+#include "src/check/domain_access.h"
 #include "src/kernel/ramtab.h"
 #include "src/mm/frame_stack.h"
 #include "src/sim/sync.h"
@@ -112,9 +114,19 @@ class FramesAllocator {
 
   // --- Introspection -------------------------------------------------------
 
+  // Read-only per-client snapshot for the invariant auditor and debug dumps.
+  struct ClientView {
+    DomainId domain = kNoDomain;
+    FramesContract contract;
+    uint64_t allocated = 0;
+    const FrameStack* stack = nullptr;
+  };
+  void ForEachClient(const std::function<void(const ClientView&)>& fn) const;
+
   FrameStack* StackOf(DomainId domain);
   uint64_t AllocatedCount(DomainId domain) const;  // n
   FramesContract ContractOf(DomainId domain) const;
+  const std::vector<Pfn>& free_list() const { return free_list_; }
   uint64_t free_frames() const { return free_list_.size(); }
   uint64_t total_frames() const { return total_frames_; }
   uint64_t guaranteed_total() const { return guaranteed_total_; }
@@ -122,6 +134,14 @@ class FramesAllocator {
   uint64_t revocations_intrusive() const { return revocations_intrusive_; }
   uint64_t domains_killed() const { return domains_killed_; }
   bool revocation_in_progress() const { return revocation_active_; }
+
+  // Wires the ownership/race checker (audit builds). Null disables recording.
+  void set_access_checker(DomainAccessChecker* checker) { access_checker_ = checker; }
+
+  // Corrupts the guarantee accounting. The contract-sum invariant is
+  // unreachable through the public API (admission control rejects the
+  // overcommit), so the auditor's unit test needs this back door.
+  void TestOnlySetGuaranteedTotal(uint64_t total) { guaranteed_total_ = total; }
 
  private:
   struct Client {
@@ -148,13 +168,23 @@ class FramesAllocator {
   void FinishRevocation(DomainId victim, bool deadline_expired);
   void KillAndReclaim(Client& victim);
 
+  void RecordAccess(DomainId domain) {
+    if (access_checker_ != nullptr) {
+      access_checker_->Record(SharedStructure::kFramesAllocator, domain);
+    }
+  }
+
   Simulator& sim_;
   RamTab& ramtab_;
   TraceRecorder* trace_;
+  DomainAccessChecker* access_checker_ = nullptr;
   uint64_t total_frames_;
-  uint64_t guaranteed_total_ = 0;
-  std::vector<Pfn> free_list_;
-  std::vector<std::unique_ptr<Client>> clients_;
+  // Contract accounting and the frame stacks are the allocator's shared core:
+  // under the threaded design they are only written inside the system
+  // domain's serialized section (or its cross-domain revocation interface).
+  uint64_t guaranteed_total_ NEM_GUARDED_BY(g_system_domain) = 0;
+  std::vector<Pfn> free_list_ NEM_GUARDED_BY(g_system_domain);
+  std::vector<std::unique_ptr<Client>> clients_ NEM_GUARDED_BY(g_system_domain);
   Condition frames_available_;
 
   // Intrusive-revocation state (one at a time, as requests are serialised

@@ -35,6 +35,16 @@ class ProtectionDomain : public RightsResolver {
 
   bool HasEntry(Sid sid) const { return sid < rights_.size() && rights_[sid] != kNoEntry; }
 
+  // Visits every explicit (sid, rights) entry; auditor/debug path.
+  template <typename Fn>
+  void ForEachEntry(Fn&& fn) const {
+    for (Sid sid = 0; sid < rights_.size(); ++sid) {
+      if (rights_[sid] != kNoEntry) {
+        fn(sid, rights_[sid]);
+      }
+    }
+  }
+
   // Unvalidated set, used by the system domain when constructing domains.
   void SetRights(Sid sid, uint8_t rights) {
     NEM_ASSERT(sid < rights_.size());

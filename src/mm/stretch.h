@@ -17,8 +17,10 @@ namespace nemesis {
 
 class Stretch {
  public:
-  Stretch(Sid sid, VirtAddr base, size_t length, size_t page_size, DomainId owner)
-      : sid_(sid), base_(base), length_(length), page_size_(page_size), owner_(owner) {}
+  Stretch(Sid sid, VirtAddr base, size_t length, size_t page_size, DomainId owner,
+          PdomId owner_pdom = 0)
+      : sid_(sid), base_(base), length_(length), page_size_(page_size), owner_(owner),
+        owner_pdom_(owner_pdom) {}
 
   Sid sid() const { return sid_; }
   VirtAddr base() const { return base_; }
@@ -26,6 +28,9 @@ class Stretch {
   size_t page_size() const { return page_size_; }
   size_t page_count() const { return length_ / page_size_; }
   DomainId owner() const { return owner_; }
+  // Protection domain granted full rights at creation (0 when none was given);
+  // the invariant auditor checks PTE rights against it.
+  PdomId owner_pdom() const { return owner_pdom_; }
 
   bool Contains(VirtAddr va) const { return va >= base_ && va < base_ + length_; }
   VirtAddr PageBase(size_t index) const { return base_ + index * page_size_; }
@@ -51,6 +56,7 @@ class Stretch {
   size_t length_;
   size_t page_size_;
   DomainId owner_;
+  PdomId owner_pdom_;
 };
 
 }  // namespace nemesis

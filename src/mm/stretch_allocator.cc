@@ -73,9 +73,13 @@ Expected<Stretch*, StretchError> StretchAllocator::New(DomainId owner,
   }
 
   const Sid sid = next_sid_++;
+  // Sid is 16-bit and never reused; wrapping to kNoSid would alias the "no
+  // stretch" sentinel and resurrect any leaked rights entries.
+  NEM_ASSERT_NE(sid, kNoSid);
   used_ranges_.emplace(base, bytes);
   translation_.AddRange(base, bytes / page_size_, sid, global_rights);
-  stretches_.push_back(std::make_unique<Stretch>(sid, base, bytes, page_size_, owner));
+  stretches_.push_back(std::make_unique<Stretch>(
+      sid, base, bytes, page_size_, owner, owner_pdom != nullptr ? owner_pdom->id() : 0));
   // "Should the request be successful ... The caller is now the owner of the
   // stretch": full rights including meta in the owner's protection domain.
   if (owner_pdom != nullptr) {
@@ -90,6 +94,10 @@ Status<StretchError> StretchAllocator::Destroy(Sid sid) {
   for (auto it = stretches_.begin(); it != stretches_.end(); ++it) {
     if ((*it)->sid() == sid) {
       translation_.RemoveRange((*it)->base(), (*it)->page_count());
+      // Strip the sid from every protection domain: rights entries must not
+      // outlive the stretch (each removal bumps the resolver version, which
+      // also drops the MMU's cached rights resolution for the dead sid).
+      translation_.RemoveSidRights(sid);
       used_ranges_.erase((*it)->base());
       stretches_.erase(it);
       return Status<StretchError>::Ok();

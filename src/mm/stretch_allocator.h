@@ -7,6 +7,7 @@
 #define SRC_MM_STRETCH_ALLOCATOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -46,6 +47,13 @@ class StretchAllocator {
   Stretch* FindByAddr(VirtAddr va);
   size_t stretch_count() const { return stretches_.size(); }
   size_t page_size() const { return page_size_; }
+
+  // Auditor/debug sweep over all live stretches.
+  void ForEachStretch(const std::function<void(const Stretch&)>& fn) const {
+    for (const auto& s : stretches_) {
+      fn(*s);
+    }
+  }
 
  private:
   std::optional<VirtAddr> AllocateRange(size_t bytes);

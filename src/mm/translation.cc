@@ -49,6 +49,25 @@ ProtectionDomain* TranslationSystem::FindProtectionDomain(PdomId id) {
   return nullptr;
 }
 
+const ProtectionDomain* TranslationSystem::FindProtectionDomain(PdomId id) const {
+  return const_cast<TranslationSystem*>(this)->FindProtectionDomain(id);
+}
+
+void TranslationSystem::RemoveSidRights(Sid sid) {
+  for (auto& p : pdoms_) {
+    if (p->HasEntry(sid)) {
+      p->RemoveEntry(sid);  // bumps the resolver version
+    }
+  }
+}
+
+void TranslationSystem::ForEachProtectionDomain(
+    const std::function<void(const ProtectionDomain&)>& fn) const {
+  for (const auto& p : pdoms_) {
+    fn(*p);
+  }
+}
+
 size_t TranslationSystem::pdom_count() const { return pdoms_.size(); }
 
 }  // namespace nemesis

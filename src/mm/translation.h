@@ -6,6 +6,7 @@
 #ifndef SRC_MM_TRANSLATION_H_
 #define SRC_MM_TRANSLATION_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -31,7 +32,16 @@ class TranslationSystem {
   ProtectionDomain* CreateProtectionDomain();
   void DeleteProtectionDomain(PdomId id);
   ProtectionDomain* FindProtectionDomain(PdomId id);
+  const ProtectionDomain* FindProtectionDomain(PdomId id) const;
   size_t pdom_count() const;
+
+  // Strips `sid` from every protection domain (stretch destruction). Each
+  // removal bumps the domain's resolver version, so the MMU's cached rights
+  // resolution can never outlive the stretch.
+  void RemoveSidRights(Sid sid);
+
+  // Auditor/debug sweep over all protection domains.
+  void ForEachProtectionDomain(const std::function<void(const ProtectionDomain&)>& fn) const;
 
  private:
   Mmu& mmu_;

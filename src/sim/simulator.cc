@@ -10,6 +10,17 @@ namespace {
 constexpr size_t kArity = 4;
 }  // namespace
 
+Simulator::~Simulator() {
+  // Tasks still suspended when the simulation ends are frame↔state reference
+  // cycles (the coroutine promise owns a shared_ptr to the TaskState that
+  // owns the frame handle); destroy their frames explicitly or they leak.
+  for (auto& st : tasks_) {
+    if (!st->done && !st->destroyed) {
+      st->Abandon();
+    }
+  }
+}
+
 uint32_t Simulator::AllocSlot() {
   if (!free_slots_.empty()) {
     const uint32_t slot = free_slots_.back();
@@ -215,12 +226,18 @@ uint64_t Simulator::DrainBatch() {
     --live_pending_;
     ++n;
     fn();
+    if (post_event_hook_) [[unlikely]] {
+      post_event_hook_();
+    }
   }
   // The bucket drained dry; it is still the heap top (nothing earlier can
   // appear while it runs, and a same-time sibling has a later bseq).
   NEM_ASSERT(!heap_.empty() && heap_.front().bucket == bidx);
   HeapPopTop();
   FreeBucket(bidx);
+  if (post_batch_hook_) [[unlikely]] {
+    post_batch_hook_();
+  }
   return n;
 }
 
@@ -264,6 +281,12 @@ bool Simulator::Step() {
   ++events_executed_;
   --live_pending_;
   fn();
+  if (post_event_hook_) [[unlikely]] {
+    post_event_hook_();
+  }
+  if (post_batch_hook_) [[unlikely]] {
+    post_batch_hook_();
+  }
   // A drained bucket is left on the heap: a later CallAt at the same time may
   // still revive it, and FindLiveTop reclaims it otherwise.
   return true;

@@ -46,6 +46,7 @@ class Simulator {
   }
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+  ~Simulator();
 
   SimTime Now() const { return now_; }
 
@@ -78,6 +79,15 @@ class Simulator {
 
   size_t pending_events() const { return live_pending_; }
   uint64_t events_executed() const { return events_executed_; }
+
+  // Checker hooks (NEMESIS_AUDIT builds; both empty by default). The
+  // post-event hook runs after every event callback — the unit that becomes
+  // an atomically-scheduled task under the threaded design, so it is where
+  // the DomainAccessChecker closes its access window. The post-batch hook
+  // runs after each same-timestamp batch drains (and after every Step) — the
+  // quiescent point where the invariant auditor walks the cross-layer state.
+  void set_post_event_hook(Callback hook) { post_event_hook_ = std::move(hook); }
+  void set_post_batch_hook(Callback hook) { post_batch_hook_ = std::move(hook); }
 
  private:
   static constexpr uint32_t kNoBucket = UINT32_MAX;
@@ -160,6 +170,8 @@ class Simulator {
   std::vector<Slot> slots_;
   std::vector<uint32_t> free_slots_;
   std::vector<std::shared_ptr<TaskState>> tasks_;
+  Callback post_event_hook_;
+  Callback post_batch_hook_;
 };
 
 }  // namespace nemesis

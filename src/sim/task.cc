@@ -40,6 +40,13 @@ void TaskState::Kill() {
   FireCompletionWatchers();
 }
 
+void TaskState::Abandon() {
+  NEM_ASSERT_MSG(!running, "cannot abandon a running task");
+  killed = true;
+  completion_watchers.clear();
+  DestroyFrame();
+}
+
 void TaskState::DestroyFrame() {
   if (!destroyed && handle) {
     destroyed = true;

@@ -47,6 +47,13 @@ struct TaskState {
   // itself; the frame is destroyed at the next safe point.
   void Kill();
 
+  // Teardown for a task abandoned at simulation end: destroys the frame and
+  // drops completion watchers without scheduling anything (the simulator is
+  // going away). The coroutine frame's promise holds a shared_ptr to this
+  // state while the state holds the frame handle, so an abandoned suspended
+  // task is a frame↔state cycle nothing else can reclaim.
+  void Abandon();
+
   ~TaskState();
 
  private:

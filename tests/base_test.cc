@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/base/assert.h"
 #include "src/base/bitmap.h"
 #include "src/base/expected.h"
 #include "src/base/intrusive_list.h"
@@ -17,6 +18,42 @@
 
 namespace nemesis {
 namespace {
+
+TEST(Assert, ComparisonAssertsPassOnTrueCondition) {
+  int calls = 0;
+  auto once = [&calls] { return ++calls; };
+  NEM_ASSERT_EQ(once(), 1);  // operands evaluated exactly once
+  EXPECT_EQ(calls, 1);
+  NEM_ASSERT_NE(3, 4);
+  NEM_ASSERT_LT(3u, 4u);
+  NEM_ASSERT_LE(4u, 4u);
+}
+
+TEST(Assert, EqFailurePrintsBothOperands) {
+  const uint64_t pfn = 2049;
+  const uint64_t limit = 2048;
+  EXPECT_DEATH(NEM_ASSERT_EQ(pfn, limit), "lhs=2049 rhs=2048");
+}
+
+TEST(Assert, LtFailurePrintsExpressionText) {
+  const size_t index = 7;
+  const size_t size = 4;
+  EXPECT_DEATH(NEM_ASSERT_LT(index, size), "index < size");
+}
+
+TEST(Assert, NeFailurePrintsValues) {
+  const int sid = 0;
+  EXPECT_DEATH(NEM_ASSERT_NE(sid, 0), "lhs=0 rhs=0");
+}
+
+TEST(Assert, ValueStringRendersCommonKinds) {
+  EXPECT_EQ(detail::AssertValueString(true), "true");
+  EXPECT_EQ(detail::AssertValueString(42), "42");
+  enum class E { kA = 3 };
+  EXPECT_EQ(detail::AssertValueString(E::kA), "3");
+  struct Opaque {} opaque;
+  EXPECT_EQ(detail::AssertValueString(opaque), "<?>");
+}
 
 TEST(Bitmap, StartsClear) {
   Bitmap bm(130);

@@ -13,6 +13,13 @@
 namespace nemesis {
 namespace {
 
+// Every scenario phase must leave the cross-layer memory state audit-clean
+// (frames allocator vs RamTab vs page table vs TLB; see src/check).
+void ExpectAuditClean(System& system, const char* phase) {
+  const AuditReport report = system.AuditNow();
+  EXPECT_TRUE(report.ok()) << phase << ": " << report.Summary();
+}
+
 AppConfig PagedApp(const std::string& name, int64_t slice_ms, size_t stretch_pages) {
   AppConfig cfg;
   cfg.name = name;
@@ -40,6 +47,7 @@ TEST(Integration, MiniFigure7PagingInRatios) {
   }
   system.sim().RunUntil(Seconds(60));
   ASSERT_TRUE(primed[0] && primed[1] && primed[2]);
+  ExpectAuditClean(system, "fig7 prime");
 
   // Measure: sequential read loops for 30 simulated seconds.
   uint64_t bytes[3] = {0, 0, 0};
@@ -50,6 +58,7 @@ TEST(Integration, MiniFigure7PagingInRatios) {
         SequentialAccessLoop(*apps[i], AccessType::kRead, until, &bytes[i], &ok[i]), "loop");
   }
   system.sim().RunUntil(until);
+  ExpectAuditClean(system, "fig7 measure");
 
   ASSERT_GT(bytes[0], 0u);
   const double r1 = static_cast<double>(bytes[1]) / static_cast<double>(bytes[0]);
@@ -93,6 +102,7 @@ TEST(Integration, IntrusiveRevocationCleansDirtyPages) {
   ASSERT_TRUE(hog_ok);
   ASSERT_EQ(system.frames().AllocatedCount(hog->id()), 8u);
   ASSERT_EQ(system.frames().free_frames(), 0u);
+  ExpectAuditClean(system, "fig8 hog filled memory");
 
   // Late-comer with a guarantee of 4: must trigger intrusive revocation (all
   // hog frames are mapped and dirty).
@@ -105,6 +115,7 @@ TEST(Integration, IntrusiveRevocationCleansDirtyPages) {
   system.sim().RunUntil(Seconds(30));
 
   EXPECT_TRUE(late_ok);
+  ExpectAuditClean(system, "fig8 after intrusive revocation");
   EXPECT_GE(system.frames().revocations_intrusive(), 1u);
   EXPECT_EQ(system.frames().domains_killed(), 0u);  // the hog complied
   EXPECT_TRUE(hog->alive());
@@ -117,6 +128,7 @@ TEST(Integration, IntrusiveRevocationCleansDirtyPages) {
   hog->SpawnWorkload(SequentialPass(*hog, AccessType::kRead, &hog_again), "hog-again");
   system.sim().RunUntil(system.sim().Now() + Seconds(30));
   EXPECT_TRUE(hog_again);
+  ExpectAuditClean(system, "fig8 hog recovered");
 }
 
 TEST(Integration, NonCompliantDomainIsKilled) {
@@ -150,6 +162,9 @@ TEST(Integration, NonCompliantDomainIsKilled) {
   EXPECT_FALSE(hog->alive());
   EXPECT_FALSE(system.frames().IsClient(hog->id()));
   EXPECT_TRUE(late_ok);
+  // The kill path force-unmapped the dead domain's frames; no stale PTE or
+  // TLB entry may survive it.
+  ExpectAuditClean(system, "after kill");
 }
 
 TEST(Integration, TransparentRevocationIsInvisibleToVictim) {
@@ -180,6 +195,7 @@ TEST(Integration, TransparentRevocationIsInvisibleToVictim) {
   EXPECT_GE(system.frames().revocations_transparent(), 1u);
   EXPECT_EQ(system.frames().revocations_intrusive(), 0u);
   EXPECT_EQ(system.frames().domains_killed(), 0u);
+  ExpectAuditClean(system, "after transparent revocation");
 }
 
 TEST(Integration, FsClientUnaffectedByPagers) {
@@ -195,13 +211,15 @@ TEST(Integration, FsClientUnaffectedByPagers) {
     uint64_t fs_bytes = 0;
     system.sim().Spawn(
         PipelinedFsClient(system.sim(), *fs, fs_extent, 8, Seconds(20), &fs_bytes), "fs");
+    // The pager workloads write through these for the whole run, so they must
+    // outlive the RunUntil below, not just the if-block.
+    bool ok_a = false;
+    bool ok_b = false;
+    uint64_t ba = 0;
+    uint64_t bb = 0;
     if (with_pagers) {
       AppDomain* a = system.CreateApp(PagedApp("pager-a", 25, 128));
       AppDomain* b = system.CreateApp(PagedApp("pager-b", 50, 128));
-      bool ok_a = false;
-      bool ok_b = false;
-      uint64_t ba = 0;
-      uint64_t bb = 0;
       a->SpawnWorkload(SequentialAccessLoop(*a, AccessType::kWrite, Seconds(20), &ba, &ok_a),
                        "loop");
       b->SpawnWorkload(SequentialAccessLoop(*b, AccessType::kWrite, Seconds(20), &bb, &ok_b),
@@ -246,6 +264,7 @@ TEST(Integration, ConcurrentThreadsInOneDomain) {
   EXPECT_TRUE(ok_a);
   EXPECT_TRUE(ok_b);
   EXPECT_EQ(app->mm_entry().faults_failed(), 0u);
+  ExpectAuditClean(system, "concurrent threads");
 }
 
 TEST(Integration, ConcurrentFaultsOnSamePageAreDeduplicated) {
@@ -300,6 +319,7 @@ TEST(Integration, EightDomainsStress) {
     held += system.frames().AllocatedCount(apps[i]->id());
   }
   EXPECT_EQ(system.frames().free_frames() + held, system.frames().total_frames());
+  ExpectAuditClean(system, "eight-domain stress");
 }
 
 TEST(Integration, FowDirtyTrackingForIncrementalCheckpoint) {

@@ -136,6 +136,43 @@ TEST_F(MmTest, DestroyReleasesRangeAndTranslations) {
   EXPECT_TRUE(again.has_value());
 }
 
+TEST_F(MmTest, DestroyRemovesRightsFromOwnerPdom) {
+  // Regression: Destroy used to leave the sid's rights entries behind, so a
+  // later stretch reusing the sid inherited another domain's rights (the
+  // auditor's pdom-rights dead-sid rule catches the leak).
+  ProtectionDomain* pd = translation_.CreateProtectionDomain();
+  auto s = salloc_.New(1, pd, 2 * kPage);
+  ASSERT_TRUE(s.has_value());
+  const Sid sid = (*s)->sid();
+  ASSERT_TRUE(pd->HasEntry(sid));
+  ASSERT_TRUE(salloc_.Destroy(sid).ok());
+  EXPECT_FALSE(pd->HasEntry(sid));
+}
+
+TEST_F(MmTest, DestroyRemovesRightsGrantedToOtherPdoms) {
+  ProtectionDomain* owner = translation_.CreateProtectionDomain();
+  ProtectionDomain* peer = translation_.CreateProtectionDomain();
+  auto s = salloc_.New(1, owner, 2 * kPage);
+  ASSERT_TRUE(s.has_value());
+  const Sid sid = (*s)->sid();
+  // Owner (holding meta) grants the peer read access.
+  ASSERT_TRUE(peer->ChangeRights(*owner, sid, kRightRead).ok());
+  ASSERT_TRUE(peer->HasEntry(sid));
+  ASSERT_TRUE(salloc_.Destroy(sid).ok());
+  EXPECT_FALSE(peer->HasEntry(sid));
+}
+
+TEST_F(MmTest, DestroyBumpsResolverVersionOnGrantedPdoms) {
+  // The MMU caches resolved rights keyed by the resolver's version; removing
+  // a dead sid's entry must invalidate that cache.
+  ProtectionDomain* pd = translation_.CreateProtectionDomain();
+  auto s = salloc_.New(1, pd, 2 * kPage);
+  ASSERT_TRUE(s.has_value());
+  const uint64_t version_before = pd->version();
+  ASSERT_TRUE(salloc_.Destroy((*s)->sid()).ok());
+  EXPECT_GT(pd->version(), version_before);
+}
+
 TEST_F(MmTest, FindByAddr) {
   auto s = salloc_.New(1, nullptr, 4 * kPage);
   ASSERT_TRUE(s.has_value());
@@ -158,9 +195,10 @@ TEST_F(MmTest, TranslationPdomLifecycle) {
   EXPECT_NE(a->id(), b->id());
   EXPECT_EQ(translation_.pdom_count(), 2u);
   EXPECT_EQ(translation_.FindProtectionDomain(a->id()), a);
-  translation_.DeleteProtectionDomain(a->id());
+  const PdomId a_id = a->id();  // `a` is freed by the delete below
+  translation_.DeleteProtectionDomain(a_id);
   EXPECT_EQ(translation_.pdom_count(), 1u);
-  EXPECT_EQ(translation_.FindProtectionDomain(a->id()), nullptr);
+  EXPECT_EQ(translation_.FindProtectionDomain(a_id), nullptr);
 }
 
 TEST(FrameStackTest, PushAndOrder) {

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Repository lint for the Nemesis self-paging reproduction.
+
+Three project-specific rules that clang-tidy cannot express:
+
+1. Raw `new` / `delete` are confined to src/base/ (the small-buffer
+   machinery). Everywhere else, allocation must go through std::make_unique
+   or an adjacent std::unique_ptr<...>(new ...) adoption (used where a
+   constructor is private to a factory).
+
+2. RamTab mutation is confined to the two ownership authorities: the frames
+   allocator (src/mm/frames_allocator.cc) and the translation syscalls
+   (src/kernel/syscalls.cc), plus the definitions in ramtab.h itself. The
+   invariant auditor (src/check) cross-checks the *contents*; this rule
+   keeps new code from growing a third mutation path the auditor does not
+   know about.
+
+3. Include hygiene: project includes are quoted and rooted at src/ (no
+   relative ".." paths), and every header carries an include guard derived
+   from its path (SRC_FOO_BAR_H_).
+
+Run from the repository root:  python3 tools/lint.py
+Exits non-zero and prints one line per violation otherwise.
+"""
+
+import os
+import re
+import sys
+
+SRC = "src"
+
+# Rule 1: raw allocation. `= delete`d special members, <new> includes and
+# comments are not allocations.
+RAW_NEW = re.compile(r"\bnew\b")
+RAW_DELETE = re.compile(r"\bdelete\b")
+DELETED_FN = re.compile(r"=\s*delete\s*;")
+# A `new` adopted straight into a unique_ptr (possibly with the unique_ptr on
+# the previous line, as clang-format splits long factory expressions).
+UNIQUE_PTR_ADOPTION = re.compile(r"(unique_ptr\s*<|make_unique|\.reset\s*\()")
+
+# Rule 2: RamTab mutators and the files allowed to call them.
+RAMTAB_MUTATION = re.compile(r"\.\s*(SetOwner|SetMapped|SetUnused|SetNailed)\s*\(")
+RAMTAB_ALLOWED = {
+    os.path.join("src", "kernel", "ramtab.h"),       # the definitions
+    os.path.join("src", "kernel", "syscalls.cc"),    # translation authority
+    os.path.join("src", "mm", "frames_allocator.cc") # ownership authority
+}
+
+# Rule 3: include hygiene.
+QUOTED_INCLUDE = re.compile(r'#include\s+"([^"]+)"')
+
+
+def strip_comment(line):
+    return line.split("//", 1)[0]
+
+
+def lint_file(path, errors):
+    with open(path, encoding="utf-8") as f:
+        lines = f.readlines()
+
+    rel = os.path.relpath(path)
+    in_base = rel.startswith(os.path.join("src", "base") + os.sep)
+    is_header = rel.endswith(".h")
+
+    prev_code = ""
+    for lineno, raw in enumerate(lines, start=1):
+        code = strip_comment(raw)
+
+        # --- Rule 1: raw new/delete outside src/base/ -----------------------
+        if not in_base:
+            if RAW_NEW.search(code):
+                adopted = UNIQUE_PTR_ADOPTION.search(code) or UNIQUE_PTR_ADOPTION.search(
+                    prev_code)
+                if not adopted:
+                    errors.append(f"{rel}:{lineno}: raw `new` outside src/base/ "
+                                  "(use std::make_unique or adopt into a unique_ptr)")
+            if RAW_DELETE.search(code) and not DELETED_FN.search(code):
+                errors.append(f"{rel}:{lineno}: raw `delete` outside src/base/")
+
+        # --- Rule 2: RamTab mutation confinement ----------------------------
+        if rel not in RAMTAB_ALLOWED and RAMTAB_MUTATION.search(code):
+            errors.append(f"{rel}:{lineno}: RamTab mutation outside the ownership "
+                          "authorities (frames_allocator.cc / syscalls.cc)")
+
+        # --- Rule 3a: project includes rooted at src/ -----------------------
+        m = QUOTED_INCLUDE.search(code)
+        if m:
+            inc = m.group(1)
+            if ".." in inc or not inc.startswith("src/"):
+                errors.append(f"{rel}:{lineno}: quoted include \"{inc}\" must be "
+                              "rooted at src/ (no relative paths)")
+
+        if code.strip():
+            prev_code = code
+
+    # --- Rule 3b: include guards match the path -----------------------------
+    if is_header:
+        guard = rel.upper().replace(os.sep, "_").replace(".", "_").replace("-", "_") + "_"
+        text = "".join(lines)
+        if f"#ifndef {guard}" not in text or f"#define {guard}" not in text:
+            errors.append(f"{rel}:1: missing or mismatched include guard (expected {guard})")
+
+
+def main():
+    if not os.path.isdir(SRC):
+        print("lint.py: run from the repository root", file=sys.stderr)
+        return 2
+    errors = []
+    for root, _dirs, files in os.walk(SRC):
+        for name in sorted(files):
+            if name.endswith((".h", ".cc")):
+                lint_file(os.path.join(root, name), errors)
+    for e in errors:
+        print(e)
+    if errors:
+        print(f"lint.py: {len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    print("lint.py: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
