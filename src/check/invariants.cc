@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "src/base/assert.h"
+#include "src/usd/usd.h"
 
 namespace nemesis {
 
@@ -60,10 +61,26 @@ AuditReport InvariantAuditor::Audit(Depth depth) {
   CheckRamTabBacklinks(report);
   CheckPdomRights(report);
   CheckTlb(report);
+  CheckUsdBatchCharge(report);
   if (depth == Depth::kFull) {
     CheckPteLiveness(report);
   }
   return report;
+}
+
+// usd-batch-charge: chained transactions must charge exactly the disk busy
+// time they produced — batching is a throughput optimisation, not a way to
+// create or destroy accounted time.
+void InvariantAuditor::CheckUsdBatchCharge(AuditReport& report) {
+  if (usd_ == nullptr) {
+    return;
+  }
+  if (usd_->batch_charged() != usd_->batch_busy()) {
+    Add(report, "usd-batch-charge",
+        Format("batched charge %" PRId64 " ns != disk busy %" PRId64 " ns over %" PRIu64
+               " batches",
+               usd_->batch_charged(), usd_->batch_busy(), usd_->batches()));
+  }
 }
 
 void InvariantAuditor::AuditOrDie(Depth depth) {

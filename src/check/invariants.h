@@ -28,6 +28,10 @@
 //   pte-liveness     (full depth only) every allocated PTE in the page table
 //                    belongs to a live stretch — a whole-table sweep, so it
 //                    runs at phase boundaries rather than per event batch.
+//   usd-batch-charge (only when a USD is registered) the time the USD charged
+//                    clients for chained (batched) transactions equals the
+//                    disk busy time those chains produced, exactly — batching
+//                    must not create or destroy accounted time.
 //
 // Fast-depth audits are O(stretch pages + frames + TLB), cheap enough to run
 // after every event-loop batch in NEMESIS_AUDIT builds.
@@ -43,6 +47,8 @@
 #include "src/mm/translation.h"
 
 namespace nemesis {
+
+class Usd;
 
 struct AuditViolation {
   const char* rule = "";  // stable rule tag, e.g. "ramtab-owner"
@@ -69,6 +75,10 @@ class InvariantAuditor {
       : frames_(frames), ramtab_(ramtab), mmu_(mmu), stretches_(stretches),
         translation_(translation) {}
 
+  // Opts the USD's batch accounting into the audit (the usd-batch-charge
+  // rule). Optional: systems without a USD simply skip the rule.
+  void RegisterUsd(const Usd* usd) { usd_ = usd; }
+
   // Runs all rules and returns the violations found. Reuses internal scratch
   // space, so a steady-state audit allocates nothing once warmed up.
   AuditReport Audit(Depth depth = Depth::kFast);
@@ -87,12 +97,14 @@ class InvariantAuditor {
   void CheckPdomRights(AuditReport& report);
   void CheckTlb(AuditReport& report);
   void CheckPteLiveness(AuditReport& report);
+  void CheckUsdBatchCharge(AuditReport& report);
 
   const FramesAllocator& frames_;
   const RamTab& ramtab_;
   const Mmu& mmu_;
   const StretchAllocator& stretches_;
   const TranslationSystem& translation_;
+  const Usd* usd_ = nullptr;
 
   // Scratch, rebuilt per audit (sized to the physical frame count / sid
   // space once, then reused).

@@ -32,6 +32,7 @@ System::System(SystemConfig config)
       usd_(sim_, disk_, &trace_),
       sfs_(usd_, config.swap_partition),
       auditor_(frames_allocator_, kernel_.ramtab(), mmu_, stretch_allocator_, translation_) {
+  auditor_.RegisterUsd(&usd_);
   usd_.Start();
 
   if (config_.audit) {
@@ -115,7 +116,8 @@ AppDomain::AppDomain(System& system, AppConfig config)
       break;
     case AppConfig::DriverKind::kPaged: {
       auto swap = system.sfs().CreateSwapFile(config_.name + "-swap", config_.swap_bytes,
-                                              config_.disk_qos, config_.usd_depth);
+                                              config_.disk_qos, config_.usd_depth,
+                                              config_.usd_batch);
       NEM_ASSERT_MSG(swap.has_value(), "swap file creation failed (QoS or space)");
       swap_file_ = *swap;
       PagedStretchDriver::Config driver_config;

@@ -79,6 +79,7 @@ struct AppConfig {
   uint64_t swap_bytes = 16 * kMiB;
   QosSpec disk_qos{Milliseconds(250), Milliseconds(25), false, Milliseconds(10)};
   size_t usd_depth = 1;
+  UsdBatchPolicy usd_batch{};  // request coalescing for the swap client (default OFF)
   uint64_t driver_max_frames = 2;
   bool forgetful = false;
   bool stream_paging = false;  // enable the paper's §8 stream-paging extension

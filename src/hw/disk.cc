@@ -8,13 +8,13 @@ namespace nemesis {
 
 Disk::Disk(DiskGeometry geometry) : geometry_(geometry), cache_(geometry.cache_segments) {}
 
-SimDuration Disk::SeekTime(uint64_t target_cylinder) const {
-  if (target_cylinder == current_cylinder_) {
+SimDuration Disk::SeekTime(uint64_t from_cylinder, uint64_t target_cylinder) const {
+  if (target_cylinder == from_cylinder) {
     return 0;
   }
-  const uint64_t distance = target_cylinder > current_cylinder_
-                                ? target_cylinder - current_cylinder_
-                                : current_cylinder_ - target_cylinder;
+  const uint64_t distance = target_cylinder > from_cylinder
+                                ? target_cylinder - from_cylinder
+                                : from_cylinder - target_cylinder;
   const double frac = static_cast<double>(distance) / static_cast<double>(geometry_.cylinders());
   const double ms = geometry_.seek_min_ms + (geometry_.seek_max_ms - geometry_.seek_min_ms) * std::sqrt(frac);
   return FromMilliseconds(ms);
@@ -33,14 +33,14 @@ bool Disk::WouldHitCache(const DiskRequest& request) const {
   return false;
 }
 
-SimDuration Disk::MechanicalAccess(const DiskRequest& request, SimTime now) {
-  SimDuration t = FromMilliseconds(geometry_.command_overhead_ms);
+SimDuration Disk::MechanicalCost(const DiskRequest& request, SimTime now, uint64_t from_cylinder,
+                                 bool chained, bool* seeked) const {
+  SimDuration t = chained ? 0 : FromMilliseconds(geometry_.command_overhead_ms);
   const uint64_t target_cylinder = request.lba / geometry_.blocks_per_cylinder();
-  const SimDuration seek = SeekTime(target_cylinder);
-  if (seek > 0) {
-    ++stats_.seeks;
+  const SimDuration seek = SeekTime(from_cylinder, target_cylinder);
+  if (seeked != nullptr) {
+    *seeked = seek > 0;
   }
-  current_cylinder_ = target_cylinder;
   t += seek;
 
   // Rotational latency: the platter position is a pure function of absolute
@@ -63,6 +63,38 @@ SimDuration Disk::MechanicalAccess(const DiskRequest& request, SimTime now) {
   const uint64_t last_track = (request.lba + request.nblocks - 1) / geometry_.sectors_per_track;
   t += static_cast<SimDuration>(last_track - first_track) *
        FromMilliseconds(geometry_.head_switch_ms);
+  return t;
+}
+
+SimDuration Disk::StreamingCost(const DiskRequest& request, uint64_t prev_last_block) const {
+  // The head sits just past `prev_last_block` and the target sector is the
+  // next one under it: no seek, no rotational wait, pure media streaming.
+  SimDuration t = static_cast<SimDuration>(request.nblocks) * geometry_.block_transfer_time();
+  const uint64_t first_track = request.lba / geometry_.sectors_per_track;
+  const uint64_t last_track = (request.lba + request.nblocks - 1) / geometry_.sectors_per_track;
+  uint64_t switches = last_track - first_track;
+  if (prev_last_block / geometry_.sectors_per_track != first_track) {
+    ++switches;  // the chain boundary itself crosses a track
+  }
+  t += static_cast<SimDuration>(switches) * FromMilliseconds(geometry_.head_switch_ms);
+  return t;
+}
+
+SimDuration Disk::CacheHitCost(const DiskRequest& request) const {
+  // Controller overhead + host (bus) transfer only.
+  const double bytes = static_cast<double>(request.nblocks) * geometry_.block_size;
+  return FromMilliseconds(geometry_.command_overhead_ms) +
+         FromSeconds(bytes / (geometry_.bus_rate_mb_s * 1e6));
+}
+
+SimDuration Disk::MechanicalAccess(const DiskRequest& request, SimTime now) {
+  bool seeked = false;
+  const SimDuration t =
+      MechanicalCost(request, now, current_cylinder_, /*chained=*/false, &seeked);
+  if (seeked) {
+    ++stats_.seeks;
+  }
+  current_cylinder_ = request.lba / geometry_.blocks_per_cylinder();
   return t;
 }
 
@@ -117,10 +149,7 @@ SimDuration Disk::Access(const DiskRequest& request, SimTime now) {
     ++stats_.reads;
     if (WouldHitCache(request)) {
       ++stats_.cache_hits;
-      // Controller overhead + host (bus) transfer only.
-      const double bytes = static_cast<double>(request.nblocks) * geometry_.block_size;
-      t = FromMilliseconds(geometry_.command_overhead_ms) +
-          FromSeconds(bytes / (geometry_.bus_rate_mb_s * 1e6));
+      t = CacheHitCost(request);
       // Touch the segment for LRU and keep read-ahead running.
       FillCache(request.lba, request.nblocks);
     } else {
@@ -132,6 +161,88 @@ SimDuration Disk::Access(const DiskRequest& request, SimTime now) {
   }
   stats_.busy_time += t;
   return t;
+}
+
+void Disk::CostChain(std::span<const DiskRequest> requests, SimTime now,
+                     DiskChainEval& eval) const {
+  NEM_ASSERT(!requests.empty());
+  eval.total = 0;
+  eval.per_request.clear();
+  eval.segment_cache_hit.clear();
+  eval.seeks = 0;
+  eval.cache_hits = 0;
+  uint64_t head_cylinder = current_cylinder_;
+  uint64_t prev_end = 0;
+  bool prev_is_write = false;
+  bool first = true;
+  for (const DiskRequest& request : requests) {
+    NEM_ASSERT_MSG(request.lba + request.nblocks <= geometry_.total_blocks,
+                   "disk access out of range");
+    NEM_ASSERT(request.nblocks > 0);
+    SimDuration t;
+    bool hit = false;
+    if (!request.is_write && WouldHitCache(request)) {
+      // Cache hits (evaluated against the pre-chain cache state) never move
+      // the head; a chained hit additionally skips the command overhead.
+      hit = true;
+      ++eval.cache_hits;
+      t = CacheHitCost(request);
+      if (!first) {
+        t -= FromMilliseconds(geometry_.command_overhead_ms);
+      }
+    } else if (!first && request.lba == prev_end && request.is_write == prev_is_write) {
+      t = StreamingCost(request, prev_end - 1);
+      head_cylinder = request.lba / geometry_.blocks_per_cylinder();
+    } else {
+      bool seeked = false;
+      t = MechanicalCost(request, now + eval.total, head_cylinder, /*chained=*/!first, &seeked);
+      if (seeked) {
+        ++eval.seeks;
+      }
+      head_cylinder = request.lba / geometry_.blocks_per_cylinder();
+    }
+    eval.total += t;
+    eval.per_request.push_back(t);
+    eval.segment_cache_hit.push_back(hit ? 1 : 0);
+    prev_end = request.lba + request.nblocks;
+    prev_is_write = request.is_write;
+    first = false;
+  }
+}
+
+SimDuration Disk::AccessChain(std::span<const DiskRequest> requests, SimTime now,
+                              DiskChainEval& eval) {
+  CostChain(requests, now, eval);
+  stats_.seeks += eval.seeks;
+  stats_.cache_hits += eval.cache_hits;
+  bool moved_head = false;
+  uint64_t final_cylinder = current_cylinder_;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const DiskRequest& request = requests[i];
+    stats_.blocks_transferred += request.nblocks;
+    if (request.is_write) {
+      ++stats_.writes;
+      InvalidateCacheRange(request.lba, request.nblocks);
+      moved_head = true;
+      final_cylinder = request.lba / geometry_.blocks_per_cylinder();
+    } else {
+      ++stats_.reads;
+      // A cache hit keeps the head put, exactly as in Access; any other read
+      // is a media access.
+      if (eval.segment_cache_hit[i] == 0) {
+        moved_head = true;
+        final_cylinder = request.lba / geometry_.blocks_per_cylinder();
+      }
+      if (geometry_.read_cache_enabled) {
+        FillCache(request.lba, request.nblocks);
+      }
+    }
+  }
+  if (moved_head) {
+    current_cylinder_ = final_cylinder;
+  }
+  stats_.busy_time += eval.total;
+  return eval.total;
 }
 
 void Disk::WriteData(uint64_t lba, std::span<const uint8_t> data) {

@@ -54,6 +54,20 @@ struct DiskRequest {
   bool is_write = false;
 };
 
+// Evaluation of a chained transaction (see Disk::CostChain). `per_request[i]`
+// is the incremental service time of segment i; a segment's cost depends only
+// on the segments before it, so the prefix sum through i is exactly the cost
+// of the chain truncated after segment i — callers use this to cut a batch at
+// a time budget without re-costing. The vector keeps its capacity across
+// reuse, so a recycled DiskChainEval allocates nothing in the steady state.
+struct DiskChainEval {
+  SimDuration total = 0;
+  std::vector<SimDuration> per_request;
+  std::vector<uint8_t> segment_cache_hit;  // per segment: served from the read cache
+  uint32_t seeks = 0;
+  uint32_t cache_hits = 0;
+};
+
 struct DiskStats {
   uint64_t reads = 0;
   uint64_t writes = 0;
@@ -76,6 +90,25 @@ class Disk {
   // is performed separately with ReadData/WriteData.
   SimDuration Access(const DiskRequest& request, SimTime now);
 
+  // Costs `requests` issued as ONE chained transaction starting at `now`,
+  // without mutating any drive state. The first segment pays the full
+  // single-transaction cost (cache hit or mechanical). Every later segment is
+  // command-chained, so the per-transaction SCSI command overhead is
+  // suppressed: an LBA-contiguous same-direction segment streams at media
+  // rate (transfer + head switches, no seek and no rotational wait — the head
+  // is already positioned), while a non-contiguous segment still pays seek
+  // and rotational delay. This is the batching win: an unbatched sequential
+  // write stream misses a revolution per transaction (command overhead lets
+  // the target sector slip past the head), a chained one does not.
+  void CostChain(std::span<const DiskRequest> requests, SimTime now, DiskChainEval& eval) const;
+
+  // Commits a chain evaluated at `now`: one busy interval covering all
+  // segments, with head position, cache fills/invalidations and stats updated
+  // in segment order. Returns the total service time. For a single-segment
+  // chain this is exactly equivalent to Access().
+  SimDuration AccessChain(std::span<const DiskRequest> requests, SimTime now,
+                          DiskChainEval& eval);
+
   // Block content access (sparse backing store).
   void WriteData(uint64_t lba, std::span<const uint8_t> data);
   void ReadData(uint64_t lba, std::span<uint8_t> out);
@@ -91,7 +124,17 @@ class Disk {
     uint64_t last_used = 0;
   };
 
-  SimDuration SeekTime(uint64_t target_cylinder) const;
+  SimDuration SeekTime(uint64_t from_cylinder, uint64_t target_cylinder) const;
+  // Pure mechanical costing from an arbitrary head position. `chained`
+  // suppresses the per-transaction command overhead (the segment rides an
+  // already-issued command chain). `seeked` reports whether a seek occurred.
+  SimDuration MechanicalCost(const DiskRequest& request, SimTime now, uint64_t from_cylinder,
+                             bool chained, bool* seeked) const;
+  // Media-rate continuation cost for an LBA-contiguous chained segment.
+  SimDuration StreamingCost(const DiskRequest& request, uint64_t prev_last_block) const;
+  // Cache-hit costing (controller overhead + host transfer), shared by Access
+  // and the chain evaluator.
+  SimDuration CacheHitCost(const DiskRequest& request) const;
   SimDuration MechanicalAccess(const DiskRequest& request, SimTime now);
   void FillCache(uint64_t lba, uint32_t nblocks);
   void InvalidateCacheRange(uint64_t lba, uint32_t nblocks);

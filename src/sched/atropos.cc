@@ -145,7 +145,7 @@ std::optional<AtroposScheduler::Pick> AtroposScheduler::PickNext() {
   if (!has_work) {
     budget = std::min(budget, best->spec.laxity - best->lax_used);
   }
-  return Pick{best->id, !has_work, budget, best->deadline};
+  return Pick{best->id, !has_work, budget, best->remain, best->deadline};
 }
 
 std::optional<SchedClientId> AtroposScheduler::PickSlack() const {

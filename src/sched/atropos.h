@@ -77,6 +77,12 @@ class AtroposScheduler {
     SchedClientId client;
     bool lax;              // true: idle on the client's behalf, charging it
     SimDuration budget;    // maximum time the executor should spend
+    // The client's remaining slice at pick time (== budget for a work pick;
+    // for a lax pick, budget is additionally bounded by the laxity left).
+    // A batching executor must keep every transaction after the first inside
+    // this budget: only the first may overrun, which is exactly the existing
+    // roll-over rule for single transactions.
+    SimDuration slice_remaining;
     SimTime deadline;      // the client's current deadline (for tracing)
   };
 

@@ -30,6 +30,26 @@ struct UsdReply {
   SimDuration service_time = 0; // time the transaction occupied the disk
 };
 
+// Per-client batching policy. When enabled, the USD service loop — once the
+// Atropos pick has granted this client the head — drains the client's queue
+// for coalescable requests and issues them as ONE chained disk transaction,
+// charging the combined service time in a single Charge and fanning the
+// completions back out per request on the reply channel. Default OFF: a
+// client that does not opt in is served one transaction per pick, exactly as
+// before.
+struct UsdBatchPolicy {
+  bool enabled = false;
+  // Cap on the number of requests coalesced into one chain.
+  uint32_t max_requests = 32;
+  // Cap on the total blocks moved by one chain.
+  uint32_t max_batch_blocks = 2048;  // 1 MiB at 512-byte blocks
+  // Non-contiguous same-direction requests whose LBA distance from the end of
+  // the chain is at most this many blocks may still be coalesced (they pay
+  // seek + rotation inside the chain, but not the per-command overhead).
+  // 0 = strictly LBA-contiguous coalescing only.
+  uint64_t max_gap_blocks = 0;
+};
+
 // A contiguous range of disk blocks a client is entitled to access. The USD
 // validates every transaction against its client's extents — this is what
 // makes the disk "user-safe".

@@ -12,7 +12,8 @@ SwapFilesystem::SwapFilesystem(Usd& usd, Extent partition)
 }
 
 Expected<SwapFile, SfsError> SwapFilesystem::CreateSwapFile(std::string name, uint64_t bytes,
-                                                            QosSpec spec, size_t depth) {
+                                                            QosSpec spec, size_t depth,
+                                                            UsdBatchPolicy batch) {
   if (bytes == 0) {
     return MakeUnexpected(SfsError::kBadSize);
   }
@@ -36,6 +37,7 @@ Expected<SwapFile, SfsError> SwapFilesystem::CreateSwapFile(std::string name, ui
   hint_ = *start + nblocks;
   const Extent extent{partition_.start + *start, nblocks};
   (*client)->AddExtent(extent);
+  (*client)->set_batch_policy(batch);
   return SwapFile{std::move(name), extent, *client};
 }
 

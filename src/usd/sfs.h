@@ -39,9 +39,11 @@ class SwapFilesystem {
   SwapFilesystem(Usd& usd, Extent partition);
 
   // Allocates a contiguous extent of at least `bytes` and negotiates a USD
-  // client with QoS `spec` and `depth` pipeline slots for it.
+  // client with QoS `spec` and `depth` pipeline slots for it. `batch` is the
+  // client's request-coalescing policy (default OFF: one transaction per
+  // Atropos pick, as before).
   Expected<SwapFile, SfsError> CreateSwapFile(std::string name, uint64_t bytes, QosSpec spec,
-                                              size_t depth = 1);
+                                              size_t depth = 1, UsdBatchPolicy batch = {});
 
   // Releases the extent and closes the USD client.
   Status<SfsError> DeleteSwapFile(SwapFile& file);

@@ -8,8 +8,7 @@
 namespace nemesis {
 
 Usd::Usd(Simulator& sim, Disk& disk, TraceRecorder* trace)
-    : sim_(sim), disk_(disk), trace_(trace), sched_(sim, trace, "usd"), work_cv_(sim),
-      arrival_cv_(sim) {
+    : sim_(sim), disk_(disk), trace_(trace), sched_(sim, trace, "usd"), work_cv_(sim) {
   sched_.set_wakeup([this] { work_cv_.NotifyAll(); });
 }
 
@@ -34,7 +33,25 @@ Expected<UsdClient*, UsdError> Usd::OpenClient(std::string name, QosSpec spec, s
 
 void Usd::CloseClient(UsdClient* client) {
   sched_.Remove(client->sched_id());
-  std::erase_if(clients_, [client](const auto& c) { return c.get() == client; });
+  for (auto it = clients_.begin(); it != clients_.end(); ++it) {
+    if (it->get() != client) {
+      continue;
+    }
+    if (client == in_service_) {
+      // The service loop holds this pointer across a co_await on the
+      // in-flight transaction; destroying the client now would leave the
+      // loop writing freed memory when it resumes. Keep the object alive
+      // until the transaction completes; the loop reaps it.
+      client->defunct_ = true;
+      defunct_.push_back(std::move(*it));
+    }
+    clients_.erase(it);
+    return;
+  }
+}
+
+void Usd::ReapDefunct() {
+  defunct_.clear();
 }
 
 void Usd::Start() {
@@ -78,8 +95,83 @@ void UsdClient::Push(UsdRequest request) {
 
 void Usd::OnRequestArrival(UsdClient& client) {
   sched_.SetQueued(client.sched_id_, static_cast<uint32_t>(client.queue_.size()));
-  arrival_cv_.NotifyAll();
+  // Only the owning client's condition is signalled: a laxity idle reserved
+  // for the picked client must not be cut short (and mis-charged) by some
+  // other client's arrival.
+  client.arrival_cv_.NotifyAll();
   work_cv_.NotifyAll();
+}
+
+const Extent* UsdClient::CoveringExtent(uint64_t lba, uint32_t nblocks) const {
+  for (const auto& e : extents_) {
+    if (e.Covers(lba, nblocks)) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+void Usd::AssembleBatch(UsdClient& client, SimDuration slice_budget) {
+  batch_.clear();
+  batch_reqs_.clear();
+  batch_.push_back(std::move(client.queue_.front()));
+  client.queue_.pop_front();
+
+  const UsdBatchPolicy& policy = client.batch_policy_;
+  if (policy.enabled) {
+    // A batch never spans extents: every member must fit the extent covering
+    // the head request. (Push already validated each request individually.)
+    const Extent* extent = client.CoveringExtent(batch_[0].lba, batch_[0].nblocks);
+    uint64_t chain_end = batch_[0].lba + batch_[0].nblocks;
+    uint64_t blocks = batch_[0].nblocks;
+    while (extent != nullptr && batch_.size() < policy.max_requests &&
+           !client.queue_.empty()) {
+      const UsdRequest& next = client.queue_.front();
+      if (next.is_write != batch_[0].is_write ||
+          blocks + next.nblocks > policy.max_batch_blocks ||
+          !extent->Covers(next.lba, next.nblocks)) {
+        break;
+      }
+      if (next.lba != chain_end) {
+        const uint64_t gap =
+            next.lba > chain_end ? next.lba - chain_end : chain_end - next.lba;
+        if (gap > policy.max_gap_blocks) {
+          break;
+        }
+      }
+      blocks += next.nblocks;
+      chain_end = next.lba + next.nblocks;
+      batch_.push_back(std::move(client.queue_.front()));
+      client.queue_.pop_front();
+    }
+  }
+
+  for (const UsdRequest& r : batch_) {
+    batch_reqs_.push_back(DiskRequest{r.lba, r.nblocks, r.is_write});
+  }
+
+  if (batch_.size() > 1) {
+    // Budget cutoff (the roll-over rule extended to chains): keep the longest
+    // prefix whose cumulative cost fits the remaining slice; the head request
+    // alone may overrun, exactly as a single transaction may. Per-request
+    // chain costs depend only on earlier segments, so a prefix's sum is the
+    // true cost of the truncated chain.
+    disk_.CostChain(batch_reqs_, sim_.Now(), chain_eval_);
+    size_t keep = 1;
+    SimDuration cumulative = chain_eval_.per_request[0];
+    for (size_t i = 1; i < batch_.size(); ++i) {
+      cumulative += chain_eval_.per_request[i];
+      if (cumulative > slice_budget) {
+        break;
+      }
+      keep = i + 1;
+    }
+    for (size_t i = batch_.size(); i > keep; --i) {
+      client.queue_.push_front(std::move(batch_[i - 1]));
+    }
+    batch_.resize(keep);
+    batch_reqs_.resize(keep);
+  }
 }
 
 Task Usd::ServiceLoop() {
@@ -101,13 +193,17 @@ Task Usd::ServiceLoop() {
           reply.id = request.id;
           reply.ok = true;
           reply.service_time = t;
+          in_service_ = client;
+          co_await SleepFor(sim_, t);
+          in_service_ = nullptr;
+          // Data is committed (writes) / snapshotted (reads) at completion
+          // time: the platter must not show bytes that have not arrived yet.
           if (request.is_write) {
             disk_.WriteData(request.lba, request.data);
           } else {
             reply.data.resize(static_cast<size_t>(request.nblocks) * disk_.geometry().block_size);
             disk_.ReadData(request.lba, reply.data);
           }
-          co_await SleepFor(sim_, t);
           // Slack time is free: no charge against the guarantee.
           ++transactions_;
           ++client->transactions_;
@@ -119,6 +215,7 @@ Task Usd::ServiceLoop() {
           }
           const bool sent = client->replies_.TrySend(std::move(reply));
           NEM_ASSERT(sent);
+          ReapDefunct();
           continue;
         }
       }
@@ -136,42 +233,78 @@ Task Usd::ServiceLoop() {
       // the single-transaction-outstanding pager can issue its next request
       // back-to-back. The idle time is charged exactly like disk time.
       const SimTime start = sim_.Now();
-      (void)co_await arrival_cv_.WaitFor(pick->budget);
+      in_service_ = client;
+      (void)co_await client->arrival_cv_.WaitFor(pick->budget);
+      in_service_ = nullptr;
       const SimDuration spent = sim_.Now() - start;
       sched_.Charge(pick->client, spent, /*was_lax=*/true);
+      ReapDefunct();
       continue;
     }
 
     NEM_ASSERT(!client->queue_.empty());
-    UsdRequest request = std::move(client->queue_.front());
-    client->queue_.pop_front();
+    AssembleBatch(*client, pick->slice_remaining);
     sched_.SetQueued(client->sched_id_, static_cast<uint32_t>(client->queue_.size()));
 
     const SimTime start = sim_.Now();
-    const SimDuration t =
-        disk_.Access(DiskRequest{request.lba, request.nblocks, request.is_write}, start);
-    UsdReply reply;
-    reply.id = request.id;
-    reply.ok = true;
-    reply.service_time = t;
-    if (request.is_write) {
-      disk_.WriteData(request.lba, request.data);
+    SimDuration t;
+    SimDuration busy_delta = 0;
+    if (batch_.size() == 1) {
+      t = disk_.Access(batch_reqs_[0], start);
     } else {
-      reply.data.resize(static_cast<size_t>(request.nblocks) * disk_.geometry().block_size);
-      disk_.ReadData(request.lba, reply.data);
+      const SimDuration busy_before = disk_.stats().busy_time;
+      t = disk_.AccessChain(batch_reqs_, start, chain_eval_);
+      busy_delta = disk_.stats().busy_time - busy_before;
     }
+    in_service_ = client;
     co_await SleepFor(sim_, t);
+    in_service_ = nullptr;
+    // One Charge for the whole chain: the combined service time. (For a
+    // removed-mid-flight client the sched entry is gone and Charge is a
+    // no-op.)
     sched_.Charge(pick->client, t, /*was_lax=*/false);
-    ++transactions_;
-    ++client->transactions_;
-    client->bytes_transferred_ +=
-        static_cast<uint64_t>(request.nblocks) * disk_.geometry().block_size;
-    if (trace_ != nullptr) {
-      trace_->Record(start, "usd", static_cast<int>(client->sched_id_), "txn", ToMilliseconds(t),
-                     ToMilliseconds(sched_.remaining(pick->client)));
+    if (batch_.size() > 1) {
+      ++batches_;
+      ++client->batches_;
+      client->batched_requests_ += batch_.size();
+      batch_charged_ += t;
+      batch_busy_ += busy_delta;
+      if (trace_ != nullptr) {
+        trace_->Record(start, "usd", static_cast<int>(client->sched_id_), "batch",
+                       ToMilliseconds(t), static_cast<double>(batch_.size()));
+      }
     }
-    const bool sent = client->replies_.TrySend(std::move(reply));
-    NEM_ASSERT(sent);
+    // Completion-time data commit and per-request reply fan-out, in FIFO
+    // order; each reply releases one pipeline slot when received.
+    SimTime req_start = start;
+    for (size_t i = 0; i < batch_.size(); ++i) {
+      UsdRequest& request = batch_[i];
+      const SimDuration rt = batch_.size() == 1 ? t : chain_eval_.per_request[i];
+      UsdReply reply;
+      reply.id = request.id;
+      reply.ok = true;
+      reply.service_time = rt;
+      if (request.is_write) {
+        disk_.WriteData(request.lba, request.data);
+      } else {
+        reply.data.resize(static_cast<size_t>(request.nblocks) * disk_.geometry().block_size);
+        disk_.ReadData(request.lba, reply.data);
+      }
+      ++transactions_;
+      ++client->transactions_;
+      client->bytes_transferred_ +=
+          static_cast<uint64_t>(request.nblocks) * disk_.geometry().block_size;
+      if (trace_ != nullptr && !client->defunct_) {
+        trace_->Record(req_start, "usd", static_cast<int>(client->sched_id_), "txn",
+                       ToMilliseconds(rt), ToMilliseconds(sched_.remaining(pick->client)));
+      }
+      req_start += rt;
+      const bool sent = client->replies_.TrySend(std::move(reply));
+      NEM_ASSERT(sent);
+    }
+    batch_.clear();
+    batch_reqs_.clear();
+    ReapDefunct();
   }
 }
 

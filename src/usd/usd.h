@@ -10,9 +10,21 @@
 // pipeline. Roll-over accounting lets a final transaction overrun the slice
 // and deducts the deficit from the next allocation.
 //
+// Batching (per-client opt-in, see UsdBatchPolicy): when the Atropos pick
+// grants a client the head, the service loop drains its queue for
+// LBA-contiguous (and bounded non-contiguous) same-direction requests — up to
+// the policy caps and the pick's slice budget — and issues them as one
+// chained disk transaction. The combined service time is charged once; each
+// request still gets its own reply (FIFO, one pipeline slot released each).
+// A batch never spans extents and only its first transaction may overrun the
+// slice (the roll-over rule). The default policy is OFF, which leaves every
+// client on the exact one-transaction-per-pick path.
+//
 // Trace records emitted (category "usd"): "txn" (start time, value_a =
-// duration ms, value_b = client remaining ms), "lax" (from the Atropos core),
-// "alloc" (new periodic allocation), "reject" (extent violation).
+// duration ms, value_b = client remaining ms), "batch" (chain start time,
+// value_a = combined duration ms, value_b = requests in the chain; followed
+// by per-request "txn" records), "lax" (from the Atropos core), "alloc" (new
+// periodic allocation), "reject" (extent violation).
 #ifndef SRC_USD_USD_H_
 #define SRC_USD_USD_H_
 
@@ -73,6 +85,11 @@ class UsdClient {
   // application itself.
   void AddExtent(Extent extent) { extents_.push_back(extent); }
 
+  // Opts this client in to (or out of) request coalescing. Takes effect from
+  // the next Atropos pick; safe to call at any time.
+  void set_batch_policy(UsdBatchPolicy policy) { batch_policy_ = policy; }
+  const UsdBatchPolicy& batch_policy() const { return batch_policy_; }
+
   const std::string& name() const { return name_; }
   SchedClientId sched_id() const { return sched_id_; }
   size_t depth() const { return depth_; }
@@ -80,13 +97,18 @@ class UsdClient {
   uint64_t transactions() const { return transactions_; }
   uint64_t bytes_transferred() const { return bytes_transferred_; }
   uint64_t rejected() const { return rejected_; }
+  uint64_t batches() const { return batches_; }
+  uint64_t batched_requests() const { return batched_requests_; }
 
  private:
   friend class Usd;
 
   UsdClient(Usd& usd, std::string name, SchedClientId sched_id, size_t depth, Simulator& sim)
       : usd_(usd), name_(std::move(name)), sched_id_(sched_id), depth_(depth),
-        slots_(sim, static_cast<int64_t>(depth)), replies_(sim, depth) {}
+        slots_(sim, static_cast<int64_t>(depth)), replies_(sim, depth), arrival_cv_(sim) {}
+
+  // First granted extent covering the request, or nullptr.
+  const Extent* CoveringExtent(uint64_t lba, uint32_t nblocks) const;
 
   Usd& usd_;
   std::string name_;
@@ -96,10 +118,21 @@ class UsdClient {
   Mailbox<UsdReply> replies_;
   std::deque<UsdRequest> queue_;
   std::vector<Extent> extents_;
-  // Signalled when a request lands in the queue (used for laxity waits).
+  UsdBatchPolicy batch_policy_;
+  // Signalled when one of THIS client's requests lands in the queue. The
+  // laxity idle the service loop performs on a picked client's behalf waits
+  // here, so unrelated clients' arrivals cannot cut the reserved window
+  // short (they used to, via a shared arrival condition — under-charging the
+  // picked client and handing its reserved head time to the newcomer).
+  Condition arrival_cv_;
+  // Set when CloseClient ran while the service loop held this client across
+  // an in-flight transaction; the loop reaps the deferred object afterwards.
+  bool defunct_ = false;
   uint64_t transactions_ = 0;
   uint64_t bytes_transferred_ = 0;
   uint64_t rejected_ = 0;
+  uint64_t batches_ = 0;           // multi-request chains issued
+  uint64_t batched_requests_ = 0;  // requests carried by those chains
 };
 
 class Usd {
@@ -111,6 +144,10 @@ class Usd {
   // Admission control rejects specs whose slices over-commit the disk.
   Expected<UsdClient*, UsdError> OpenClient(std::string name, QosSpec spec, size_t depth = 1);
 
+  // Removes the client's QoS reservation immediately. If the service loop is
+  // mid-transaction (or mid-laxity-idle) on this client, destruction is
+  // deferred until that transaction completes — the loop still holds the
+  // pointer across its co_await — and performed by the loop itself.
   void CloseClient(UsdClient* client);
 
   // Spawns the service task; idempotent.
@@ -120,24 +157,49 @@ class Usd {
   Disk& disk() { return disk_; }
   uint64_t transactions() const { return transactions_; }
 
+  // Batch accounting, audited by the invariant checker: the time charged to
+  // clients for chained transactions must equal the disk busy time those
+  // chains produced, exactly (both are integer nanoseconds).
+  uint64_t batches() const { return batches_; }
+  SimDuration batch_charged() const { return batch_charged_; }
+  SimDuration batch_busy() const { return batch_busy_; }
+
  private:
   friend class UsdClient;
 
   Task ServiceLoop();
   UsdClient* FindBySchedId(SchedClientId id);
   void OnRequestArrival(UsdClient& client);
+  // Pops the head of `client`'s queue into batch_/batch_reqs_, then — when
+  // the client's policy allows — keeps draining coalescable requests, bounded
+  // by the policy caps, the covering extent, and `slice_budget` (cumulative
+  // chain cost; the first request alone may exceed it, the roll-over rule).
+  void AssembleBatch(UsdClient& client, SimDuration slice_budget);
+  // Destroys clients whose CloseClient arrived while the loop was holding
+  // them across an in-flight transaction. Must only run at loop points where
+  // no UsdClient pointer is live.
+  void ReapDefunct();
 
   Simulator& sim_;
   Disk& disk_;
   TraceRecorder* trace_;
   AtroposScheduler sched_;
   Condition work_cv_;
-  // Signalled per arrival; the laxity wait uses it with a timeout.
-  Condition arrival_cv_;
   std::vector<std::unique_ptr<UsdClient>> clients_;
+  // Clients closed while in service: kept alive until the loop's in-flight
+  // transaction completes, then reaped (the use-after-free fix).
+  std::vector<std::unique_ptr<UsdClient>> defunct_;
+  UsdClient* in_service_ = nullptr;
   TaskHandle service_task_;
   bool started_ = false;
   uint64_t transactions_ = 0;
+  uint64_t batches_ = 0;
+  SimDuration batch_charged_ = 0;
+  SimDuration batch_busy_ = 0;
+  // Scratch for batch assembly (capacity reused across picks).
+  std::vector<UsdRequest> batch_;
+  std::vector<DiskRequest> batch_reqs_;
+  DiskChainEval chain_eval_;
 };
 
 }  // namespace nemesis

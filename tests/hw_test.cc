@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <span>
 #include <vector>
 
 #include "src/base/random.h"
@@ -533,6 +534,95 @@ TEST(DiskModel, BusyTimeAccumulates) {
 TEST(DiskModel, OutOfRangeAccessAsserts) {
   Disk disk;
   EXPECT_DEATH(disk.Access(DiskRequest{4304536, 1, false}, 0), "out of range");
+}
+
+TEST(DiskModel, SingleSegmentChainMatchesAccess) {
+  // A one-request chain is exactly a plain Access: same cost, same stats.
+  for (const bool is_write : {false, true}) {
+    Disk a;
+    Disk b;
+    const std::vector<DiskRequest> reqs{{123456, 16, is_write}};
+    const SimDuration t_plain = a.Access(reqs[0], Milliseconds(3));
+    DiskChainEval ev;
+    const SimDuration t_chain = b.AccessChain(reqs, Milliseconds(3), ev);
+    EXPECT_EQ(t_plain, t_chain);
+    ASSERT_EQ(ev.per_request.size(), 1u);
+    EXPECT_EQ(ev.per_request[0], t_chain);
+    EXPECT_EQ(a.stats().seeks, b.stats().seeks);
+    EXPECT_EQ(a.stats().busy_time, b.stats().busy_time);
+    EXPECT_EQ(a.stats().blocks_transferred, b.stats().blocks_transferred);
+  }
+}
+
+TEST(DiskModel, ChainedSequentialWritesStreamAtMediaRate) {
+  // Eight sequential 8 KiB writes: issued separately, each pays the command
+  // overhead and (usually) a missed revolution; chained, the tail segments
+  // stream at the media rate. This is the mechanism behind the USD batching
+  // win.
+  Disk separate;
+  SimTime now = 0;
+  SimDuration separate_total = 0;
+  std::vector<DiskRequest> reqs;
+  for (int i = 0; i < 8; ++i) {
+    reqs.push_back(DiskRequest{1000 + static_cast<uint64_t>(i) * 16, 16, true});
+  }
+  for (const auto& r : reqs) {
+    const SimDuration t = separate.Access(r, now);
+    now += t;
+    separate_total += t;
+  }
+  Disk chained;
+  DiskChainEval ev;
+  const SimDuration chain_total = chained.AccessChain(reqs, 0, ev);
+  EXPECT_LT(chain_total, separate_total / 2);
+  // The per-request decomposition accounts for the whole chain.
+  SimDuration sum = 0;
+  for (const SimDuration t : ev.per_request) {
+    sum += t;
+  }
+  EXPECT_EQ(sum, chain_total);
+  EXPECT_EQ(chained.stats().busy_time, chain_total);
+  EXPECT_EQ(chained.stats().blocks_transferred, 8u * 16u);
+}
+
+TEST(DiskModel, ChainedNonContiguousSeeksWithoutCommandOverhead) {
+  // Two far-apart reads. The chain's first segment costs exactly what a plain
+  // Access does, so both scenarios reach the second request at the same
+  // absolute time and head position; the chained continuation then skips the
+  // per-command overhead (though a rotation wait may absorb some of it, it
+  // can never come out slower).
+  const std::vector<DiskRequest> reqs{{0, 16, false}, {4000000, 16, false}};
+  Disk chained;
+  DiskChainEval ev;
+  const SimDuration chain_total = chained.AccessChain(reqs, 0, ev);
+  ASSERT_EQ(ev.per_request.size(), 2u);
+  Disk separate;
+  const SimDuration first = separate.Access(reqs[0], 0);
+  EXPECT_EQ(ev.per_request[0], first);
+  const SimDuration second = separate.Access(reqs[1], first);
+  EXPECT_LE(ev.per_request[1], second);
+  EXPECT_EQ(chain_total, ev.per_request[0] + ev.per_request[1]);
+  EXPECT_GT(ev.seeks, 0u);
+}
+
+TEST(DiskModel, ChainPrefixCostsMatchTruncatedChains) {
+  // The USD's slice-budget cutoff assumes a prefix sum of per-request chain
+  // costs equals the true cost of the truncated chain. Verify against mixed
+  // contiguous / gapped segments.
+  const std::vector<DiskRequest> reqs{
+      {2000, 16, true}, {2016, 16, true}, {2400, 16, true}, {2416, 16, true}};
+  Disk probe;
+  DiskChainEval full;
+  probe.CostChain(reqs, Milliseconds(1), full);
+  ASSERT_EQ(full.per_request.size(), reqs.size());
+  SimDuration prefix = 0;
+  for (size_t k = 1; k <= reqs.size(); ++k) {
+    prefix += full.per_request[k - 1];
+    DiskChainEval truncated;
+    Disk fresh;
+    fresh.CostChain(std::span<const DiskRequest>(reqs.data(), k), Milliseconds(1), truncated);
+    EXPECT_EQ(truncated.total, prefix) << "prefix length " << k;
+  }
 }
 
 }  // namespace

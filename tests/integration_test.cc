@@ -72,6 +72,49 @@ TEST(Integration, MiniFigure7PagingInRatios) {
   }
 }
 
+TEST(Integration, BatchedUsdClientCoalescesAndStaysAuditClean) {
+  // End-to-end batching inside a full System: a paged app shares the USD with
+  // a deep-pipelined file-system client (the Figure 9 workload) that has
+  // request coalescing enabled. The paged app opts in too via
+  // AppConfig::usd_batch, though its driver is a single-outstanding pager so
+  // its queue never holds two requests at a pick — only the pipelined client
+  // actually forms chains. Paging correctness, batch accounting (charge ==
+  // disk busy, the usd-batch-charge rule) and the cross-layer audit must all
+  // hold together.
+  System system;
+  AppConfig cfg = PagedApp("batched", 100, 64);
+  cfg.usd_batch.enabled = true;
+  AppDomain* app = system.CreateApp(cfg);
+
+  auto fs = system.usd().OpenClient(
+      "fs", QosSpec{Milliseconds(250), Milliseconds(50), false, Milliseconds(10)},
+      /*depth=*/16);
+  ASSERT_TRUE(fs.has_value());
+  // Well clear of the swap partition ([512, ~1M)); see AppConfig::swap_partition.
+  const Extent fs_extent{3000000, 100000};
+  (*fs)->AddExtent(fs_extent);
+  UsdBatchPolicy batch;
+  batch.enabled = true;
+  batch.max_requests = 16;
+  (*fs)->set_batch_policy(batch);
+
+  bool paged_ok = false;
+  uint64_t fs_bytes = 0;
+  const SimTime until = Seconds(30);
+  app->SpawnWorkload(SequentialPass(*app, AccessType::kWrite, &paged_ok), "prime");
+  system.sim().Spawn(
+      PipelinedFsClient(system.sim(), *fs, fs_extent, /*depth=*/16, until, &fs_bytes), "fs");
+  system.sim().RunUntil(until);
+
+  EXPECT_TRUE(paged_ok);
+  EXPECT_GT(fs_bytes, 0u);
+  // Coalescing actually happened, and charged exactly the busy time it made.
+  EXPECT_GT((*fs)->batches(), 0u);
+  EXPECT_EQ(system.usd().batch_charged(), system.usd().batch_busy());
+  EXPECT_GT(system.usd().batch_charged(), 0);
+  ExpectAuditClean(system, "batched fs + paging");
+}
+
 TEST(Integration, FaultsAreChargedToTheFaultingDomain) {
   // The USD charges all paging transactions to each app's own QoS account:
   // nothing is billed to a system-wide pager.

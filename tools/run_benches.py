@@ -115,6 +115,7 @@ def main():
         doc["simulated"] = {
             "fig7_paging_in": run_figure(args.build, "bench_fig7_paging_in"),
             "fig8_paging_out": run_figure(args.build, "bench_fig8_paging_out"),
+            "ablation_batching": run_figure(args.build, "bench_ablation_batching"),
         }
 
     args.out.write_text(json.dumps(doc, indent=2) + "\n")
