@@ -28,7 +28,9 @@ AppConfig Pager(const char* name, int64_t slice_ms) {
 // Runs the FS client for `measure`, optionally against two paging apps.
 // Prints the per-5s bandwidth series and returns the average MB/s.
 double RunFs(bool with_pagers, SimDuration measure) {
-  System system;
+  SystemConfig syscfg;
+  syscfg.parallel_sim = ParallelSimFromEnv();
+  System system(syscfg);
   auto fs = system.usd().OpenClient(
       "fs", QosSpec{Milliseconds(250), Milliseconds(125), false, Milliseconds(10)}, 8);
   if (!fs.has_value()) {

@@ -45,7 +45,9 @@ struct PagingExperimentResult {
 // Runs the experiment and prints the progress series (one row per sample) in
 // the shape of the paper's figures.
 inline PagingExperimentResult RunPagingExperiment(const PagingExperimentConfig& config) {
-  System system;
+  SystemConfig syscfg;
+  syscfg.parallel_sim = ParallelSimFromEnv();
+  System system(syscfg);
   const size_t n = config.apps.size();
   std::vector<AppDomain*> apps(n);
   for (size_t i = 0; i < n; ++i) {

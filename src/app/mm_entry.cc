@@ -25,9 +25,13 @@ void MmEntry::Start() {
                                  [this](EndpointId, uint64_t) { OnFaultEvent(); });
   domain_.SetNotificationHandler(revoke_endpoint_,
                                  [this](EndpointId, uint64_t) { OnRevokeEvent(); });
-  tasks_.push_back(env_.sim->Spawn(ActivationLoop(), domain_.name() + "/activations"));
+  // The entry's tasks are the domain's parallel payload: they run on the
+  // domain's affinity shard (self-paging means this work touches only the
+  // domain's own state on the fast path).
+  const ShardId shard = domain_.id();
+  tasks_.push_back(env_.sim->Spawn(ActivationLoop(), domain_.name() + "/activations", shard));
   for (size_t i = 0; i < num_workers_; ++i) {
-    tasks_.push_back(env_.sim->Spawn(Worker(), domain_.name() + "/mm-worker"));
+    tasks_.push_back(env_.sim->Spawn(Worker(), domain_.name() + "/mm-worker", shard));
   }
 }
 
@@ -175,9 +179,12 @@ Task MmEntry::Worker() {
       const Vpn vpn = job.fault.va / env_.page_size();
       FaultResult result = FaultResult::kFailure;
       // The driver's slow path runs as its own task so that it can perform
-      // IDC (frames negotiation, USD transactions).
+      // IDC (frames negotiation, USD transactions). Those are system-shard
+      // interactions — central frame lists, the USD head, evicted-page unmaps
+      // — so the slow path runs serially on the system shard; the worker hops
+      // back onto the domain shard when the join completes.
       TaskHandle h = env_.sim->Spawn(job.driver->ResolveFault(job.fault, job.stretch, &result),
-                                     domain_.name() + "/resolve");
+                                     domain_.name() + "/resolve", kSystemShard);
       co_await Join(h);
       ++faults_worker_;
       CompleteFault(vpn, result);
@@ -191,8 +198,10 @@ Task MmEntry::Worker() {
         if (driver == nullptr || freed >= job.revoke_k || !seen.insert(driver).second) {
           continue;
         }
+        // Relinquish unmaps frames and returns them to the central allocator:
+        // system-shard work, like the fault slow path above.
         TaskHandle h = env_.sim->Spawn(driver->RelinquishFrames(job.revoke_k - freed, &freed),
-                                       domain_.name() + "/relinquish");
+                                       domain_.name() + "/relinquish", kSystemShard);
         co_await Join(h);
       }
       ++revocations_handled_;

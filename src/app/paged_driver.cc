@@ -373,7 +373,10 @@ void PagedStretchDriver::MaybeStartPrefetch(size_t index) {
   // a real frame until PrefetchTask claims one.
   staging_.pfn = UINT64_MAX;
   ++prefetch_issued_;
-  env_.sim->Spawn(PrefetchTask(next), "stream-prefetch");
+  // The prefetch allocates frames and talks to the USD: system-shard work,
+  // spawned explicitly because this is also reached from the domain-shard
+  // fast path (stream-paging hit in HandleFault).
+  env_.sim->Spawn(PrefetchTask(next), "stream-prefetch", kSystemShard);
 }
 
 Task PagedStretchDriver::PrefetchTask(size_t index) {

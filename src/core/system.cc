@@ -1,11 +1,17 @@
 #include "src/core/system.h"
 
+#include <cstdlib>
 #include <utility>
 
 #include "src/base/assert.h"
 #include "src/base/log.h"
 
 namespace nemesis {
+
+size_t ParallelSimFromEnv() {
+  const char* v = std::getenv("NEMESIS_PARALLEL_SIM");
+  return v != nullptr ? static_cast<size_t>(std::strtoul(v, nullptr, 10)) : 0;
+}
 
 namespace {
 
@@ -33,7 +39,12 @@ System::System(SystemConfig config)
       sfs_(usd_, config.swap_partition),
       auditor_(frames_allocator_, kernel_.ramtab(), mmu_, stretch_allocator_, translation_) {
   auditor_.RegisterUsd(&usd_);
+  auditor_.RegisterAccessChecker(&access_checker_);
   usd_.Start();
+
+  if (config_.parallel_sim >= 1) {
+    sim_.EnableParallel(config_.parallel_sim);
+  }
 
   if (config_.audit) {
     if (config_.audit_stride == 0) {
@@ -148,7 +159,8 @@ PagedStretchDriver* AppDomain::paged_driver() {
 }
 
 TaskHandle AppDomain::SpawnWorkload(Task task, const std::string& label) {
-  TaskHandle handle = system_.sim().Spawn(std::move(task), config_.name + "/" + label);
+  TaskHandle handle = system_.sim().Spawn(std::move(task), config_.name + "/" + label,
+                                          ShardId{domain_->id()});
   workloads_.push_back(handle);
   return handle;
 }

@@ -4,6 +4,7 @@
 
 #include "src/base/assert.h"
 #include "src/base/log.h"
+#include "src/base/shard.h"
 
 namespace nemesis {
 
@@ -50,24 +51,42 @@ Domain* Kernel::FindDomain(DomainId id) {
 }
 
 void Kernel::SendEvent(DomainId target, EndpointId ep) {
+  // A send to ANOTHER domain from a worker lane would mutate the target's
+  // endpoint counters and activation condition concurrently with the target's
+  // own lane; defer it to the batch barrier, where effects replay in serial
+  // FIFO order. A domain sending to itself stays inline (shard-owned state).
+  ShardLane& lane = ShardLane::Current();
+  if (lane.sink != nullptr && lane.shard != ShardId{target}) [[unlikely]] {
+    lane.sink->Defer([this, target, ep] { SendEvent(target, ep); });
+    return;
+  }
   Domain* domain = FindDomain(target);
   if (domain == nullptr || !domain->alive()) {
     NEM_LOG_WARN("kernel", "event to missing/dead domain %u dropped", target);
     return;
   }
   NEM_ASSERT_MSG(ep < domain->endpoint_count(), "event to unallocated endpoint");
-  ++events_sent_;
+  events_sent_.fetch_add(1, std::memory_order_relaxed);
   ++domain->endpoints_[ep].value;
   domain->activation_condition().NotifyAll();
 }
 
 void Kernel::RaiseFault(DomainId id, FaultRecord record) {
+  // Same cross-shard rule as SendEvent: the fault queue belongs to the
+  // faulting domain's shard. (The common case — a domain faulting on its own
+  // lane — stays inline; record.time is stamped here either way, and deferred
+  // replays run at the same batch timestamp, so Now() is unchanged.)
+  ShardLane& lane = ShardLane::Current();
+  if (lane.sink != nullptr && lane.shard != ShardId{id}) [[unlikely]] {
+    lane.sink->Defer([this, id, record] { RaiseFault(id, record); });
+    return;
+  }
   Domain* domain = FindDomain(id);
   NEM_ASSERT_MSG(domain != nullptr, "fault raised for unknown domain");
   if (!domain->alive()) {
     return;
   }
-  ++faults_dispatched_;
+  faults_dispatched_.fetch_add(1, std::memory_order_relaxed);
   record.time = sim_.Now();
   // "the kernel saves the current context in the domain's activation context
   // and sends an event to the faulting domain."

@@ -5,6 +5,7 @@
 #ifndef SRC_KERNEL_KERNEL_H_
 #define SRC_KERNEL_KERNEL_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -42,8 +43,10 @@ class Kernel {
   // borne by the faulting domain, never by a third party.
   void RaiseFault(DomainId domain, FaultRecord record);
 
-  uint64_t events_sent() const { return events_sent_; }
-  uint64_t faults_dispatched() const { return faults_dispatched_; }
+  uint64_t events_sent() const { return events_sent_.load(std::memory_order_relaxed); }
+  uint64_t faults_dispatched() const {
+    return faults_dispatched_.load(std::memory_order_relaxed);
+  }
 
  private:
   Simulator& sim_;
@@ -53,8 +56,10 @@ class Kernel {
   KernelCostModel costs_;
   DomainId next_domain_id_ = 1;
   std::vector<std::unique_ptr<Domain>> domains_;
-  uint64_t events_sent_ = 0;
-  uint64_t faults_dispatched_ = 0;
+  // Relaxed atomics: domain lanes raising their own faults bump these
+  // concurrently; totals stay exact, only the interleaving is unordered.
+  std::atomic<uint64_t> events_sent_{0};
+  std::atomic<uint64_t> faults_dispatched_{0};
 };
 
 }  // namespace nemesis

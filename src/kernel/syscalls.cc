@@ -48,6 +48,7 @@ Status<VmError> TranslationSyscalls::Map(DomainId caller, const RightsResolver* 
 
   RecordAccess(SharedStructure::kPageTable, caller);
   RecordAccess(SharedStructure::kRamTab, caller);
+  RecordOwnedWrite(SharedStructure::kRamTab, ramtab_.OwnerOf(pfn));
   pte->valid = true;
   pte->pfn = pfn;
   if (attrs.rights != kRightNone) {
@@ -59,7 +60,7 @@ Status<VmError> TranslationSyscalls::Map(DomainId caller, const RightsResolver* 
   pte->referenced = false;
   ramtab_.SetMapped(pfn, mmu_.VpnOf(va));
   mmu_.tlb().Invalidate(mmu_.VpnOf(va));
-  ++map_count_;
+  map_count_.fetch_add(1, std::memory_order_relaxed);
   return Status<VmError>::Ok();
 }
 
@@ -82,11 +83,12 @@ Status<VmError> TranslationSyscalls::Unmap(DomainId caller, const RightsResolver
   }
   RecordAccess(SharedStructure::kPageTable, caller);
   RecordAccess(SharedStructure::kRamTab, caller);
+  RecordOwnedWrite(SharedStructure::kRamTab, ramtab_.OwnerOf(pfn));
   pte->valid = false;
   pte->pfn = 0;
   ramtab_.SetUnused(pfn);
   mmu_.tlb().Invalidate(mmu_.VpnOf(va));
-  ++unmap_count_;
+  unmap_count_.fetch_add(1, std::memory_order_relaxed);
   if (out_pfn != nullptr) {
     *out_pfn = pfn;
   }
@@ -104,6 +106,7 @@ Status<VmError> TranslationSyscalls::Nail(DomainId caller, Pfn pfn) {
     return MakeUnexpected(VmError::kFrameNailed);
   }
   RecordAccess(SharedStructure::kRamTab, caller);
+  RecordOwnedWrite(SharedStructure::kRamTab, ramtab_.OwnerOf(pfn));
   // SetNailed preserves mapped_vpn, so a nailed-while-mapped frame can return
   // to kMapped on unnail.
   ramtab_.SetNailed(pfn);
@@ -121,6 +124,7 @@ Status<VmError> TranslationSyscalls::Unnail(DomainId caller, Pfn pfn) {
     return MakeUnexpected(VmError::kNotNailed);
   }
   RecordAccess(SharedStructure::kRamTab, caller);
+  RecordOwnedWrite(SharedStructure::kRamTab, ramtab_.OwnerOf(pfn));
   const Vpn vpn = ramtab_.Get(pfn).mapped_vpn;
   const Pte* pte = vpn != 0 ? mmu_.page_table()->Lookup(vpn) : nullptr;
   if (pte != nullptr && pte->valid && pte->pfn == pfn) {
@@ -140,10 +144,11 @@ bool TranslationSyscalls::ForceUnmap(Vpn vpn) {
   pte->valid = false;
   pte->pfn = 0;
   if (ramtab_.ValidPfn(pfn)) {
+    RecordOwnedWrite(SharedStructure::kRamTab, ramtab_.OwnerOf(pfn));
     ramtab_.SetUnused(pfn);
   }
   mmu_.tlb().Invalidate(vpn);
-  ++unmap_count_;
+  unmap_count_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 

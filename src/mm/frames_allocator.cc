@@ -46,6 +46,7 @@ Status<FramesError> FramesAllocator::AdmitClient(DomainId domain, FramesContract
   auto client = std::make_unique<Client>();
   client->domain = domain;
   client->contract = contract;
+  client->stack.BindChecker(access_checker_, domain);
   clients_.push_back(std::move(client));
   if (trace_ != nullptr) {
     trace_->Record(sim_.Now(), "frames", static_cast<int>(domain), "admit",
@@ -65,6 +66,13 @@ Status<FramesError> FramesAllocator::RemoveClient(DomainId domain) {
 }
 
 bool FramesAllocator::IsClient(DomainId domain) const { return Find(domain) != nullptr; }
+
+void FramesAllocator::set_access_checker(DomainAccessChecker* checker) {
+  access_checker_ = checker;
+  for (auto& client : clients_) {
+    client->stack.BindChecker(checker, client->domain);
+  }
+}
 
 Pfn FramesAllocator::TakeFreeFrame(Client& client) {
   NEM_ASSERT(!free_list_.empty());

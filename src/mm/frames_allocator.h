@@ -136,7 +136,9 @@ class FramesAllocator {
   bool revocation_in_progress() const { return revocation_active_; }
 
   // Wires the ownership/race checker (audit builds). Null disables recording.
-  void set_access_checker(DomainAccessChecker* checker) { access_checker_ = checker; }
+  // Existing clients' frame stacks are (re)bound so their mutations record
+  // owned writes for the shard-confinement rule.
+  void set_access_checker(DomainAccessChecker* checker);
 
   // Corrupts the guarantee accounting. The contract-sum invariant is
   // unreachable through the public API (admission control rejects the

@@ -3,8 +3,8 @@
 // The simulator owns a priority queue of timestamped callbacks and a registry
 // of coroutine tasks (see src/sim/task.h). Everything in the reproduction that
 // consumes simulated time — domain workloads, fault handling, the USD service
-// loop, the disk mechanism — is driven from this single-threaded loop, which
-// makes every experiment deterministic.
+// loop, the disk mechanism — is driven from this loop, which makes every
+// experiment deterministic.
 //
 // The event loop is allocation-free in the steady state: callback bodies live
 // inline in recycled handle-table slots (SmallFunction, 48-byte small-buffer
@@ -21,14 +21,38 @@
 // generation-stamped slot, destroys the callback eagerly, and the entry is
 // dropped when it surfaces. Same-time events always fire in scheduling (FIFO)
 // order: appends only ever go to the newest bucket for a given time.
+//
+// Parallel mode (opt-in via EnableParallel): every event carries an affinity
+// shard (src/base/shard.h). Within one timestamp batch, a maximal run of
+// consecutive domain-shard entries spanning >= 2 distinct shards becomes a
+// *segment*: the run is grouped by shard (FIFO order preserved within each
+// shard) and the groups execute concurrently on a persistent worker pool.
+// System-shard events, and runs confined to a single shard, execute inline
+// exactly as in serial mode. Side effects that leave a worker — CallAt/
+// CallAfter (the bucket append), Spawn (registration + first resume), and
+// sink-deferred closures from lower layers — are buffered per worker, tagged
+// with the producing entry's FIFO position, and replayed on the driving
+// thread at the segment barrier in ascending position order. Slot allocation
+// and Cancel from workers take a mutex and act eagerly (slot-table order is
+// unobservable; execution order comes solely from bucket entry order), so
+// parallel runs are bit-identical to serial ones. One documented limitation:
+// cancelling an event scheduled in the *current* segment on a *different*
+// shard races with its execution — no code path in the tree does this (timer
+// cancels target the canceller's own shard or a future timestamp).
 #ifndef SRC_SIM_SIMULATOR_H_
 #define SRC_SIM_SIMULATOR_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "src/base/shard.h"
 #include "src/base/small_function.h"
 #include "src/sim/task.h"
 #include "src/sim/time.h"
@@ -38,6 +62,10 @@ namespace nemesis {
 class Simulator {
  public:
   using Callback = SmallFunction<void()>;
+  // Fired once per executed event, in logical FIFO order, in both serial and
+  // parallel modes (parallel fires it at the barrier, in entry order) — the
+  // hook the golden determinism tests compare across modes.
+  using EventProbe = std::function<void(SimTime, ShardId)>;
 
   Simulator() {
     for (uint32_t& c : time_cache_) {
@@ -52,10 +80,20 @@ class Simulator {
 
   // Schedules `fn` to run at absolute simulated time `t` (>= Now()). Returns
   // an id usable with Cancel(); ids are never 0, so 0 is a safe sentinel.
-  uint64_t CallAt(SimTime t, Callback fn);
+  // The event inherits the scheduling context's shard.
+  uint64_t CallAt(SimTime t, Callback fn) {
+    return CallAtOn(kInheritShard, t, std::move(fn));
+  }
 
   // Schedules `fn` to run `d` after Now().
-  uint64_t CallAfter(SimDuration d, Callback fn);
+  uint64_t CallAfter(SimDuration d, Callback fn) {
+    return CallAfterOn(kInheritShard, d, std::move(fn));
+  }
+
+  // Shard-explicit variants. `shard` may be kInheritShard (resolve against
+  // the current lane), kSystemShard, or a domain shard.
+  uint64_t CallAtOn(ShardId shard, SimTime t, Callback fn);
+  uint64_t CallAfterOn(ShardId shard, SimDuration d, Callback fn);
 
   // Cancels a pending callback; cancelling an already-fired or unknown id is a
   // no-op (ids carry a generation stamp, so a recycled handle slot can never
@@ -64,8 +102,10 @@ class Simulator {
 
   // Starts a coroutine task. The first resume happens from the run loop at the
   // current simulated time. The returned handle can observe completion and
-  // kill the task.
-  TaskHandle Spawn(Task task, std::string name = "");
+  // kill the task. The task (and every event it schedules, unless overridden)
+  // runs on `shard`; kInheritShard resolves against the spawning context.
+  TaskHandle Spawn(Task task, std::string name = "",
+                   ShardId shard = kInheritShard);
 
   // Executes events until the queue drains. Returns the number of events run.
   uint64_t Run();
@@ -75,23 +115,42 @@ class Simulator {
   uint64_t RunUntil(SimTime deadline);
 
   // Executes a single event if one is pending. Returns false when idle.
+  // Always executes inline (never forms a segment), in both modes.
   bool Step();
+
+  // Enables parallel execution with `executors` total executors: the driving
+  // thread plus executors-1 persistent pool threads. Must be called before
+  // running; executors == 1 exercises the full segment/buffer/merge machinery
+  // with no extra threads (useful for determinism tests). Irreversible for
+  // the simulator's lifetime.
+  void EnableParallel(size_t executors);
+  bool parallel_enabled() const { return parallel_ != nullptr; }
+  // Number of multi-shard segments executed, and events executed inside them.
+  uint64_t parallel_segments() const;
+  uint64_t parallel_events() const;
 
   size_t pending_events() const { return live_pending_; }
   uint64_t events_executed() const { return events_executed_; }
+  // Observability for the task-prune heuristic (tests): current registry size
+  // including dead entries not yet pruned.
+  size_t task_registry_size() const { return tasks_.size(); }
+
+  void set_event_probe(EventProbe probe) { probe_ = std::move(probe); }
 
   // Checker hooks (NEMESIS_AUDIT builds; both empty by default). The
-  // post-event hook runs after every event callback — the unit that becomes
-  // an atomically-scheduled task under the threaded design, so it is where
-  // the DomainAccessChecker closes its access window. The post-batch hook
-  // runs after each same-timestamp batch drains (and after every Step) — the
-  // quiescent point where the invariant auditor walks the cross-layer state.
+  // post-event hook runs after every inline event callback — and once per
+  // parallel segment, at the barrier, where it closes the checker's access
+  // window for the segment as a unit (worker-side accesses are checked by
+  // lane enforcement instead; see src/check/domain_access.h). The post-batch
+  // hook runs after each same-timestamp batch drains (and after every Step) —
+  // the quiescent point where the invariant auditor walks cross-layer state.
   void set_post_event_hook(Callback hook) { post_event_hook_ = std::move(hook); }
   void set_post_batch_hook(Callback hook) { post_batch_hook_ = std::move(hook); }
 
  private:
   static constexpr uint32_t kNoBucket = UINT32_MAX;
   static constexpr size_t kTimeCacheSize = 64;  // power of two
+  static constexpr size_t kMinPruneThreshold = 64;
 
   // Heap key: one entry per live timestamp bucket. `bseq` is the bucket
   // creation stamp — it tiebreaks the (rare) case where a cache collision
@@ -118,8 +177,88 @@ class Simulator {
   struct Slot {
     Callback fn;
     uint32_t gen = 1;
+    ShardId shard = kSystemShard;
     bool pending = false;
     bool cancelled = false;
+  };
+
+  // A buffered cross-shard side effect, tagged with the FIFO position of the
+  // bucket entry that produced it. Replayed in ascending entry_pos order
+  // (stable within one entry) at the segment barrier.
+  struct Effect {
+    enum class Kind : uint8_t { kSchedule, kSpawn, kGeneric };
+    Kind kind;
+    uint32_t entry_pos;
+    SimTime time = 0;                     // kSchedule: target timestamp
+    uint32_t slot = 0;                    // kSchedule: pre-allocated slot
+    std::shared_ptr<TaskState> spawn;     // kSpawn: state to register
+    std::function<void()> generic;        // kGeneric: deferred closure
+  };
+
+  // Per-executor context. The sink interface lets layers below the simulator
+  // (trace recorder, TLB shootdowns) defer effects without a sim dependency.
+  struct WorkerCtx final : public EffectSink {
+    std::vector<Effect> effects;
+    uint32_t entry_pos = 0;
+
+    void Defer(std::function<void()> fn) override {
+      effects.push_back(Effect{Effect::Kind::kGeneric, entry_pos, 0, 0,
+                               nullptr, std::move(fn)});
+    }
+    void PushSchedule(uint32_t pos, SimTime t, uint32_t slot) {
+      effects.push_back(
+          Effect{Effect::Kind::kSchedule, pos, t, slot, nullptr, {}});
+    }
+    void PushSpawn(uint32_t pos, std::shared_ptr<TaskState> st) {
+      effects.push_back(
+          Effect{Effect::Kind::kSpawn, pos, 0, 0, std::move(st), {}});
+    }
+  };
+
+  // One shard's slice of a segment: bucket entries in FIFO order.
+  struct SegmentGroup {
+    ShardId shard = kSystemShard;
+    std::vector<uint32_t> slots;
+    std::vector<uint32_t> positions;
+  };
+
+  struct RunEntry {
+    uint32_t slot;
+    uint32_t pos;
+    ShardId shard;
+  };
+
+  struct Parallel {
+    size_t executors = 1;
+    std::vector<WorkerCtx> ctxs;       // one per executor; [0] = driving thread
+    std::vector<std::thread> threads;  // executors - 1 pool threads
+    std::mutex mu;
+    std::condition_variable work_cv;
+    std::condition_variable done_cv;
+    uint64_t job_gen = 0;
+    size_t done_count = 0;
+    bool stop = false;
+    // Published segment (filled by the driving thread before job_gen bumps).
+    std::vector<SegmentGroup> groups;  // recycled; [0, ngroups) live
+    size_t ngroups = 0;
+    std::atomic<size_t> next_group{0};
+    std::vector<uint8_t> executed;  // per run entry; 0 = found cancelled
+    uint32_t seg_base = 0;
+    // Guards slots_/free_slots_/live_pending_ while workers run.
+    std::mutex slot_mu;
+    uint64_t segments = 0;
+    uint64_t parallel_events = 0;
+
+    SegmentGroup& AddGroup(ShardId shard) {
+      if (ngroups == groups.size()) {
+        groups.emplace_back();
+      }
+      SegmentGroup& g = groups[ngroups++];
+      g.shard = shard;
+      g.slots.clear();
+      g.positions.clear();
+      return g;
+    }
   };
 
   static bool EarlierThan(const Event& a, const Event& b) {
@@ -157,6 +296,19 @@ class Simulator {
   // number of events executed (0 when idle).
   uint64_t DrainBatch();
 
+  // Registers a spawned task and schedules its first resume; shared by the
+  // inline Spawn path and the segment merge.
+  void RegisterTask(const std::shared_ptr<TaskState>& state);
+
+  // Executes the multi-shard run in run_scratch_ on the worker pool, then
+  // retires entries and replays buffered effects in FIFO order.
+  uint64_t ExecuteSegment();
+  void RunGroups(WorkerCtx& ctx);
+  void WorkerThread(size_t idx);
+  void ApplyEffect(Effect& eff);
+  void StopParallel();
+  void CancelLocked(uint64_t id);
+
   void PruneTasks();
 
   SimTime now_ = 0;
@@ -170,8 +322,13 @@ class Simulator {
   std::vector<Slot> slots_;
   std::vector<uint32_t> free_slots_;
   std::vector<std::shared_ptr<TaskState>> tasks_;
+  size_t prune_threshold_ = kMinPruneThreshold;
   Callback post_event_hook_;
   Callback post_batch_hook_;
+  EventProbe probe_;
+  std::unique_ptr<Parallel> parallel_;
+  std::vector<RunEntry> run_scratch_;
+  std::vector<Effect*> merge_scratch_;
 };
 
 }  // namespace nemesis

@@ -70,7 +70,9 @@ class Condition {
       waiter->has_timer = true;
       auto w = waiter;
       Condition* cond = cv;
-      waiter->timer_id = cv->sim_->CallAfter(timeout, [cond, w] {
+      // The timeout fires on the waiter's shard so the resumed code runs in
+      // its own lane, same as a notification would.
+      waiter->timer_id = cv->sim_->CallAfterOn(waiter->st->shard, timeout, [cond, w] {
         // Timed out: drop from the wait list and resume un-notified.
         std::erase(cond->waiters_, w);
         w->st->Resume();
@@ -111,7 +113,7 @@ class Condition {
       sim_->Cancel(w->timer_id);
     }
     auto st = w->st;
-    sim_->CallAfter(0, [st] { st->Resume(); });
+    sim_->CallAfterOn(st->shard, 0, [st] { st->Resume(); });
   }
 
   Simulator* sim_;
@@ -152,7 +154,7 @@ class Semaphore {
       if (TaskDead(st)) {
         continue;
       }
-      sim_->CallAfter(0, [st] { st->Resume(); });
+      sim_->CallAfterOn(st->shard, 0, [st] { st->Resume(); });
       return;
     }
     ++count_;
@@ -273,7 +275,7 @@ class Mailbox {
 
  private:
   void Wake(const std::shared_ptr<TaskState>& st) {
-    sim_->CallAfter(0, [st] { st->Resume(); });
+    sim_->CallAfterOn(st->shard, 0, [st] { st->Resume(); });
   }
 
   // After freeing a buffer slot, move one blocked sender's value in.

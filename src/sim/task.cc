@@ -59,13 +59,13 @@ void TaskState::FireCompletionWatchers() {
   if (completion_watchers.empty()) {
     return;
   }
-  std::vector<std::function<void()>> watchers;
+  std::vector<Watcher> watchers;
   watchers.swap(completion_watchers);
-  for (auto& fn : watchers) {
+  for (auto& w : watchers) {
     if (sim != nullptr) {
-      sim->CallAfter(0, std::move(fn));
+      sim->CallAfterOn(w.shard, 0, std::move(w.fn));
     } else {
-      fn();
+      w.fn();
     }
   }
 }
@@ -85,25 +85,28 @@ void Task::promise_type::FinalAwaiter::await_suspend(
 
 void TaskHandle::OnCompletion(std::function<void()> fn) {
   NEM_ASSERT(state_ != nullptr);
+  // Watchers fire on the shard that registered them, not on whichever shard
+  // the target happens to complete on.
+  ShardId shard = ShardLane::Current().shard;
   if (state_->done || state_->destroyed) {
     if (state_->sim != nullptr) {
-      state_->sim->CallAfter(0, std::move(fn));
+      state_->sim->CallAfterOn(shard, 0, std::move(fn));
     } else {
       fn();
     }
     return;
   }
-  state_->completion_watchers.push_back(std::move(fn));
+  state_->completion_watchers.push_back({std::move(fn), shard});
 }
 
 void DelayAwaiter::await_suspend(std::coroutine_handle<Task::promise_type> h) {
   auto st = StateOf(h);
-  sim->CallAfter(duration_ns, [st] { st->Resume(); });
+  sim->CallAfterOn(st->shard, duration_ns, [st] { st->Resume(); });
 }
 
 void JoinAwaiter::await_suspend(std::coroutine_handle<Task::promise_type> h) {
   auto st = StateOf(h);
-  target->completion_watchers.push_back([st] { st->Resume(); });
+  target->completion_watchers.push_back({[st] { st->Resume(); }, st->shard});
 }
 
 }  // namespace nemesis

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/base/assert.h"
+#include "src/base/shard.h"
 
 namespace nemesis {
 
@@ -32,13 +33,23 @@ struct TaskState {
   std::coroutine_handle<> handle{};
   Simulator* sim = nullptr;
   std::string name;
+  // Affinity shard the task executes on (fixed at Spawn). Every event that
+  // resumes this task — the first resume, Delay timers, Condition/Semaphore/
+  // Mailbox wakeups, Join completions — is scheduled on this shard, so a task
+  // never migrates shards no matter which context woke it.
+  ShardId shard = kSystemShard;
   bool started = false;
   bool running = false;
   bool done = false;
   bool killed = false;
   bool destroyed = false;
   // Callbacks run (via the event queue) when the task completes or is killed.
-  std::vector<std::function<void()>> completion_watchers;
+  // Each fires on the shard captured at registration time.
+  struct Watcher {
+    std::function<void()> fn;
+    ShardId shard = kSystemShard;
+  };
+  std::vector<Watcher> completion_watchers;
 
   // Resumes the coroutine if it is still alive; destroys it if it was killed.
   void Resume();

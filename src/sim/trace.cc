@@ -3,11 +3,22 @@
 #include <cstdio>
 #include <utility>
 
+#include "src/base/shard.h"
+
 namespace nemesis {
 
 void TraceRecorder::Record(SimTime time, std::string category, int client, std::string event,
                            double a, double b) {
   if (!enabled_) {
+    return;
+  }
+  // Worker lanes defer the append to the batch barrier, where effects replay
+  // in the serial FIFO order — so the records vector is identical to a serial
+  // run's. (Trace sources are system-shard today; this keeps any domain-lane
+  // caller safe too.)
+  if (EffectSink* sink = ShardLane::Current().sink; sink != nullptr) [[unlikely]] {
+    sink->Defer([this, time, category = std::move(category), client, event = std::move(event), a,
+                 b]() { records_.push_back(TraceRecord{time, category, client, event, a, b}); });
     return;
   }
   records_.push_back(TraceRecord{time, std::move(category), client, std::move(event), a, b});

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repository lint for the Nemesis self-paging reproduction.
 
-Three project-specific rules that clang-tidy cannot express:
+Four project-specific rules that clang-tidy cannot express:
 
 1. Raw `new` / `delete` are confined to src/base/ (the small-buffer
    machinery). Everywhere else, allocation must go through std::make_unique
@@ -18,6 +18,15 @@ Three project-specific rules that clang-tidy cannot express:
 3. Include hygiene: project includes are quoted and rooted at src/ (no
    relative ".." paths), and every header carries an include guard derived
    from its path (SRC_FOO_BAR_H_).
+
+4. FrameStack *membership* mutation (PushTop/PushBottom/PopTop/Remove) is
+   confined to the frames allocator — the system-shard authority that also
+   updates the accounting those calls must stay in sync with. Domain drivers
+   may only *reorder* their own stack (MoveToTop/MoveToBottom); under the
+   parallel simulator those run on the owner's shard lane, and the
+   DomainAccessChecker's shard-confinement rule enforces the ownership at
+   runtime. This rule keeps new code from growing a membership-mutation path
+   that would race the allocator across shards.
 
 Run from the repository root:  python3 tools/lint.py
 Exits non-zero and prints one line per violation otherwise.
@@ -48,6 +57,16 @@ RAMTAB_ALLOWED = {
 
 # Rule 3: include hygiene.
 QUOTED_INCLUDE = re.compile(r'#include\s+"([^"]+)"')
+
+# Rule 4: FrameStack membership mutation. PushTop/PushBottom/PopTop are
+# unique to FrameStack; Remove is generic, so it is only flagged when the
+# receiver is spelled `stack` (the repo-wide naming for FrameStack members).
+FRAMESTACK_MEMBERSHIP = re.compile(
+    r"(?:\.\s*(?:PushTop|PushBottom|PopTop)|stack\s*(?:\.|->)\s*Remove)\s*\(")
+FRAMESTACK_ALLOWED = {
+    os.path.join("src", "mm", "frame_stack.h"),      # the definitions
+    os.path.join("src", "mm", "frames_allocator.cc") # system-shard authority
+}
 
 
 def strip_comment(line):
@@ -81,6 +100,12 @@ def lint_file(path, errors):
         if rel not in RAMTAB_ALLOWED and RAMTAB_MUTATION.search(code):
             errors.append(f"{rel}:{lineno}: RamTab mutation outside the ownership "
                           "authorities (frames_allocator.cc / syscalls.cc)")
+
+        # --- Rule 4: FrameStack membership mutation confinement -------------
+        if rel not in FRAMESTACK_ALLOWED and FRAMESTACK_MEMBERSHIP.search(code):
+            errors.append(f"{rel}:{lineno}: FrameStack membership mutation outside "
+                          "the frames allocator (drivers may only reorder via "
+                          "MoveToTop/MoveToBottom)")
 
         # --- Rule 3a: project includes rooted at src/ -----------------------
         m = QUOTED_INCLUDE.search(code)

@@ -2,8 +2,14 @@
 """Run the wall-clock perf harness and distill it into BENCH_core.json.
 
 Usage:
-    cmake -B build -S . && cmake --build build -j
-    tools/run_benches.py [--build build] [--out BENCH_core.json] [--min-time 0.2]
+    tools/run_benches.py [--build build-release] [--out BENCH_core.json]
+
+The script owns its build tree: it configures and builds a Release tree at
+--build (default build-release) before running anything, and it refuses to
+publish numbers from a Debug tree — wall-clock results from an unoptimized
+build are noise, not data. The recorded "host" block is taken from the
+actual CMakeCache build type and os.cpu_count(), not from whatever the
+benchmark library happens to claim.
 
 Two layers of results go into the JSON:
 
@@ -21,11 +27,22 @@ numbers from the machine that produced it (see "host" in the file).
 """
 import argparse
 import json
+import os
 import platform
 import re
 import subprocess
 import sys
 from pathlib import Path
+
+# Every binary the harness runs; built explicitly so a fresh Release tree
+# doesn't have to compile the whole test suite.
+BENCH_TARGETS = [
+    "bench_core",
+    "bench_fig7_paging_in",
+    "bench_fig8_paging_out",
+    "bench_ablation_batching",
+    "bench_ablation_parallel",
+]
 
 # (benchmark prefix, baseline template arg, optimized template arg)
 SPEEDUP_PAIRS = [
@@ -36,6 +53,27 @@ SPEEDUP_PAIRS = [
     ("BM_SimScheduleCancelFire", "SeedEventLoop", "Simulator"),
     ("BM_SimSelfRescheduling", "SeedEventLoop", "Simulator"),
 ]
+
+
+def read_build_type(build_dir):
+    cache = build_dir / "CMakeCache.txt"
+    if not cache.exists():
+        return None
+    m = re.search(r"^CMAKE_BUILD_TYPE:\w+=(.*)$", cache.read_text(), re.M)
+    return m.group(1).strip() if m else None
+
+
+def ensure_release_build(source_dir, build_dir):
+    """Configures (if needed) and builds the bench targets in Release mode."""
+    if read_build_type(build_dir) != "Release":
+        subprocess.run(
+            ["cmake", "-B", str(build_dir), "-S", str(source_dir),
+             "-DCMAKE_BUILD_TYPE=Release"],
+            check=True)
+    subprocess.run(
+        ["cmake", "--build", str(build_dir), "-j", str(os.cpu_count() or 1),
+         "--target"] + BENCH_TARGETS,
+        check=True)
 
 
 def run_bench_core(build_dir, min_time):
@@ -86,17 +124,36 @@ def run_figure(build_dir, name):
                   re.findall(r"ratios: ([\d.]+) .*?, ([\d.]+)", out),
         "shape_checks": re.findall(r"shape check: (\w+)", out),
     }
+    m = re.search(r"speedup at (\d+) workers = ([\d.]+)x "
+                  r"\(host has (\d+) hardware threads\)", out)
+    if m:
+        fig[f"speedup_at_{m.group(1)}_workers"] = float(m.group(2))
+        fig["hardware_threads"] = int(m.group(3))
     return fig
 
 
 def main():
     ap = argparse.ArgumentParser()
-    ap.add_argument("--build", default="build", type=Path)
+    ap.add_argument("--build", default="build-release", type=Path)
+    ap.add_argument("--source", default=".", type=Path)
     ap.add_argument("--out", default="BENCH_core.json", type=Path)
     ap.add_argument("--min-time", default="0.2")
+    ap.add_argument("--skip-build", action="store_true",
+                    help="trust the existing tree at --build (still refuses Debug)")
     ap.add_argument("--skip-figures", action="store_true",
                     help="only run bench_core (figures take ~a minute)")
     args = ap.parse_args()
+
+    if not args.skip_build:
+        ensure_release_build(args.source, args.build)
+    build_type = read_build_type(args.build)
+    if build_type is None:
+        sys.exit(f"error: {args.build}/CMakeCache.txt not found; "
+                 "configure the tree or drop --skip-build")
+    if build_type in ("", "Debug"):
+        sys.exit(f"error: refusing to publish numbers from a "
+                 f"{build_type or 'typeless'} build at {args.build}; "
+                 "wall-clock results need an optimized tree")
 
     context, results = run_bench_core(args.build, args.min_time)
     speedups = compute_speedups(results)
@@ -104,9 +161,9 @@ def main():
     doc = {
         "host": {
             "machine": platform.machine(),
-            "num_cpus": context.get("num_cpus"),
+            "num_cpus": os.cpu_count(),
             "mhz_per_cpu": context.get("mhz_per_cpu"),
-            "build_type": context.get("library_build_type"),
+            "build_type": build_type,
         },
         "core": results,
         "speedups_vs_baseline": speedups,
@@ -116,6 +173,7 @@ def main():
             "fig7_paging_in": run_figure(args.build, "bench_fig7_paging_in"),
             "fig8_paging_out": run_figure(args.build, "bench_fig8_paging_out"),
             "ablation_batching": run_figure(args.build, "bench_ablation_batching"),
+            "ablation_parallel": run_figure(args.build, "bench_ablation_parallel"),
         }
 
     args.out.write_text(json.dumps(doc, indent=2) + "\n")
