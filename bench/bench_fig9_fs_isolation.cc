@@ -30,6 +30,7 @@ AppConfig Pager(const char* name, int64_t slice_ms) {
 double RunFs(bool with_pagers, SimDuration measure) {
   SystemConfig syscfg;
   syscfg.parallel_sim = ParallelSimFromEnv();
+  syscfg.observe = ObserveFromEnv();
   System system(syscfg);
   auto fs = system.usd().OpenClient(
       "fs", QosSpec{Milliseconds(250), Milliseconds(125), false, Milliseconds(10)}, 8);
@@ -74,6 +75,17 @@ double RunFs(bool with_pagers, SimDuration measure) {
   }
   const double avg = static_cast<double>(fs_bytes) / ToSeconds(measure) / 1e6;
   std::printf("    average %7.3f MB/s\n", avg);
+
+  if (syscfg.observe && with_pagers) {
+    // The contended run is the interesting one for crosstalk: publish its
+    // fault spans and metrics for tools/report_qos.py.
+    if (system.trace().WriteCsv("fig9_trace.csv")) {
+      std::printf("    trace written to fig9_trace.csv\n");
+    }
+    if (system.obs().registry().WriteJson("fig9_metrics.json")) {
+      std::printf("    metrics snapshot written to fig9_metrics.json\n");
+    }
+  }
   return avg;
 }
 

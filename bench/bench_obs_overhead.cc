@@ -1,0 +1,158 @@
+// Observability overhead harness: runs the Figure 7 paging workload twice per
+// repetition — once with the probes compiled in but disabled (the default for
+// every bench) and once with NEMESIS_OBS-style observation enabled — and
+// reports the wall-clock delta. The enabled run doubles as the span
+// completeness check: every fault raised during the measurement window must
+// reconstruct into a complete lifecycle span (raise + dispatch + resume).
+//
+// Usage: bench_obs_overhead [--smoke]
+//   --smoke  shorter workload and a single repetition (CI).
+//
+// Exit status is nonzero when span completeness drops below 99%.
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "src/core/system.h"
+#include "src/core/workloads.h"
+
+namespace nemesis {
+namespace {
+
+struct RunStats {
+  double wall_ms = 0.0;
+  uint64_t faults = 0;
+  uint64_t raises = 0;    // distinct fault ids with a "raise" span
+  uint64_t complete = 0;  // ... that also have "dispatch" and "resume"
+};
+
+RunStats RunOnce(bool observe, SimDuration measure) {
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  SystemConfig syscfg;
+  syscfg.observe = observe;
+  System system(syscfg);
+  const int64_t slices[] = {25, 50, 100};
+  std::vector<AppDomain*> apps;
+  for (size_t i = 0; i < 3; ++i) {
+    AppConfig cfg;
+    cfg.name = "app-" + std::to_string(i);
+    cfg.contract = {2, 0};
+    cfg.driver_max_frames = 2;
+    cfg.stretch_bytes = 1 * kMiB;
+    cfg.swap_bytes = 4 * kMiB;
+    cfg.disk_qos = QosSpec{Milliseconds(250), Milliseconds(slices[i]), false, Milliseconds(10)};
+    apps.push_back(system.CreateApp(cfg));
+  }
+
+  // Prime (one full write pass), then measure steady-state paging, exactly
+  // like the Figure 7 harness.
+  std::vector<char> primed(apps.size(), 0);
+  for (size_t i = 0; i < apps.size(); ++i) {
+    apps[i]->SpawnWorkload(
+        SequentialPass(*apps[i], AccessType::kWrite, reinterpret_cast<bool*>(&primed[i])),
+        "prime");
+  }
+  system.sim().RunUntil(Seconds(120));
+  system.trace().Clear();
+
+  std::vector<uint64_t> bytes(apps.size(), 0);
+  std::vector<char> ok(apps.size(), 0);
+  std::vector<uint64_t> faults_before(apps.size(), 0);
+  for (size_t i = 0; i < apps.size(); ++i) {
+    faults_before[i] = apps[i]->vmem().faults_taken();
+  }
+  const SimTime until = system.sim().Now() + measure;
+  for (size_t i = 0; i < apps.size(); ++i) {
+    apps[i]->SpawnWorkload(SequentialAccessLoop(*apps[i], AccessType::kRead, until, &bytes[i],
+                                                reinterpret_cast<bool*>(&ok[i])),
+                           "loop");
+  }
+  system.sim().RunUntil(until);
+
+  RunStats stats;
+  stats.wall_ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                            wall_start)
+                      .count();
+  for (size_t i = 0; i < apps.size(); ++i) {
+    stats.faults += apps[i]->vmem().faults_taken() - faults_before[i];
+  }
+
+  if (observe) {
+    // Reconstruct spans by fault id: a fault is "complete" when its raise,
+    // dispatch, and resume stages all made it into the trace.
+    std::set<uint64_t> raised;
+    std::set<uint64_t> dispatched;
+    std::set<uint64_t> resumed;
+    system.trace().ForEach([&](const TraceRecord& rec) {
+      if (rec.category != "span") {
+        return;
+      }
+      const uint64_t fid = static_cast<uint64_t>(rec.value_b);
+      if (rec.event == "raise") {
+        raised.insert(fid);
+      } else if (rec.event == "dispatch") {
+        dispatched.insert(fid);
+      } else if (rec.event == "resume") {
+        resumed.insert(fid);
+      }
+    });
+    stats.raises = raised.size();
+    for (uint64_t fid : raised) {
+      if (dispatched.count(fid) != 0 && resumed.count(fid) != 0) {
+        ++stats.complete;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+}  // namespace nemesis
+
+int main(int argc, char** argv) {
+  using namespace nemesis;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+  const SimDuration measure = smoke ? Seconds(5) : Seconds(30);
+  const int reps = smoke ? 1 : 3;
+
+  std::printf("=== Observability overhead (Figure 7 workload) ===\n");
+  double disabled_ms = 0.0;
+  double enabled_ms = 0.0;
+  RunStats enabled_stats;
+  for (int r = 0; r < reps; ++r) {
+    // Interleave the two configurations so thermal / cache drift hits both;
+    // keep the per-configuration minimum as the representative time.
+    const RunStats off = RunOnce(/*observe=*/false, measure);
+    const RunStats on = RunOnce(/*observe=*/true, measure);
+    disabled_ms = r == 0 ? off.wall_ms : std::min(disabled_ms, off.wall_ms);
+    if (r == 0 || on.wall_ms < enabled_ms) {
+      enabled_ms = on.wall_ms;
+      enabled_stats = on;
+    }
+    std::printf("  rep %d: disabled %.1f ms, enabled %.1f ms (%" PRIu64 " faults)\n", r,
+                off.wall_ms, on.wall_ms, off.faults);
+  }
+  const double overhead_pct = (enabled_ms - disabled_ms) / disabled_ms * 100.0;
+  std::printf("\n  obs_disabled_ms %.2f\n", disabled_ms);
+  std::printf("  obs_enabled_ms %.2f\n", enabled_ms);
+  std::printf("  obs_overhead_pct %.2f\n", overhead_pct);
+
+  const double completeness =
+      enabled_stats.raises == 0
+          ? 0.0
+          : static_cast<double>(enabled_stats.complete) / static_cast<double>(enabled_stats.raises);
+  std::printf("  span completeness: %" PRIu64 "/%" PRIu64 " faults complete (%.2f%%)\n",
+              enabled_stats.complete, enabled_stats.raises, completeness * 100.0);
+  const bool ok = completeness >= 0.99;
+  std::printf("  completeness check (>= 99%%): %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

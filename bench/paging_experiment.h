@@ -47,6 +47,7 @@ struct PagingExperimentResult {
 inline PagingExperimentResult RunPagingExperiment(const PagingExperimentConfig& config) {
   SystemConfig syscfg;
   syscfg.parallel_sim = ParallelSimFromEnv();
+  syscfg.observe = ObserveFromEnv();
   System system(syscfg);
   const size_t n = config.apps.size();
   std::vector<AppDomain*> apps(n);
@@ -139,6 +140,19 @@ inline PagingExperimentResult RunPagingExperiment(const PagingExperimentConfig& 
   if (!config.trace_csv.empty()) {
     if (system.trace().WriteCsv(config.trace_csv)) {
       std::printf("  USD scheduler trace written to %s\n", config.trace_csv.c_str());
+    }
+    if (syscfg.observe) {
+      // NEMESIS_OBS runs additionally publish a metrics snapshot next to the
+      // trace; tools/report_qos.py joins the two into the QoS-crosstalk report.
+      std::string metrics_path = config.trace_csv;
+      const size_t dot = metrics_path.rfind(".csv");
+      if (dot != std::string::npos) {
+        metrics_path.resize(dot);
+      }
+      metrics_path += "_metrics.json";
+      if (system.obs().registry().WriteJson(metrics_path)) {
+        std::printf("  Metrics snapshot written to %s\n", metrics_path.c_str());
+      }
     }
   }
 

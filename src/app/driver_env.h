@@ -8,6 +8,7 @@
 #include "src/kernel/kernel.h"
 #include "src/mm/frames_allocator.h"
 #include "src/mm/prot_domain.h"
+#include "src/obs/obs.h"
 #include "src/sim/simulator.h"
 
 namespace nemesis {
@@ -19,6 +20,7 @@ struct DriverEnv {
   PhysicalMemory* phys = nullptr;
   DomainId domain = kNoDomain;
   ProtectionDomain* pdom = nullptr;
+  Obs* obs = nullptr;  // null outside a System (component unit tests)
 
   TranslationSyscalls& syscalls() const { return kernel->syscalls(); }
   size_t page_size() const { return phys->page_size(); }

@@ -78,7 +78,7 @@ void MmEntry::CompleteFault(Vpn vpn, FaultResult result) {
   pending_.erase(vpn);
   if (result == FaultResult::kFailure) {
     failed_.insert(vpn);
-    ++faults_failed_;
+    faults_failed_.Inc();
   }
   resolved_cv_.NotifyAll();
 }
@@ -86,21 +86,40 @@ void MmEntry::CompleteFault(Vpn vpn, FaultResult result) {
 void MmEntry::OnFaultEvent() {
   // Runs inside the activation handler: activations are off and no IDC may be
   // performed — only the fast-path driver attempt.
+  Obs* obs = env_.obs;
+  const bool observing = obs != nullptr && obs->enabled();
   while (!domain_.fault_queue().empty()) {
     const FaultRecord fault = domain_.fault_queue().front();
     domain_.fault_queue().pop_front();
     const Vpn vpn = fault.va / env_.page_size();
+    const SimTime now = env_.sim->Now();
+
+    if (observing) {
+      // Dispatch latency: kernel raise -> this handler running. fault.time is
+      // the raise timestamp stamped by Kernel::RaiseFault.
+      const SimDuration d = now - fault.time;
+      obs->Span(fault.time, domain_.id(), "dispatch", ToMilliseconds(d), fault.id);
+      if (Obs::DomainProbe* p = obs->probe(domain_.id())) {
+        p->dispatch->Record(d);
+      }
+    }
 
     Stretch* stretch = salloc_.FindByAddr(fault.va);
     if (stretch == nullptr) {
       // Fault outside any stretch: unresolvable.
       failed_.insert(vpn);
-      ++faults_failed_;
+      faults_failed_.Inc();
+      if (observing) {
+        obs->Span(now, domain_.id(), "failed", 0.0, fault.id);
+      }
       resolved_cv_.NotifyAll();
       continue;
     }
     if (pending_.count(vpn) != 0) {
       // Another thread already faulted here; it is being handled.
+      if (observing) {
+        obs->Span(now, domain_.id(), "coalesced", 0.0, fault.id);
+      }
       continue;
     }
 
@@ -109,9 +128,13 @@ void MmEntry::OnFaultEvent() {
     if (custom != custom_handlers_.end()) {
       pending_.insert(vpn);
       const FaultResult r = custom->second(fault, *stretch);
-      ++faults_fast_path_;
+      faults_fast_path_.Inc();
       if (r == FaultResult::kRetry) {
         NEM_UNREACHABLE("custom fault handlers must resolve in the fast path");
+      }
+      if (observing) {
+        obs->Span(now, domain_.id(), r == FaultResult::kFailure ? "failed" : "fast-resolve", 0.0,
+                  fault.id);
       }
       CompleteFault(vpn, r);
       continue;
@@ -120,7 +143,10 @@ void MmEntry::OnFaultEvent() {
     StretchDriver* driver = DriverFor(stretch->sid());
     if (driver == nullptr) {
       failed_.insert(vpn);
-      ++faults_failed_;
+      faults_failed_.Inc();
+      if (observing) {
+        obs->Span(now, domain_.id(), "failed", 0.0, fault.id);
+      }
       resolved_cv_.NotifyAll();
       continue;
     }
@@ -133,10 +159,17 @@ void MmEntry::OnFaultEvent() {
     if (r == FaultResult::kRetry) {
       // "the handler blocks the faulting thread, unblocks a worker thread,
       // and returns."
-      jobs_.push_back(Job{Job::Kind::kFault, fault, stretch, driver, 0});
+      if (observing) {
+        obs->Span(now, domain_.id(), "enqueue", 0.0, fault.id);
+      }
+      jobs_.push_back(Job{Job::Kind::kFault, fault, stretch, driver, 0, now});
       work_cv_.NotifyAll();
     } else {
-      ++faults_fast_path_;
+      faults_fast_path_.Inc();
+      if (observing) {
+        obs->Span(now, domain_.id(), r == FaultResult::kFailure ? "failed" : "fast-resolve", 0.0,
+                  fault.id);
+      }
       CompleteFault(vpn, r);
     }
   }
@@ -178,6 +211,16 @@ Task MmEntry::Worker() {
     if (job.kind == Job::Kind::kFault) {
       const Vpn vpn = job.fault.va / env_.page_size();
       FaultResult result = FaultResult::kFailure;
+      Obs* obs = env_.obs;
+      const bool observing = obs != nullptr && obs->enabled();
+      const SimTime start = env_.sim->Now();
+      if (observing) {
+        const SimDuration wait = start - job.enqueued_at;
+        obs->Span(job.enqueued_at, domain_.id(), "queue-wait", ToMilliseconds(wait), job.fault.id);
+        if (Obs::DomainProbe* p = obs->probe(domain_.id())) {
+          p->queue_wait->Record(wait);
+        }
+      }
       // The driver's slow path runs as its own task so that it can perform
       // IDC (frames negotiation, USD transactions). Those are system-shard
       // interactions — central frame lists, the USD head, evicted-page unmaps
@@ -186,7 +229,14 @@ Task MmEntry::Worker() {
       TaskHandle h = env_.sim->Spawn(job.driver->ResolveFault(job.fault, job.stretch, &result),
                                      domain_.name() + "/resolve", kSystemShard);
       co_await Join(h);
-      ++faults_worker_;
+      faults_worker_.Inc();
+      if (observing) {
+        const SimDuration took = env_.sim->Now() - start;
+        obs->Span(start, domain_.id(), "resolve", ToMilliseconds(took), job.fault.id);
+        if (Obs::DomainProbe* p = obs->probe(domain_.id())) {
+          p->resolve->Record(took);
+        }
+      }
       CompleteFault(vpn, result);
     } else {
       // "If handling a revocation notification, it cycles through each
@@ -204,7 +254,7 @@ Task MmEntry::Worker() {
                                        domain_.name() + "/relinquish", kSystemShard);
         co_await Join(h);
       }
-      ++revocations_handled_;
+      revocations_handled_.Inc();
       env_.frames->RevocationComplete(domain_.id());
     }
   }

@@ -71,10 +71,10 @@ class MmEntry {
 
   // --- Stats ----------------------------------------------------------------
 
-  uint64_t faults_fast_path() const { return faults_fast_path_; }
-  uint64_t faults_worker() const { return faults_worker_; }
-  uint64_t faults_failed() const { return faults_failed_; }
-  uint64_t revocations_handled() const { return revocations_handled_; }
+  uint64_t faults_fast_path() const { return faults_fast_path_.value(); }
+  uint64_t faults_worker() const { return faults_worker_.value(); }
+  uint64_t faults_failed() const { return faults_failed_.value(); }
+  uint64_t revocations_handled() const { return revocations_handled_.value(); }
 
  private:
   struct Job {
@@ -83,6 +83,7 @@ class MmEntry {
     Stretch* stretch = nullptr;
     StretchDriver* driver = nullptr;
     uint64_t revoke_k = 0;
+    SimTime enqueued_at = 0;  // for the queue-wait span
   };
 
   void OnFaultEvent();
@@ -112,10 +113,10 @@ class MmEntry {
   std::vector<TaskHandle> tasks_;
   bool started_ = false;
 
-  uint64_t faults_fast_path_ = 0;
-  uint64_t faults_worker_ = 0;
-  uint64_t faults_failed_ = 0;
-  uint64_t revocations_handled_ = 0;
+  StatCounter faults_fast_path_;
+  StatCounter faults_worker_;
+  StatCounter faults_failed_;
+  StatCounter revocations_handled_;
 };
 
 }  // namespace nemesis

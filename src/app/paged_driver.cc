@@ -93,8 +93,8 @@ FaultResult PagedStretchDriver::HandleFault(const FaultRecord& fault, Stretch& s
       if (FrameStack* stack = env_.frames->StackOf(env_.domain); stack != nullptr) {
         stack->MoveToBottom(staged);
       }
-      ++prefetch_hits_;
-      ++fast_maps_;
+      prefetch_hits_.Inc();
+      fast_maps_.Inc();
       MaybeStartPrefetch(index);
       return FaultResult::kSuccess;
     }
@@ -116,34 +116,45 @@ FaultResult PagedStretchDriver::HandleFault(const FaultRecord& fault, Stretch& s
   if (FrameStack* stack = env_.frames->StackOf(env_.domain); stack != nullptr) {
     stack->MoveToBottom(*pfn);
   }
-  ++fast_maps_;
+  fast_maps_.Inc();
   return FaultResult::kSuccess;
 }
 
-Task PagedStretchDriver::SwapWrite(uint64_t blok, Pfn pfn, bool* ok) {
+Task PagedStretchDriver::SwapWrite(uint64_t blok, Pfn pfn, bool* ok, uint64_t fid) {
+  const SimTime start = env_.sim->Now();  // span covers the slot wait too
   co_await swap_->AcquireSlot();
   UsdRequest req;
   req.id = blok;
   req.lba = BlokLba(blok);
   req.nblocks = blocks_per_page_;
   req.is_write = true;
+  req.trace_id = fid;
   auto data = env_.phys->FrameData(pfn);
   req.data.assign(data.begin(), data.end());
   swap_->Push(std::move(req));
   UsdReply reply = co_await swap_->ReceiveReply();
   *ok = reply.ok;
   if (reply.ok) {
-    ++pageouts_;
+    pageouts_.Inc();
+  }
+  if (Obs* obs = env_.obs; fid != 0 && obs != nullptr && obs->enabled()) {
+    const SimDuration took = env_.sim->Now() - start;
+    obs->Span(start, env_.domain, "usd-write", ToMilliseconds(took), fid);
+    if (Obs::DomainProbe* p = obs->probe(env_.domain)) {
+      p->usd_wait->Record(took);
+    }
   }
 }
 
-Task PagedStretchDriver::SwapRead(uint64_t blok, Pfn pfn, bool* ok) {
+Task PagedStretchDriver::SwapRead(uint64_t blok, Pfn pfn, bool* ok, uint64_t fid) {
+  const SimTime start = env_.sim->Now();
   co_await swap_->AcquireSlot();
   UsdRequest req;
   req.id = blok;
   req.lba = BlokLba(blok);
   req.nblocks = blocks_per_page_;
   req.is_write = false;
+  req.trace_id = fid;
   swap_->Push(std::move(req));
   UsdReply reply = co_await swap_->ReceiveReply();
   *ok = reply.ok;
@@ -151,7 +162,14 @@ Task PagedStretchDriver::SwapRead(uint64_t blok, Pfn pfn, bool* ok) {
     auto frame = env_.phys->FrameData(pfn);
     NEM_ASSERT(reply.data.size() == frame.size());
     std::memcpy(frame.data(), reply.data.data(), frame.size());
-    ++pageins_;
+    pageins_.Inc();
+  }
+  if (Obs* obs = env_.obs; fid != 0 && obs != nullptr && obs->enabled()) {
+    const SimDuration took = env_.sim->Now() - start;
+    obs->Span(start, env_.domain, "usd-read", ToMilliseconds(took), fid);
+    if (Obs::DomainProbe* p = obs->probe(env_.domain)) {
+      p->usd_wait->Record(took);
+    }
   }
 }
 
@@ -188,7 +206,7 @@ size_t PagedStretchDriver::SelectVictim() {
   return victim;
 }
 
-Task PagedStretchDriver::EvictOne(Pfn* out_pfn, bool* ok) {
+Task PagedStretchDriver::EvictOne(Pfn* out_pfn, bool* ok, uint64_t fid) {
   const size_t victim = SelectVictim();
   PageInfo& page = pages_[victim];
   const VirtAddr victim_va = stretch_->PageBase(victim);
@@ -201,7 +219,7 @@ Task PagedStretchDriver::EvictOne(Pfn* out_pfn, bool* ok) {
   // until the caller maps or releases it: a concurrent fast-path fault must
   // not grab a frame whose dirty contents are still in flight to swap.
   NEM_ASSERT(env_.syscalls().Nail(env_.domain, pfn).ok());
-  ++evictions_;
+  evictions_.Inc();
   page.resident = false;
 
   if (dirty) {
@@ -216,7 +234,7 @@ Task PagedStretchDriver::EvictOne(Pfn* out_pfn, bool* ok) {
       }
     }
     bool write_ok = false;
-    TaskHandle h = env_.sim->Spawn(SwapWrite(*page.blok, pfn, &write_ok), "swap-write");
+    TaskHandle h = env_.sim->Spawn(SwapWrite(*page.blok, pfn, &write_ok, fid), "swap-write");
     co_await Join(h);
     if (!write_ok) {
       ReleaseReservation(pfn);
@@ -268,8 +286,8 @@ Task PagedStretchDriver::ResolveFault(FaultRecord fault, Stretch* stretch, Fault
         if (FrameStack* stack = env_.frames->StackOf(env_.domain); stack != nullptr) {
           stack->MoveToBottom(staged);
         }
-        ++prefetch_hits_;
-        ++slow_maps_;
+        prefetch_hits_.Inc();
+        slow_maps_.Inc();
         MaybeStartPrefetch(index);
         *result = FaultResult::kSuccess;
         co_return;
@@ -304,7 +322,7 @@ Task PagedStretchDriver::ResolveFault(FaultRecord fault, Stretch* stretch, Fault
         pfn = staging_.pfn;
         staging_.active = false;
         staging_.ready = false;
-        ++prefetch_wasted_;
+        prefetch_wasted_.Inc();
         break;
       }
       *result = FaultResult::kFailure;  // no frames and nothing to evict
@@ -312,7 +330,7 @@ Task PagedStretchDriver::ResolveFault(FaultRecord fault, Stretch* stretch, Fault
     }
     Pfn evicted = 0;
     bool ok = false;
-    TaskHandle h = env_.sim->Spawn(EvictOne(&evicted, &ok), "evict");
+    TaskHandle h = env_.sim->Spawn(EvictOne(&evicted, &ok, fault.id), "evict");
     co_await Join(h);
     if (!ok) {
       *result = FaultResult::kFailure;
@@ -329,7 +347,7 @@ Task PagedStretchDriver::ResolveFault(FaultRecord fault, Stretch* stretch, Fault
   if (page.has_disk_copy && !config_.forgetful) {
     NEM_ASSERT(page.blok.has_value());
     bool ok = false;
-    TaskHandle h = env_.sim->Spawn(SwapRead(*page.blok, *pfn, &ok), "swap-read");
+    TaskHandle h = env_.sim->Spawn(SwapRead(*page.blok, *pfn, &ok, fault.id), "swap-read");
     co_await Join(h);
     ReleaseReservation(*pfn);
     if (!ok) {
@@ -353,7 +371,10 @@ Task PagedStretchDriver::ResolveFault(FaultRecord fault, Stretch* stretch, Fault
   if (FrameStack* stack = env_.frames->StackOf(env_.domain); stack != nullptr) {
     stack->MoveToBottom(*pfn);
   }
-  ++slow_maps_;
+  slow_maps_.Inc();
+  if (Obs* obs = env_.obs; obs != nullptr && obs->enabled()) {
+    obs->Span(env_.sim->Now(), env_.domain, "map", 0.0, fault.id);
+  }
   MaybeStartPrefetch(index);
   *result = FaultResult::kSuccess;
 }
@@ -372,7 +393,7 @@ void PagedStretchDriver::MaybeStartPrefetch(size_t index) {
   // No frame reserved yet: a sentinel keeps FindUnusedPoolFrame from skipping
   // a real frame until PrefetchTask claims one.
   staging_.pfn = UINT64_MAX;
-  ++prefetch_issued_;
+  prefetch_issued_.Inc();
   // The prefetch allocates frames and talks to the USD: system-shard work,
   // spawned explicitly because this is also reached from the domain-shard
   // fast path (stream-paging hit in HandleFault).
@@ -414,7 +435,7 @@ Task PagedStretchDriver::PrefetchTask(size_t index) {
   if (!read_ok || !staging_.active || staging_.page != index) {
     staging_.active = false;
     ReleaseReservation(*pfn);
-    ++prefetch_wasted_;
+    prefetch_wasted_.Inc();
   } else {
     staging_.ready = true;
   }

@@ -65,12 +65,12 @@ class PagedStretchDriver : public PhysicalStretchDriver {
 
   const char* kind() const override { return "paged"; }
 
-  uint64_t pageins() const { return pageins_; }
-  uint64_t pageouts() const { return pageouts_; }
-  uint64_t evictions() const { return evictions_; }
-  uint64_t prefetch_hits() const { return prefetch_hits_; }
-  uint64_t prefetch_issued() const { return prefetch_issued_; }
-  uint64_t prefetch_wasted() const { return prefetch_wasted_; }
+  uint64_t pageins() const { return pageins_.value(); }
+  uint64_t pageouts() const { return pageouts_.value(); }
+  uint64_t evictions() const { return evictions_.value(); }
+  uint64_t prefetch_hits() const { return prefetch_hits_.value(); }
+  uint64_t prefetch_issued() const { return prefetch_issued_.value(); }
+  uint64_t prefetch_wasted() const { return prefetch_wasted_.value(); }
   size_t resident_pages() const { return fifo_.size(); }
   size_t pool_size() const { return pool_.size(); }
   const BlokAllocator& bloks() const { return bloks_; }
@@ -102,11 +102,13 @@ class PagedStretchDriver : public PhysicalStretchDriver {
 
   // Evicts the FIFO-oldest resident page, cleaning it to swap if dirty.
   // Writes the freed frame to *out_pfn; *ok=false on swap exhaustion.
-  Task EvictOne(Pfn* out_pfn, bool* ok);
+  // `fid` is the fault trace id driving the eviction (0 outside a fault).
+  Task EvictOne(Pfn* out_pfn, bool* ok, uint64_t fid = 0);
 
   // Swap IO (worker context): whole-page write/read through the USD channel.
-  Task SwapWrite(uint64_t blok, Pfn pfn, bool* ok);
-  Task SwapRead(uint64_t blok, Pfn pfn, bool* ok);
+  // `fid` threads the fault trace id into the UsdRequest (0 = untraced).
+  Task SwapWrite(uint64_t blok, Pfn pfn, bool* ok, uint64_t fid = 0);
+  Task SwapRead(uint64_t blok, Pfn pfn, bool* ok, uint64_t fid = 0);
 
   UsdClient* swap_;
   Extent swap_extent_;
@@ -131,12 +133,12 @@ class PagedStretchDriver : public PhysicalStretchDriver {
   std::unique_ptr<Condition> staging_cv_;
 
   Random replacement_rng_;
-  uint64_t pageins_ = 0;
-  uint64_t pageouts_ = 0;
-  uint64_t evictions_ = 0;
-  uint64_t prefetch_hits_ = 0;
-  uint64_t prefetch_issued_ = 0;
-  uint64_t prefetch_wasted_ = 0;
+  StatCounter pageins_;
+  StatCounter pageouts_;
+  StatCounter evictions_;
+  StatCounter prefetch_hits_;
+  StatCounter prefetch_issued_;
+  StatCounter prefetch_wasted_;
 };
 
 }  // namespace nemesis

@@ -45,7 +45,7 @@ FaultResult PhysicalStretchDriver::HandleFault(const FaultRecord& fault, Stretch
   if (!MapZeroedFrame(page_va, *pfn).ok()) {
     return FaultResult::kFailure;
   }
-  ++fast_maps_;
+  fast_maps_.Inc();
   return FaultResult::kSuccess;
 }
 
@@ -80,7 +80,7 @@ Task PhysicalStretchDriver::ResolveFault(FaultRecord fault, Stretch* /*stretch*/
       *result = FaultResult::kFailure;
       co_return;
     }
-    ++slow_maps_;
+    slow_maps_.Inc();
     *result = FaultResult::kSuccess;
     co_return;
   }

@@ -27,8 +27,8 @@ class PhysicalStretchDriver : public StretchDriver {
 
   const char* kind() const override { return "physical"; }
 
-  uint64_t fast_maps() const { return fast_maps_; }
-  uint64_t slow_maps() const { return slow_maps_; }
+  uint64_t fast_maps() const { return fast_maps_.value(); }
+  uint64_t slow_maps() const { return slow_maps_.value(); }
 
  protected:
   // Finds an unused frame on the domain's frame stack, if any.
@@ -38,8 +38,8 @@ class PhysicalStretchDriver : public StretchDriver {
   Status<VmError> MapZeroedFrame(VirtAddr va, Pfn pfn);
 
   DriverEnv env_;
-  uint64_t fast_maps_ = 0;
-  uint64_t slow_maps_ = 0;
+  StatCounter fast_maps_;
+  StatCounter slow_maps_;
 };
 
 }  // namespace nemesis

@@ -19,9 +19,10 @@ struct VMemDetail {
         co_return;
       }
       const Vpn vpn = va / vm->env_.page_size();
-      ++vm->faults_taken_;
+      vm->faults_taken_.Inc();
       const SimTime raised_at = vm->env_.sim->Now();
-      vm->env_.kernel->RaiseFault(vm->domain_.id(), FaultRecord{va, r.fault, access, 0});
+      const uint64_t fid =
+          vm->env_.kernel->RaiseFault(vm->domain_.id(), FaultRecord{va, r.fault, access, 0});
       // The dispatch (event send + context save + activation) and the
       // user-level handling cost are paid by this domain, nobody else.
       co_await SleepFor(*vm->env_.sim,
@@ -30,7 +31,15 @@ struct VMemDetail {
       while (vm->mm_entry_.IsPending(vpn)) {
         co_await vm->mm_entry_.resolved_cv().Wait();
       }
-      vm->fault_stall_time_ += vm->env_.sim->Now() - raised_at;
+      const SimDuration stall = vm->env_.sim->Now() - raised_at;
+      vm->fault_stall_time_ += stall;
+      if (Obs* obs = vm->env_.obs; obs != nullptr && obs->enabled()) {
+        // The span closing the fault lifecycle: the full raise -> resume stall.
+        obs->Span(raised_at, vm->domain_.id(), "resume", ToMilliseconds(stall), fid);
+        if (Obs::DomainProbe* p = obs->probe(vm->domain_.id())) {
+          p->fault_total->Record(stall);
+        }
+      }
       if (vm->mm_entry_.ConsumeFailure(vpn)) {
         *ok = false;
         co_return;

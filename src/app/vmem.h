@@ -46,14 +46,14 @@ class VMem {
   Task Read(VirtAddr va, std::span<uint8_t> out, bool* ok);
   Task Write(VirtAddr va, std::span<const uint8_t> data, bool* ok);
 
-  uint64_t faults_taken() const { return faults_taken_; }
+  uint64_t faults_taken() const { return faults_taken_.value(); }
   uint64_t checksum() const { return checksum_; }
   // Total simulated time this domain's threads spent stalled on faults (from
   // raise to resolution), and the mean per fault.
   SimDuration fault_stall_time() const { return fault_stall_time_; }
   double MeanFaultStallUs() const {
-    return faults_taken_ > 0
-               ? ToMicroseconds(fault_stall_time_) / static_cast<double>(faults_taken_)
+    return faults_taken() > 0
+               ? ToMicroseconds(fault_stall_time_) / static_cast<double>(faults_taken())
                : 0.0;
   }
 
@@ -66,7 +66,7 @@ class VMem {
   MmEntry& mm_entry_;
   Mmu& mmu_;
   AppCostModel costs_;
-  uint64_t faults_taken_ = 0;
+  StatCounter faults_taken_;
   SimDuration fault_stall_time_ = 0;
   uint64_t checksum_ = 0;  // defeats dead-read elimination; exposed for tests
 

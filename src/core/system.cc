@@ -26,6 +26,7 @@ std::unique_ptr<PageTable> MakePageTable(const SystemConfig& config) {
 
 System::System(SystemConfig config)
     : config_(config),
+      obs_(&trace_),
       phys_(config.phys_frames, config.page_size),
       page_table_(MakePageTable(config)),
       mmu_(page_table_.get(), config.page_size),
@@ -45,6 +46,32 @@ System::System(SystemConfig config)
   if (config_.parallel_sim >= 1) {
     sim_.EnableParallel(config_.parallel_sim);
   }
+
+  // Observability: the hub is always wired (probes are null-checked and
+  // near-free when disabled); the switch decides whether spans/histograms
+  // are recorded. System-wide gauges wrap the existing hot counters so a
+  // metrics snapshot carries them without converting them to atomics.
+  obs_.set_enabled(config_.observe);
+  kernel_.set_obs(&obs_);
+  frames_allocator_.set_obs(&obs_);
+  usd_.set_obs(&obs_);
+  MetricsRegistry& reg = obs_.registry();
+  reg.RegisterGauge("kernel.events_sent", [this] { return kernel_.events_sent(); });
+  reg.RegisterGauge("kernel.faults_dispatched", [this] { return kernel_.faults_dispatched(); });
+  reg.RegisterGauge("tlb.hits", [this] { return mmu_.tlb().hits(); });
+  reg.RegisterGauge("tlb.misses", [this] { return mmu_.tlb().misses(); });
+  reg.RegisterGauge("frames.revocations_transparent",
+                    [this] { return frames_allocator_.revocations_transparent(); });
+  reg.RegisterGauge("frames.revocations_intrusive",
+                    [this] { return frames_allocator_.revocations_intrusive(); });
+  reg.RegisterGauge("frames.domains_killed",
+                    [this] { return frames_allocator_.domains_killed(); });
+  reg.RegisterGauge("frames.free", [this] { return frames_allocator_.free_frames(); });
+  reg.RegisterGauge("usd.transactions", [this] { return usd_.transactions(); });
+  reg.RegisterGauge("usd.batches", [this] { return usd_.batches(); });
+  reg.RegisterGauge("sim.events_executed", [this] { return sim_.events_executed(); });
+  reg.RegisterGauge("trace.records", [this] { return uint64_t{trace_.size()}; });
+  reg.RegisterGauge("trace.dropped", [this] { return trace_.dropped(); });
 
   if (config_.audit) {
     if (config_.audit_stride == 0) {
@@ -114,6 +141,8 @@ AppDomain::AppDomain(System& system, AppConfig config)
 
   env_ = DriverEnv{&system.sim(), &system.kernel(), &system.frames(), &system.phys(),
                    domain_->id(), pdom_};
+  env_.obs = &system.obs();
+  system.obs().RegisterDomain(domain_->id(), config_.name);
 
   mm_entry_ = std::make_unique<MmEntry>(env_, *domain_, system.stretches(), config_.mm_workers);
   mm_entry_->Start();
@@ -144,6 +173,24 @@ AppDomain::AppDomain(System& system, AppConfig config)
   mm_entry_->BindDriver(stretch_, driver_.get());
 
   vmem_ = std::make_unique<VMem>(env_, *domain_, *mm_entry_, system.mmu(), config_.costs);
+
+  // Per-app counters become named gauges so any bench's metrics snapshot can
+  // report them without each bench knowing every driver's accessor set.
+  MetricsRegistry& reg = system.obs().registry();
+  const std::string prefix = "app." + config_.name + ".";
+  MmEntry* mm = mm_entry_.get();
+  reg.RegisterGauge(prefix + "faults_fast_path", [mm] { return mm->faults_fast_path(); });
+  reg.RegisterGauge(prefix + "faults_worker", [mm] { return mm->faults_worker(); });
+  reg.RegisterGauge(prefix + "faults_failed", [mm] { return mm->faults_failed(); });
+  reg.RegisterGauge(prefix + "revocations_handled",
+                    [mm] { return mm->revocations_handled(); });
+  VMem* vm = vmem_.get();
+  reg.RegisterGauge(prefix + "faults_taken", [vm] { return vm->faults_taken(); });
+  if (PagedStretchDriver* paged = paged_driver(); paged != nullptr) {
+    reg.RegisterGauge(prefix + "pageins", [paged] { return paged->pageins(); });
+    reg.RegisterGauge(prefix + "pageouts", [paged] { return paged->pageouts(); });
+    reg.RegisterGauge(prefix + "evictions", [paged] { return paged->evictions(); });
+  }
 }
 
 AppDomain::~AppDomain() {

@@ -27,6 +27,7 @@
 #include "src/mm/frames_allocator.h"
 #include "src/mm/stretch_allocator.h"
 #include "src/mm/translation.h"
+#include "src/obs/obs.h"
 #include "src/sim/simulator.h"
 #include "src/sim/trace.h"
 #include "src/usd/sfs.h"
@@ -72,6 +73,13 @@ struct SystemConfig {
   // and all outputs are bit-identical to serial mode. parallel_sim = 1
   // exercises the full segment/merge machinery without extra threads.
   size_t parallel_sim = 0;
+
+  // Observability (DESIGN.md "Observability"). When on, every memory fault is
+  // traced as a lifecycle span (category "span" in the TraceRecorder) and the
+  // metrics registry's per-domain latency histograms are populated. Default
+  // OFF: the disabled probes cost a null/boolean check each, and all trace
+  // and stdout output stays bit-identical to a build without them.
+  bool observe = false;
 };
 
 // Executor count from the NEMESIS_PARALLEL_SIM environment variable (0 when
@@ -79,6 +87,7 @@ struct SystemConfig {
 // recompile; the determinism acceptance gate runs each fig binary under
 // NEMESIS_PARALLEL_SIM=0/1/2/4 and byte-compares stdout and trace CSVs.
 size_t ParallelSimFromEnv();
+// (ObserveFromEnv, the NEMESIS_OBS analogue, is declared in src/obs/obs.h.)
 
 class AppDomain;
 
@@ -122,6 +131,7 @@ class System {
 
   Simulator& sim() { return sim_; }
   TraceRecorder& trace() { return trace_; }
+  Obs& obs() { return obs_; }
   PhysicalMemory& phys() { return phys_; }
   PageTable& page_table() { return *page_table_; }
   Mmu& mmu() { return mmu_; }
@@ -150,6 +160,7 @@ class System {
   SystemConfig config_;
   Simulator sim_;
   TraceRecorder trace_;
+  Obs obs_;
   PhysicalMemory phys_;
   std::unique_ptr<PageTable> page_table_;
   Mmu mmu_;

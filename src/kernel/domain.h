@@ -65,6 +65,11 @@ class Domain {
   // The kernel saves fault context here before sending the fault event.
   std::deque<FaultRecord>& fault_queue() { return fault_queue_; }
 
+  // Next fault trace id. Domain-scoped (high 32 bits carry the domain id, low
+  // 32 the per-domain sequence), so ids are deterministic under parallel_sim:
+  // each domain raises its own faults from its own lane in program order.
+  uint64_t NextFaultId() { return (static_cast<uint64_t>(id_) << 32) | ++next_fault_seq_; }
+
   // --- Lifecycle -------------------------------------------------------------
 
   // Marks the domain dead (used by the frames allocator when an intrusive
@@ -88,6 +93,7 @@ class Domain {
   std::vector<Endpoint> endpoints_;
   EndpointId fault_endpoint_ = 0;
   std::deque<FaultRecord> fault_queue_;
+  uint64_t next_fault_seq_ = 0;
   Condition activation_condition_;
 };
 

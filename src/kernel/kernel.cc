@@ -5,6 +5,7 @@
 #include "src/base/assert.h"
 #include "src/base/log.h"
 #include "src/base/shard.h"
+#include "src/obs/obs.h"
 
 namespace nemesis {
 
@@ -66,32 +67,41 @@ void Kernel::SendEvent(DomainId target, EndpointId ep) {
     return;
   }
   NEM_ASSERT_MSG(ep < domain->endpoint_count(), "event to unallocated endpoint");
-  events_sent_.fetch_add(1, std::memory_order_relaxed);
+  events_sent_.Inc();
   ++domain->endpoints_[ep].value;
   domain->activation_condition().NotifyAll();
 }
 
-void Kernel::RaiseFault(DomainId id, FaultRecord record) {
+uint64_t Kernel::RaiseFault(DomainId id, FaultRecord record) {
   // Same cross-shard rule as SendEvent: the fault queue belongs to the
   // faulting domain's shard. (The common case — a domain faulting on its own
   // lane — stays inline; record.time is stamped here either way, and deferred
   // replays run at the same batch timestamp, so Now() is unchanged.)
   ShardLane& lane = ShardLane::Current();
   if (lane.sink != nullptr && lane.shard != ShardId{id}) [[unlikely]] {
-    lane.sink->Defer([this, id, record] { RaiseFault(id, record); });
-    return;
+    lane.sink->Defer([this, id, record] { (void)RaiseFault(id, record); });
+    return 0;
   }
   Domain* domain = FindDomain(id);
   NEM_ASSERT_MSG(domain != nullptr, "fault raised for unknown domain");
   if (!domain->alive()) {
-    return;
+    return 0;
   }
-  faults_dispatched_.fetch_add(1, std::memory_order_relaxed);
+  faults_dispatched_.Inc();
   record.time = sim_.Now();
+  if (record.id == 0) {
+    // Id assignment happens on the domain's own lane (above check), so the
+    // per-domain sequence is deterministic regardless of executor count.
+    record.id = domain->NextFaultId();
+  }
+  if (obs_ != nullptr) {
+    obs_->Span(record.time, id, "raise", 0.0, record.id);
+  }
   // "the kernel saves the current context in the domain's activation context
   // and sends an event to the faulting domain."
   domain->fault_queue().push_back(record);
   SendEvent(id, domain->fault_endpoint());
+  return record.id;
 }
 
 }  // namespace nemesis

@@ -5,7 +5,6 @@
 #ifndef SRC_KERNEL_KERNEL_H_
 #define SRC_KERNEL_KERNEL_H_
 
-#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -15,9 +14,12 @@
 #include "src/kernel/ramtab.h"
 #include "src/kernel/syscalls.h"
 #include "src/kernel/types.h"
+#include "src/obs/counter.h"
 #include "src/sim/simulator.h"
 
 namespace nemesis {
+
+class Obs;
 
 class Kernel {
  public:
@@ -40,13 +42,16 @@ class Kernel {
 
   // Saves the fault record into the faulting domain's state and sends the
   // fault event. The dispatch latency (send + context save + activation) is
-  // borne by the faulting domain, never by a third party.
-  void RaiseFault(DomainId domain, FaultRecord record);
+  // borne by the faulting domain, never by a third party. Returns the fault
+  // trace id (assigning one when record.id is 0); returns 0 when the raise
+  // was deferred to the domain's lane or the domain is gone.
+  uint64_t RaiseFault(DomainId domain, FaultRecord record);
 
-  uint64_t events_sent() const { return events_sent_.load(std::memory_order_relaxed); }
-  uint64_t faults_dispatched() const {
-    return faults_dispatched_.load(std::memory_order_relaxed);
-  }
+  // Observability hook; spans are emitted only while obs->enabled().
+  void set_obs(Obs* obs) { obs_ = obs; }
+
+  uint64_t events_sent() const { return events_sent_.value(); }
+  uint64_t faults_dispatched() const { return faults_dispatched_.value(); }
 
  private:
   Simulator& sim_;
@@ -56,10 +61,11 @@ class Kernel {
   KernelCostModel costs_;
   DomainId next_domain_id_ = 1;
   std::vector<std::unique_ptr<Domain>> domains_;
-  // Relaxed atomics: domain lanes raising their own faults bump these
+  Obs* obs_ = nullptr;
+  // Relaxed counters: domain lanes raising their own faults bump these
   // concurrently; totals stay exact, only the interleaving is unordered.
-  std::atomic<uint64_t> events_sent_{0};
-  std::atomic<uint64_t> faults_dispatched_{0};
+  StatCounter events_sent_;
+  StatCounter faults_dispatched_;
 };
 
 }  // namespace nemesis

@@ -25,6 +25,10 @@ struct FaultRecord {
   FaultType type = FaultType::kNone;
   AccessType access = AccessType::kRead;
   SimTime time = 0;
+  // Fault trace id ((domain << 32) | per-domain sequence), assigned by
+  // Kernel::RaiseFault when 0. Threads the fault-lifecycle span through
+  // MmEntry, the stretch driver, the USD, and back to resume.
+  uint64_t id = 0;
 };
 
 // Costs of the kernel's part of fault handling, taken from the paper's trap

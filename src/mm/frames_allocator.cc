@@ -4,6 +4,7 @@
 
 #include "src/base/assert.h"
 #include "src/base/log.h"
+#include "src/obs/obs.h"
 
 namespace nemesis {
 
@@ -203,14 +204,19 @@ Expected<Pfn, FramesError> FramesAllocator::AllocFrame(DomainId domain) {
   NEM_ASSERT_MSG(victim != nullptr,
                  "admission control violated: guarantee unmet with no optimistic frames in use");
   if (ReclaimUnusedTop(*victim, 1) == 1) {
-    ++revocations_transparent_;
+    revocations_transparent_.Inc();
     if (trace_ != nullptr) {
       trace_->Record(sim_.Now(), "frames", static_cast<int>(victim->domain), "revoke-transparent",
                      1.0, 0.0);
     }
+    if (obs_ != nullptr) {
+      // Zero-duration span: the victim lost a frame to `domain` but was not
+      // stalled (the frame was already unused).
+      obs_->Span(sim_.Now(), victim->domain, "revoke-transparent", 0.0, domain);
+    }
     return TakeFreeFrame(*c);
   }
-  StartIntrusiveRevocation(*victim, 1);
+  StartIntrusiveRevocation(*victim, 1, domain);
   // The victim may comply synchronously from inside the notifier (its
   // revocation handler runs before we return); grant immediately in that case
   // so the caller never misses the wakeup.
@@ -280,18 +286,23 @@ FramesAllocator::Client* FramesAllocator::PickVictim() {
   return best;
 }
 
-void FramesAllocator::StartIntrusiveRevocation(Client& victim, uint64_t k) {
+void FramesAllocator::StartIntrusiveRevocation(Client& victim, uint64_t k, DomainId aggressor) {
   // Sanctioned: the notifier may run the victim's revocation handler
   // synchronously, inside the requester's access window.
   CrossDomainSection cross(access_checker_);
   revocation_active_ = true;
   revocation_victim_ = victim.domain;
   revocation_k_ = k;
-  ++revocations_intrusive_;
+  revocation_aggressor_ = aggressor;
+  revocation_started_ = sim_.Now();
+  revocations_intrusive_.Inc();
   const SimTime deadline = sim_.Now() + revocation_timeout_;
   if (trace_ != nullptr) {
     trace_->Record(sim_.Now(), "frames", static_cast<int>(victim.domain), "revoke-intrusive",
                    static_cast<double>(k), ToMilliseconds(deadline));
+  }
+  if (obs_ != nullptr) {
+    obs_->Span(sim_.Now(), victim.domain, "revoke-start", 0.0, aggressor);
   }
   NEM_LOG_DEBUG("frames", "intrusive revocation: victim=%u k=%llu deadline=%.2fms", victim.domain,
                 static_cast<unsigned long long>(k), ToMilliseconds(deadline));
@@ -319,6 +330,14 @@ void FramesAllocator::FinishRevocation(DomainId victim_id, bool deadline_expired
   }
   revocation_active_ = false;
   revocation_victim_ = kNoDomain;
+  const DomainId aggressor = revocation_aggressor_;
+  revocation_aggressor_ = kNoDomain;
+  if (obs_ != nullptr) {
+    // The intrusive-revocation window: from revoke-start to here. Victim
+    // fault spans overlapping this window are stalls induced by `aggressor`.
+    obs_->Span(revocation_started_, victim_id, "revoke-end",
+               ToMilliseconds(sim_.Now() - revocation_started_), aggressor);
+  }
   Client* victim = Find(victim_id);
   if (victim == nullptr) {
     frames_available_.NotifyAll();
@@ -334,7 +353,10 @@ void FramesAllocator::FinishRevocation(DomainId victim_id, bool deadline_expired
       trace_->Record(sim_.Now(), "frames", static_cast<int>(victim_id), "kill",
                      static_cast<double>(reclaimed), static_cast<double>(revocation_k_));
     }
-    ++domains_killed_;
+    domains_killed_.Inc();
+    if (obs_ != nullptr) {
+      obs_->Span(sim_.Now(), victim_id, "revoke-kill", 0.0, aggressor);
+    }
     if (kill_handler_) {
       kill_handler_(victim_id);
     }

@@ -25,10 +25,13 @@
 #include "src/check/domain_access.h"
 #include "src/kernel/ramtab.h"
 #include "src/mm/frame_stack.h"
+#include "src/obs/counter.h"
 #include "src/sim/sync.h"
 #include "src/sim/trace.h"
 
 namespace nemesis {
+
+class Obs;
 
 // Contract (g, x): quotas for guaranteed and optimistic frames.
 struct FramesContract {
@@ -130,10 +133,14 @@ class FramesAllocator {
   uint64_t free_frames() const { return free_list_.size(); }
   uint64_t total_frames() const { return total_frames_; }
   uint64_t guaranteed_total() const { return guaranteed_total_; }
-  uint64_t revocations_transparent() const { return revocations_transparent_; }
-  uint64_t revocations_intrusive() const { return revocations_intrusive_; }
-  uint64_t domains_killed() const { return domains_killed_; }
+  uint64_t revocations_transparent() const { return revocations_transparent_.value(); }
+  uint64_t revocations_intrusive() const { return revocations_intrusive_.value(); }
+  uint64_t domains_killed() const { return domains_killed_.value(); }
   bool revocation_in_progress() const { return revocation_active_; }
+
+  // Observability hook; revoke-* spans (victim as client, aggressor in
+  // value_b) are emitted only while obs->enabled().
+  void set_obs(Obs* obs) { obs_ = obs; }
 
   // Wires the ownership/race checker (audit builds). Null disables recording.
   // Existing clients' frame stacks are (re)bound so their mutations record
@@ -166,7 +173,9 @@ class FramesAllocator {
   uint64_t ReclaimUnusedTop(Client& victim, uint64_t k);
   // Picks the domain holding the most optimistic frames.
   Client* PickVictim();
-  void StartIntrusiveRevocation(Client& victim, uint64_t k);
+  // `aggressor` is the domain whose allocation forced the revocation; it is
+  // carried into the revoke-* spans so crosstalk can be attributed.
+  void StartIntrusiveRevocation(Client& victim, uint64_t k, DomainId aggressor);
   void FinishRevocation(DomainId victim, bool deadline_expired);
   void KillAndReclaim(Client& victim);
 
@@ -179,6 +188,7 @@ class FramesAllocator {
   Simulator& sim_;
   RamTab& ramtab_;
   TraceRecorder* trace_;
+  Obs* obs_ = nullptr;
   DomainAccessChecker* access_checker_ = nullptr;
   uint64_t total_frames_;
   // Contract accounting and the frame stacks are the allocator's shared core:
@@ -196,14 +206,17 @@ class FramesAllocator {
   uint64_t revocation_k_ = 0;
   uint64_t revocation_timer_ = 0;
   SimDuration revocation_timeout_ = Milliseconds(100);
+  // Span attribution for the in-flight intrusive revocation.
+  DomainId revocation_aggressor_ = kNoDomain;
+  SimTime revocation_started_ = 0;
 
   RevocationNotifier revocation_notifier_;
   KillHandler kill_handler_;
   ForceUnmap force_unmap_;
 
-  uint64_t revocations_transparent_ = 0;
-  uint64_t revocations_intrusive_ = 0;
-  uint64_t domains_killed_ = 0;
+  StatCounter revocations_transparent_;
+  StatCounter revocations_intrusive_;
+  StatCounter domains_killed_;
 };
 
 }  // namespace nemesis

@@ -1,0 +1,39 @@
+// Statistic counter for the observability layer (DESIGN.md "Observability").
+//
+// StatCounter is the one sanctioned shape for event-count statistics outside
+// src/obs/ itself: a relaxed atomic, so shard lanes under the parallel
+// simulator may bump it concurrently without a data race. Totals stay exact
+// (increments commute); only the interleaving is unordered, which no snapshot
+// consumer observes. tools/lint.py rule 5 points raw `uint64_t foo_count_`
+// members here.
+//
+// Header-only and dependency-free so layers below the obs library (the
+// simulator, the hardware models) could adopt it without a link cycle.
+#ifndef SRC_OBS_COUNTER_H_
+#define SRC_OBS_COUNTER_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace nemesis {
+
+class StatCounter {
+ public:
+  StatCounter() = default;
+  StatCounter(const StatCounter&) = delete;
+  StatCounter& operator=(const StatCounter&) = delete;
+
+  void Inc() { v_.fetch_add(1, std::memory_order_relaxed); }
+  void Add(uint64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+  // For tests and measurement-window resets; not for normal accounting.
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+}  // namespace nemesis
+
+#endif  // SRC_OBS_COUNTER_H_

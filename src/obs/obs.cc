@@ -1,0 +1,26 @@
+#include "src/obs/obs.h"
+
+#include <cstdlib>
+
+namespace nemesis {
+
+Obs::DomainProbe* Obs::RegisterDomain(uint32_t domain, const std::string& name) {
+  auto [it, inserted] = probes_.try_emplace(domain);
+  if (inserted) {
+    const std::string prefix = "domain." + name + ".";
+    it->second.fault_total = registry_.NewHistogram(prefix + "fault_total_ns");
+    it->second.dispatch = registry_.NewHistogram(prefix + "dispatch_ns");
+    it->second.queue_wait = registry_.NewHistogram(prefix + "queue_wait_ns");
+    it->second.resolve = registry_.NewHistogram(prefix + "resolve_ns");
+    it->second.usd_wait = registry_.NewHistogram(prefix + "usd_wait_ns");
+    registry_.RegisterGauge(prefix + "id", [domain] { return uint64_t{domain}; });
+  }
+  return &it->second;
+}
+
+bool ObserveFromEnv() {
+  const char* v = std::getenv("NEMESIS_OBS");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+}  // namespace nemesis

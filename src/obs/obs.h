@@ -1,0 +1,99 @@
+// Observability hub (DESIGN.md "Observability").
+//
+// One Obs object per System carries the on/off switch, the MetricsRegistry,
+// and the span-emission entry point for fault-lifecycle tracing. Probe sites
+// throughout kernel/app/mm/usd hold an `Obs*` (null for components built
+// outside a System) and call Span() at stage boundaries; Span forwards to the
+// System's TraceRecorder under category "span", so spans inherit the
+// recorder's shard-safety (worker-lane appends defer through the EffectSink
+// and replay in serial FIFO order) and land in the same CSV the figure
+// benches already dump.
+//
+// Span record schema (category "span"):
+//   time    — the STAGE START in simulated time
+//   client  — the faulting domain id (for revocation events: the victim)
+//   event   — stage name: raise, dispatch, coalesced, fast-resolve, enqueue,
+//             queue-wait, resolve, usd-read, usd-write, disk, map, failed,
+//             resume; plus revoke-start / revoke-end / revoke-transparent /
+//             revoke-kill
+//   value_a — stage duration in milliseconds
+//   value_b — the fault trace id ((domain << 32) | per-domain sequence; ids
+//             stay exact in a double until 2^53), or for revoke-* events the
+//             AGGRESSOR domain whose allocation forced the revocation
+//
+// Overhead contract: with `enabled() == false` every probe reduces to a null
+// check plus one predictable branch — no allocation, no string work, no trace
+// append. bench_obs_overhead holds the fig7 workload to <= 2% wall-clock
+// delta for the compiled-in-but-disabled configuration.
+#ifndef SRC_OBS_OBS_H_
+#define SRC_OBS_OBS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "src/obs/metrics.h"
+#include "src/sim/trace.h"
+
+namespace nemesis {
+
+class Obs {
+ public:
+  explicit Obs(TraceRecorder* trace) : trace_(trace) {}
+  Obs(const Obs&) = delete;
+  Obs& operator=(const Obs&) = delete;
+
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  MetricsRegistry& registry() { return registry_; }
+
+  // Emits one span record; no-op while disabled. `domain` is a DomainId (or
+  // a victim domain for revoke-* events); `fid` is the fault trace id (or the
+  // aggressor domain for revoke-* events).
+  void Span(SimTime start, uint32_t domain, const char* stage, double duration_ms,
+            uint64_t fid) {
+    if (!enabled_) {
+      return;
+    }
+    trace_->Record(start, "span", static_cast<int>(domain), stage, duration_ms,
+                   static_cast<double>(fid));
+  }
+
+  // Per-domain latency probes, registered once per application domain. The
+  // histograms live in the registry (named "domain.<name>.<stage>_ns") so a
+  // metrics snapshot carries per-domain percentiles without trace parsing.
+  struct DomainProbe {
+    LatencyHistogram* fault_total = nullptr;  // raise -> resume
+    LatencyHistogram* dispatch = nullptr;     // raise -> MmEntry handler
+    LatencyHistogram* queue_wait = nullptr;   // enqueue -> worker pickup
+    LatencyHistogram* resolve = nullptr;      // worker resolve duration
+    LatencyHistogram* usd_wait = nullptr;     // swap read/write round trip
+  };
+
+  // Creates (or returns) the domain's probe. Also registers a
+  // "domain.<name>.id" gauge so report tooling can map trace domain ids back
+  // to application names from the metrics snapshot alone.
+  DomainProbe* RegisterDomain(uint32_t domain, const std::string& name);
+
+  // Null until RegisterDomain; callers gate on enabled() before recording.
+  DomainProbe* probe(uint32_t domain) {
+    auto it = probes_.find(domain);
+    return it != probes_.end() ? &it->second : nullptr;
+  }
+
+ private:
+  bool enabled_ = false;
+  TraceRecorder* trace_;
+  MetricsRegistry registry_;
+  std::unordered_map<uint32_t, DomainProbe> probes_;
+};
+
+// Observability switch from the NEMESIS_OBS environment variable (off when
+// unset/0). Lets the figure benches be A/B-diffed with spans on without a
+// recompile, mirroring NEMESIS_PARALLEL_SIM.
+bool ObserveFromEnv();
+
+}  // namespace nemesis
+
+#endif  // SRC_OBS_OBS_H_

@@ -1,10 +1,12 @@
 // Trace recorder. The paper's Figures 7 and 8 include USD scheduler traces
 // (per-client transactions, laxity charges, allocation boundaries); the USD
 // emits structured records here and the benches dump them as CSV so the plots
-// can be regenerated.
+// can be regenerated. The observability layer (src/obs) threads fault
+// lifecycle spans through the same recorder under category "span".
 #ifndef SRC_SIM_TRACE_H_
 #define SRC_SIM_TRACE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -29,21 +31,50 @@ class TraceRecorder {
   void set_enabled(bool enabled) { enabled_ = enabled; }
   bool enabled() const { return enabled_; }
 
+  // Flight-recorder mode: cap the buffer at `n` records; once full, each new
+  // record overwrites the oldest and bumps dropped(). 0 (the default) means
+  // unlimited, so existing benches keep every record bit-for-bit. Shrinking
+  // below the current size discards the oldest overflow into dropped().
+  void set_capacity(size_t n);
+  size_t capacity() const { return capacity_; }
+  uint64_t dropped() const { return dropped_; }
+
+  size_t size() const { return records_.size(); }
+
   void Record(SimTime time, std::string category, int client, std::string event, double a = 0.0,
               double b = 0.0);
 
+  // Oldest-to-newest view valid in both unlimited and ring mode. The
+  // records() accessor stays for unlimited-mode callers (the ring rotates the
+  // backing vector, so index order there is only chronological when head_==0).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    const size_t n = records_.size();
+    for (size_t i = 0; i < n; ++i) {
+      fn(records_[(head_ + i) % n]);
+    }
+  }
+
   const std::vector<TraceRecord>& records() const { return records_; }
-  void Clear() { records_.clear(); }
+  void Clear() {
+    records_.clear();
+    head_ = 0;
+    dropped_ = 0;
+  }
 
   // Records matching a category/event filter (empty string matches all).
   std::vector<TraceRecord> Filter(const std::string& category, const std::string& event = "",
                                   int client = -1) const;
 
-  // Writes "time_ms,category,client,event,value_a,value_b" rows.
+  // Writes "time_ms,category,client,event,value_a,value_b" rows. Fields
+  // containing commas, quotes, or newlines are quoted per RFC 4180.
   bool WriteCsv(const std::string& path) const;
 
  private:
   bool enabled_ = true;
+  size_t capacity_ = 0;  // 0 = unlimited
+  size_t head_ = 0;      // oldest record when the ring has wrapped
+  uint64_t dropped_ = 0;
   std::vector<TraceRecord> records_;
 };
 

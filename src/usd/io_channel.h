@@ -20,6 +20,9 @@ struct UsdRequest {
   uint64_t lba = 0;        // absolute disk block address
   uint32_t nblocks = 0;
   bool is_write = false;
+  // Fault trace id threading the observability span through the disk stage
+  // (0 = not part of a traced fault). The high 32 bits carry the domain id.
+  uint64_t trace_id = 0;
   std::vector<uint8_t> data;  // write payload (nblocks * block_size bytes)
 };
 

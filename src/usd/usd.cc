@@ -4,6 +4,7 @@
 
 #include "src/base/assert.h"
 #include "src/base/log.h"
+#include "src/obs/obs.h"
 
 namespace nemesis {
 
@@ -81,7 +82,7 @@ void UsdClient::Push(UsdRequest request) {
     }
   }
   if (!allowed) {
-    ++rejected_;
+    rejected_.Inc();
     UsdReply reply;
     reply.id = request.id;
     reply.ok = false;
@@ -205,13 +206,19 @@ Task Usd::ServiceLoop() {
             disk_.ReadData(request.lba, reply.data);
           }
           // Slack time is free: no charge against the guarantee.
-          ++transactions_;
-          ++client->transactions_;
-          client->bytes_transferred_ +=
-              static_cast<uint64_t>(request.nblocks) * disk_.geometry().block_size;
+          transactions_.Inc();
+          client->transactions_.Inc();
+          client->bytes_transferred_.Add(
+              static_cast<uint64_t>(request.nblocks) * disk_.geometry().block_size);
           if (trace_ != nullptr) {
             trace_->Record(start, "usd", static_cast<int>(client->sched_id_), "slack-txn",
                            ToMilliseconds(t), 0.0);
+          }
+          if (obs_ != nullptr && request.trace_id != 0) {
+            // The disk stage of the fault span; the owning domain sits in the
+            // trace id's high 32 bits.
+            obs_->Span(start, static_cast<uint32_t>(request.trace_id >> 32), "disk",
+                       ToMilliseconds(t), request.trace_id);
           }
           const bool sent = client->replies_.TrySend(std::move(reply));
           NEM_ASSERT(sent);
@@ -264,9 +271,9 @@ Task Usd::ServiceLoop() {
     // no-op.)
     sched_.Charge(pick->client, t, /*was_lax=*/false);
     if (batch_.size() > 1) {
-      ++batches_;
-      ++client->batches_;
-      client->batched_requests_ += batch_.size();
+      batches_.Inc();
+      client->batches_.Inc();
+      client->batched_requests_.Add(batch_.size());
       batch_charged_ += t;
       batch_busy_ += busy_delta;
       if (trace_ != nullptr) {
@@ -290,13 +297,18 @@ Task Usd::ServiceLoop() {
         reply.data.resize(static_cast<size_t>(request.nblocks) * disk_.geometry().block_size);
         disk_.ReadData(request.lba, reply.data);
       }
-      ++transactions_;
-      ++client->transactions_;
-      client->bytes_transferred_ +=
-          static_cast<uint64_t>(request.nblocks) * disk_.geometry().block_size;
+      transactions_.Inc();
+      client->transactions_.Inc();
+      client->bytes_transferred_.Add(
+          static_cast<uint64_t>(request.nblocks) * disk_.geometry().block_size);
       if (trace_ != nullptr && !client->defunct_) {
         trace_->Record(req_start, "usd", static_cast<int>(client->sched_id_), "txn",
                        ToMilliseconds(rt), ToMilliseconds(sched_.remaining(pick->client)));
+      }
+      if (obs_ != nullptr && request.trace_id != 0) {
+        // Per-request disk time inside the (possibly chained) transaction.
+        obs_->Span(req_start, static_cast<uint32_t>(request.trace_id >> 32), "disk",
+                   ToMilliseconds(rt), request.trace_id);
       }
       req_start += rt;
       const bool sent = client->replies_.TrySend(std::move(reply));

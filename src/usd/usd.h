@@ -36,6 +36,7 @@
 
 #include "src/base/expected.h"
 #include "src/hw/disk.h"
+#include "src/obs/counter.h"
 #include "src/sched/atropos.h"
 #include "src/sim/simulator.h"
 #include "src/sim/sync.h"
@@ -43,6 +44,8 @@
 #include "src/usd/io_channel.h"
 
 namespace nemesis {
+
+class Obs;
 
 enum class UsdError {
   kOverCommitted,
@@ -94,11 +97,11 @@ class UsdClient {
   SchedClientId sched_id() const { return sched_id_; }
   size_t depth() const { return depth_; }
   size_t queued() const { return queue_.size(); }
-  uint64_t transactions() const { return transactions_; }
-  uint64_t bytes_transferred() const { return bytes_transferred_; }
-  uint64_t rejected() const { return rejected_; }
-  uint64_t batches() const { return batches_; }
-  uint64_t batched_requests() const { return batched_requests_; }
+  uint64_t transactions() const { return transactions_.value(); }
+  uint64_t bytes_transferred() const { return bytes_transferred_.value(); }
+  uint64_t rejected() const { return rejected_.value(); }
+  uint64_t batches() const { return batches_.value(); }
+  uint64_t batched_requests() const { return batched_requests_.value(); }
 
  private:
   friend class Usd;
@@ -128,11 +131,11 @@ class UsdClient {
   // Set when CloseClient ran while the service loop held this client across
   // an in-flight transaction; the loop reaps the deferred object afterwards.
   bool defunct_ = false;
-  uint64_t transactions_ = 0;
-  uint64_t bytes_transferred_ = 0;
-  uint64_t rejected_ = 0;
-  uint64_t batches_ = 0;           // multi-request chains issued
-  uint64_t batched_requests_ = 0;  // requests carried by those chains
+  StatCounter transactions_;
+  StatCounter bytes_transferred_;
+  StatCounter rejected_;
+  StatCounter batches_;           // multi-request chains issued
+  StatCounter batched_requests_;  // requests carried by those chains
 };
 
 class Usd {
@@ -155,12 +158,16 @@ class Usd {
 
   AtroposScheduler& scheduler() { return sched_; }
   Disk& disk() { return disk_; }
-  uint64_t transactions() const { return transactions_; }
+  uint64_t transactions() const { return transactions_.value(); }
+
+  // Observability hook; disk-stage spans are emitted only for requests whose
+  // trace_id is set and only while obs->enabled().
+  void set_obs(Obs* obs) { obs_ = obs; }
 
   // Batch accounting, audited by the invariant checker: the time charged to
   // clients for chained transactions must equal the disk busy time those
   // chains produced, exactly (both are integer nanoseconds).
-  uint64_t batches() const { return batches_; }
+  uint64_t batches() const { return batches_.value(); }
   SimDuration batch_charged() const { return batch_charged_; }
   SimDuration batch_busy() const { return batch_busy_; }
 
@@ -183,6 +190,7 @@ class Usd {
   Simulator& sim_;
   Disk& disk_;
   TraceRecorder* trace_;
+  Obs* obs_ = nullptr;
   AtroposScheduler sched_;
   Condition work_cv_;
   std::vector<std::unique_ptr<UsdClient>> clients_;
@@ -192,8 +200,8 @@ class Usd {
   UsdClient* in_service_ = nullptr;
   TaskHandle service_task_;
   bool started_ = false;
-  uint64_t transactions_ = 0;
-  uint64_t batches_ = 0;
+  StatCounter transactions_;
+  StatCounter batches_;
   SimDuration batch_charged_ = 0;
   SimDuration batch_busy_ = 0;
   // Scratch for batch assembly (capacity reused across picks).

@@ -11,7 +11,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <fstream>
 #include <random>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -19,6 +21,7 @@
 #include "src/core/workloads.h"
 #include "src/sim/simulator.h"
 #include "src/sim/sync.h"
+#include "src/sim/trace.h"
 
 namespace nemesis {
 namespace {
@@ -339,6 +342,55 @@ TEST(ParallelSim, ParallelModeActuallyFormsSegments) {
   // multiple shards; the machinery must engage (not silently serialize).
   const SystemResult par = RunMiniSystem(2);
   EXPECT_GT(par.segments, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Deferred trace appends: TraceRecorder::Record from domain-shard lanes (the
+// EffectSink path) must replay in serial FIFO order, so the CSV written after
+// the run is byte-identical across executor counts — including fields that
+// need RFC 4180 quoting.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelSim, DeferredTraceAppendsYieldByteIdenticalCsv) {
+  auto run = [](size_t executors) {
+    Simulator sim;
+    if (executors > 0) {
+      sim.EnableParallel(executors);
+    }
+    TraceRecorder trace;
+    constexpr int kShards = 4;
+    // Every shard records at the same timestamps, so each step forms a
+    // multi-shard same-time bucket whose lane-deferred appends must merge in
+    // shard order at the barrier.
+    for (ShardId s = 1; s <= kShards; ++s) {
+      for (int k = 0; k < 6; ++k) {
+        sim.CallAtOn(s, Microseconds(10 * (k + 1)), [&trace, &sim, s, k] {
+          trace.Record(sim.Now(), "lane,cat", static_cast<int>(s),
+                       "step \"" + std::to_string(k) + "\",x", 1.5 * k,
+                       static_cast<double>(s));
+        });
+      }
+    }
+    sim.CallAtOn(kSystemShard, Microseconds(35),
+                 [&trace, &sim] { trace.Record(sim.Now(), "sys", -1, "line\nbreak"); });
+    sim.Run();
+    const std::string path =
+        ::testing::TempDir() + "deferred_trace_" + std::to_string(executors) + ".csv";
+    EXPECT_TRUE(trace.WriteCsv(path));
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  };
+  const std::string serial = run(0);
+  ASSERT_FALSE(serial.empty());
+  // The tricky fields actually exercised quoting.
+  EXPECT_NE(serial.find("\"lane,cat\""), std::string::npos);
+  EXPECT_NE(serial.find("\"step \"\"0\"\",x\""), std::string::npos);
+  EXPECT_NE(serial.find("\"line\nbreak\""), std::string::npos);
+  for (size_t executors : {size_t{2}, size_t{4}}) {
+    EXPECT_EQ(serial, run(executors)) << executors << " executors";
+  }
 }
 
 TEST(ParallelSim, SerialIsTheDefault) {

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repository lint for the Nemesis self-paging reproduction.
 
-Four project-specific rules that clang-tidy cannot express:
+Five project-specific rules that clang-tidy cannot express:
 
 1. Raw `new` / `delete` are confined to src/base/ (the small-buffer
    machinery). Everywhere else, allocation must go through std::make_unique
@@ -27,6 +27,15 @@ Four project-specific rules that clang-tidy cannot express:
    DomainAccessChecker's shard-confinement rule enforces the ownership at
    runtime. This rule keeps new code from growing a membership-mutation path
    that would race the allocator across shards.
+
+5. Statistics live in src/obs/. A header declaring a raw `uint64_t`
+   member whose name reads like a counter (faults, hits, transactions, ...)
+   is growing a new ad-hoc statistic outside the metrics layer: use
+   StatCounter (src/obs/counter.h), and expose it through the system's
+   MetricsRegistry as a gauge or histogram. Deliberate exceptions are
+   allow-listed: the TLB's hot-path hit/miss counters (single-writer,
+   performance-critical) and the trace ring's drop counter. src/baseline/
+   is exempt wholesale — it replicates pre-Nemesis designs verbatim.
 
 Run from the repository root:  python3 tools/lint.py
 Exits non-zero and prints one line per violation otherwise.
@@ -68,6 +77,26 @@ FRAMESTACK_ALLOWED = {
     os.path.join("src", "mm", "frames_allocator.cc") # system-shard authority
 }
 
+# Rule 5: raw uint64_t statistics members in headers. A member is a
+# "statistic" when any underscore-separated segment of its name is counting
+# vocabulary (plural/past forms only: `fault_seq_` is a sequence, not a
+# count). Matches declarations with or without an initializer or a
+# NEM_GUARDED_BY annotation.
+STATS_MEMBER = re.compile(
+    r"^\s*uint64_t\s+(\w+_)\s*(?:NEM_GUARDED_BY\([^)]*\)\s*)?(?:=\s*[\w{}]+\s*)?;")
+STATS_WORDS = {
+    "faults", "hits", "misses", "sent", "dispatched", "handled",
+    "transactions", "batches", "batched", "rejected", "dropped",
+    "revocations", "killed", "issued", "wasted", "transferred",
+    "pageins", "pageouts", "evictions", "txns", "maps", "counts",
+}
+STATS_ALLOWED = {
+    (os.path.join("src", "hw", "tlb.h"), "hits_"),        # hot path
+    (os.path.join("src", "hw", "tlb.h"), "misses_"),      # hot path
+    (os.path.join("src", "sim", "trace.h"), "dropped_"),  # the ring's own book-keeping
+    (os.path.join("src", "core", "system.h"), "audit_batches_"),  # stride phase, not a stat
+}
+
 
 def strip_comment(line):
     return line.split("//", 1)[0]
@@ -106,6 +135,19 @@ def lint_file(path, errors):
             errors.append(f"{rel}:{lineno}: FrameStack membership mutation outside "
                           "the frames allocator (drivers may only reorder via "
                           "MoveToTop/MoveToBottom)")
+
+        # --- Rule 5: ad-hoc uint64_t statistics members in headers ----------
+        if (is_header and not rel.startswith(os.path.join("src", "obs") + os.sep)
+                and not rel.startswith(os.path.join("src", "baseline") + os.sep)):
+            sm = STATS_MEMBER.match(code)
+            if sm:
+                member = sm.group(1)
+                segments = set(member.strip("_").split("_"))
+                if segments & STATS_WORDS and (rel, member) not in STATS_ALLOWED:
+                    errors.append(
+                        f"{rel}:{lineno}: raw uint64_t statistic `{member}` — use "
+                        "StatCounter (src/obs/counter.h) and register it with the "
+                        "MetricsRegistry")
 
         # --- Rule 3a: project includes rooted at src/ -----------------------
         m = QUOTED_INCLUDE.search(code)

@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Per-domain QoS-crosstalk report from a fault-span trace.
+
+Usage:
+    tools/report_qos.py TRACE_CSV [--metrics METRICS_JSON] [--out REPORT_TXT]
+
+TRACE_CSV is a TraceRecorder dump (e.g. fig7_usd_trace.csv from a
+NEMESIS_OBS=1 run) whose category-"span" rows carry fault lifecycle stages:
+value_b is the fault trace id (domain in the high 32 bits), value_a the
+stage's duration in milliseconds, and `time` the stage's start. METRICS_JSON
+is the matching MetricsRegistry snapshot; it supplies the domain-id-to-name
+mapping (gauges named "domain.<name>.id") and is otherwise optional.
+
+The report answers three questions per domain:
+  * What fault latency did the domain actually see (p50/p90/p99/max of the
+    end-to-end stall, from the "resume" spans)?
+  * Where did the time go (time-in-stage breakdown: dispatch, MMEntry queue
+    wait, driver resolve, USD wait, raw disk time)?
+  * How much of the domain's stall overlapped another domain's intrusive
+    revocation, attributed to the aggressor that forced it (crosstalk)?
+"""
+import argparse
+import collections
+import csv
+import json
+import sys
+
+# Stages whose durations are summed into the time-in-stage table. "resume" is
+# the whole stall; "usd-read"/"usd-write" sit inside "resolve"; "disk" sits
+# inside the USD wait. They are reported side by side, not summed.
+STAGES = ["dispatch", "queue-wait", "resolve", "usd-read", "usd-write", "disk"]
+REVOKE_EVENTS = {"revoke-start", "revoke-end", "revoke-transparent", "revoke-kill"}
+
+
+def percentile(sorted_vals, p):
+    if not sorted_vals:
+        return 0.0
+    k = (len(sorted_vals) - 1) * p
+    lo = int(k)
+    hi = min(lo + 1, len(sorted_vals) - 1)
+    return sorted_vals[lo] + (sorted_vals[hi] - sorted_vals[lo]) * (k - lo)
+
+
+def load_spans(path):
+    """Returns (span rows, revocation windows, revocation event counts)."""
+    spans = []
+    revocations = []  # (victim, aggressor, start_ms, end_ms)
+    revoke_counts = collections.Counter()  # (victim, aggressor, event) -> n
+    with open(path, newline="") as f:
+        reader = csv.DictReader(f)
+        for row in reader:
+            if row["category"] != "span":
+                continue
+            event = row["event"]
+            time_ms = float(row["time_ms"])
+            client = int(row["client"])
+            dur_ms = float(row["value_a"])
+            ref = int(float(row["value_b"]))
+            if event in REVOKE_EVENTS:
+                # Victim is the client column; value_b carries the aggressor.
+                revoke_counts[(client, ref, event)] += 1
+                if event == "revoke-end":
+                    revocations.append((client, ref, time_ms, time_ms + dur_ms))
+                continue
+            spans.append((ref, event, time_ms, dur_ms, client))
+    return spans, revocations, revoke_counts
+
+
+def load_domain_names(metrics_path):
+    names = {}
+    metrics = {}
+    if metrics_path:
+        try:
+            metrics = json.load(open(metrics_path))
+        except OSError as e:
+            print(f"warning: cannot read {metrics_path}: {e}", file=sys.stderr)
+            return names, metrics
+        for key, value in metrics.get("gauges", {}).items():
+            if key.startswith("domain.") and key.endswith(".id"):
+                names[int(value)] = key[len("domain."):-len(".id")]
+    return names, metrics
+
+
+def build_report(spans, revocations, revoke_counts, names):
+    # Group stage durations by fault id, keyed to the owning domain.
+    faults = collections.defaultdict(dict)  # fid -> {event: (start, dur)}
+    for fid, event, start, dur, _client in spans:
+        # Coalesced faults repeat stages (e.g. several dispatches); keep the
+        # sum so the stage total reflects all work done under this id.
+        prev = faults[fid].get(event)
+        if prev is None:
+            faults[fid][event] = (start, dur)
+        else:
+            faults[fid][event] = (min(prev[0], start), prev[1] + dur)
+
+    domains = collections.defaultdict(lambda: {
+        "raised": 0, "complete": 0, "stalls": [],
+        "stage_ms": collections.Counter(), "windows": [],
+    })
+    for fid, stages in faults.items():
+        domain = fid >> 32
+        d = domains[domain]
+        d["raised"] += 1
+        if "resume" not in stages:
+            continue  # still in flight when the trace was cut
+        d["complete"] += 1
+        start, stall = stages["resume"]
+        d["stalls"].append(stall)
+        d["windows"].append((start, start + stall))
+        for stage in STAGES:
+            if stage in stages:
+                d["stage_ms"][stage] += stages[stage][1]
+
+    lines = []
+    out = lines.append
+    out("QoS-crosstalk report")
+    out("====================")
+    total_faults = sum(d["raised"] for d in domains.values())
+    complete = sum(d["complete"] for d in domains.values())
+    pct = 100.0 * complete / total_faults if total_faults else 0.0
+    out(f"faults traced: {total_faults}  complete spans: {complete} ({pct:.2f}%)")
+    out("")
+
+    def name_of(domain):
+        return names.get(domain, f"domain-{domain}")
+
+    out("Per-domain fault latency (ms):")
+    out(f"  {'domain':<16} {'faults':>7} {'p50':>9} {'p90':>9} {'p99':>9} {'max':>9}")
+    for domain in sorted(domains):
+        d = domains[domain]
+        stalls = sorted(d["stalls"])
+        out(f"  {name_of(domain):<16} {d['complete']:>7}"
+            f" {percentile(stalls, 0.50):>9.3f} {percentile(stalls, 0.90):>9.3f}"
+            f" {percentile(stalls, 0.99):>9.3f} {stalls[-1] if stalls else 0.0:>9.3f}")
+    out("")
+
+    out("Time in stage (ms total; usd-* within resolve, disk within usd-*):")
+    out(f"  {'domain':<16} {'stall':>11} " +
+        " ".join(f"{s:>11}" for s in STAGES))
+    for domain in sorted(domains):
+        d = domains[domain]
+        total_stall = sum(d["stalls"])
+        out(f"  {name_of(domain):<16} {total_stall:>11.1f} " +
+            " ".join(f"{d['stage_ms'][s]:>11.1f}" for s in STAGES))
+    out("")
+
+    out("Revocation crosstalk (victim stall overlapping an intrusive revocation,")
+    out("attributed to the aggressor that forced it):")
+    any_revocation = False
+    # Overlap each victim's fault windows with the revocation windows.
+    attributed = collections.Counter()  # (victim, aggressor) -> ms
+    for victim, aggressor, rv_start, rv_end in revocations:
+        for f_start, f_end in domains.get(victim, {"windows": []})["windows"]:
+            overlap = min(f_end, rv_end) - max(f_start, rv_start)
+            if overlap > 0:
+                attributed[(victim, aggressor)] += overlap
+    pair_events = collections.Counter()
+    for (victim, aggressor, event), n in revoke_counts.items():
+        if event in ("revoke-end", "revoke-transparent", "revoke-kill"):
+            pair_events[(victim, aggressor)] += n
+    for (victim, aggressor) in sorted(set(attributed) | set(pair_events)):
+        any_revocation = True
+        out(f"  {name_of(victim):<16} <- {name_of(aggressor):<16}"
+            f" revocations: {pair_events[(victim, aggressor)]:>5}"
+            f"  stall overlap: {attributed[(victim, aggressor)]:>9.1f} ms")
+    if not any_revocation:
+        out("  (none: no revocations in this run)")
+    return "\n".join(lines) + "\n", pct
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace_csv")
+    ap.add_argument("--metrics", default=None,
+                    help="MetricsRegistry JSON snapshot (domain names)")
+    ap.add_argument("--out", default=None, help="write the report here (default stdout)")
+    ap.add_argument("--require-complete", type=float, default=None, metavar="PCT",
+                    help="exit 1 if complete-span percentage is below PCT")
+    args = ap.parse_args()
+
+    spans, revocations, revoke_counts = load_spans(args.trace_csv)
+    if not spans:
+        sys.exit(f"error: no span records in {args.trace_csv} "
+                 "(was the bench run with NEMESIS_OBS=1?)")
+    names, _metrics = load_domain_names(args.metrics)
+    report, complete_pct = build_report(spans, revocations, revoke_counts, names)
+
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(report)
+        print(f"wrote {args.out}")
+    else:
+        sys.stdout.write(report)
+    if args.require_complete is not None and complete_pct < args.require_complete:
+        sys.exit(f"error: only {complete_pct:.2f}% of spans complete "
+                 f"(required {args.require_complete}%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -18,9 +18,16 @@ Two layers of results go into the JSON:
     Tlb vs LinearScanTlb, bucketed Simulator vs the seed event-loop replica).
     Both sides of each pair run behind the same interface in the same binary,
     so the speedups stay measurable in any future checkout.
-  * "simulated": the Figure 7/8 shape checks (progress ratios and PASS/FAIL),
-    which must not move at all — wall-clock optimizations are only valid if
-    the simulated-time results stay put.
+  * "simulated": the Figure 7/8/9 shape checks (progress ratios and
+    PASS/FAIL), which must not move at all — wall-clock optimizations are
+    only valid if the simulated-time results stay put.
+  * "obs": bench_obs_overhead's enabled-vs-disabled wall-clock delta and the
+    span-completeness percentage, plus "qos_reports": per-figure QoS-crosstalk
+    reports from NEMESIS_OBS=1 reruns (tools/report_qos.py).
+
+Publication gate: the obs-disabled fig7 wall-clock must stay within 2% of the
+previously published number when the host block matches (--no-obs-gate
+overrides; a host change skips the comparison).
 
 Wall-clock numbers vary by machine; the committed BENCH_core.json records the
 numbers from the machine that produced it (see "host" in the file).
@@ -32,6 +39,7 @@ import platform
 import re
 import subprocess
 import sys
+import time
 from pathlib import Path
 
 # Every binary the harness runs; built explicitly so a fresh Release tree
@@ -40,8 +48,21 @@ BENCH_TARGETS = [
     "bench_core",
     "bench_fig7_paging_in",
     "bench_fig8_paging_out",
+    "bench_fig9_fs_isolation",
+    "bench_obs_overhead",
     "bench_ablation_batching",
     "bench_ablation_parallel",
+]
+
+# NEMESIS_OBS=1 reruns that publish the per-domain QoS-crosstalk reports:
+# (bench binary, span-trace CSV it writes, metrics JSON, report file).
+QOS_RUNS = [
+    ("bench_fig7_paging_in", "fig7_usd_trace.csv",
+     "fig7_usd_trace_metrics.json", "fig7_qos_report.txt"),
+    ("bench_fig8_paging_out", "fig8_usd_trace.csv",
+     "fig8_usd_trace_metrics.json", "fig8_qos_report.txt"),
+    ("bench_fig9_fs_isolation", "fig9_trace.csv",
+     "fig9_metrics.json", "fig9_qos_report.txt"),
 ]
 
 # (benchmark prefix, baseline template arg, optimized template arg)
@@ -114,9 +135,14 @@ def run_figure(build_dir, name):
     if not binary.exists():
         return {"error": "binary not found"}
     # cwd=build_dir keeps the *_usd_trace.csv side outputs out of the repo root.
+    start = time.monotonic()
     out = subprocess.run([str(binary)], check=True, capture_output=True,
                          text=True, cwd=build_dir).stdout
+    wall_seconds = time.monotonic() - start
     fig = {
+        # Observability is compiled in but disabled here; the obs gate diffs
+        # this wall-clock against the previously published one.
+        "wall_seconds": round(wall_seconds, 3),
         "averages": [[float(x) for x in re.findall(r"[\d.]+", line)]
                      for line in out.splitlines()
                      if line.strip().startswith("average")],
@@ -132,6 +158,70 @@ def run_figure(build_dir, name):
     return fig
 
 
+def run_obs_overhead(build_dir):
+    """Runs bench_obs_overhead and parses its enabled/disabled delta."""
+    binary = (build_dir / "bench" / "bench_obs_overhead").resolve()
+    if not binary.exists():
+        return {"error": "binary not found"}
+    out = subprocess.run([str(binary)], check=True, capture_output=True,
+                         text=True, cwd=build_dir).stdout
+    obs = {}
+    for key in ("obs_disabled_ms", "obs_enabled_ms", "obs_overhead_pct"):
+        m = re.search(rf"{key} ([\d.-]+)", out)
+        if m:
+            obs[key] = float(m.group(1))
+    m = re.search(r"span completeness: (\d+)/(\d+) faults complete \(([\d.]+)%\)", out)
+    if m:
+        obs["span_completeness_pct"] = float(m.group(3))
+    return obs
+
+
+def run_qos_reports(build_dir, source_dir):
+    """NEMESIS_OBS=1 figure reruns, distilled by tools/report_qos.py."""
+    report_tool = (source_dir / "tools" / "report_qos.py").resolve()
+    env = dict(os.environ, NEMESIS_OBS="1")
+    reports = {}
+    for bench, trace_csv, metrics_json, report_txt in QOS_RUNS:
+        binary = (build_dir / "bench" / bench).resolve()
+        if not binary.exists():
+            reports[bench] = {"error": "binary not found"}
+            continue
+        subprocess.run([str(binary)], check=True, capture_output=True,
+                       text=True, cwd=build_dir, env=env)
+        out = subprocess.run(
+            [sys.executable, str(report_tool), trace_csv,
+             "--metrics", metrics_json, "--out", report_txt,
+             "--require-complete", "99"],
+            check=True, capture_output=True, text=True, cwd=build_dir)
+        report_path = build_dir / report_txt
+        m = re.search(r"complete spans: \d+ \(([\d.]+)%\)",
+                      report_path.read_text())
+        reports[bench] = {
+            "report": str(report_path),
+            "complete_span_pct": float(m.group(1)) if m else None,
+        }
+        print(f"  qos report: {report_path}")
+    return reports
+
+
+def check_obs_gate(doc, prior, out_path):
+    """Publication gate: the obs-disabled fig7 wall-clock must not regress
+    more than 2% against the previously published number on the same host."""
+    new = doc.get("simulated", {}).get("fig7_paging_in", {}).get("wall_seconds")
+    old = (prior or {}).get("simulated", {}).get("fig7_paging_in", {}).get("wall_seconds")
+    if new is None or old is None or old == 0:
+        return  # nothing to compare against (first run, or figures skipped)
+    if (prior or {}).get("host") != doc.get("host"):
+        print("obs gate: host changed since the published numbers; skipping")
+        return
+    regression_pct = (new - old) / old * 100.0
+    print(f"obs gate: fig7 wall {old:.3f}s -> {new:.3f}s ({regression_pct:+.1f}%)")
+    if regression_pct > 2.0:
+        sys.exit(f"error: obs-disabled fig7 wall-clock regressed "
+                 f"{regression_pct:.1f}% (> 2%) vs published {out_path}; "
+                 "rerun on a quiet machine or pass --no-obs-gate to override")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--build", default="build-release", type=Path)
@@ -142,6 +232,11 @@ def main():
                     help="trust the existing tree at --build (still refuses Debug)")
     ap.add_argument("--skip-figures", action="store_true",
                     help="only run bench_core (figures take ~a minute)")
+    ap.add_argument("--skip-qos", action="store_true",
+                    help="skip the NEMESIS_OBS=1 reruns and QoS reports")
+    ap.add_argument("--no-obs-gate", action="store_true",
+                    help="publish even if the obs-disabled fig7 wall-clock "
+                         "regressed > 2%% vs the existing --out file")
     args = ap.parse_args()
 
     if not args.skip_build:
@@ -172,9 +267,22 @@ def main():
         doc["simulated"] = {
             "fig7_paging_in": run_figure(args.build, "bench_fig7_paging_in"),
             "fig8_paging_out": run_figure(args.build, "bench_fig8_paging_out"),
+            "fig9_fs_isolation": run_figure(args.build, "bench_fig9_fs_isolation"),
             "ablation_batching": run_figure(args.build, "bench_ablation_batching"),
             "ablation_parallel": run_figure(args.build, "bench_ablation_parallel"),
         }
+        doc["obs"] = run_obs_overhead(args.build)
+        if not args.skip_qos:
+            doc["qos_reports"] = run_qos_reports(args.build, args.source)
+
+    prior = None
+    if args.out.exists():
+        try:
+            prior = json.loads(args.out.read_text())
+        except (json.JSONDecodeError, OSError):
+            prior = None
+    if not args.no_obs_gate:
+        check_obs_gate(doc, prior, args.out)
 
     args.out.write_text(json.dumps(doc, indent=2) + "\n")
     print(f"wrote {args.out}")
@@ -182,6 +290,9 @@ def main():
         print(f"  {name}: {s}x")
     for fig, data in doc.get("simulated", {}).items():
         print(f"  {fig}: shape checks {data.get('shape_checks')}")
+    if doc.get("obs"):
+        print(f"  obs: {doc['obs'].get('obs_overhead_pct')}% enabled-vs-disabled, "
+              f"{doc['obs'].get('span_completeness_pct')}% spans complete")
 
 
 if __name__ == "__main__":
