@@ -40,7 +40,22 @@ void MmEntry::Stop() {
     t.Kill();
   }
   tasks_.clear();
+  // Slow-path tasks joined by the killed workers must die with them: their
+  // result pointers live on the workers' (now destroyed) coroutine frames.
+  for (auto& t : slow_tasks_) {
+    t.Kill();
+  }
+  slow_tasks_.clear();
   started_ = false;
+}
+
+TaskHandle MmEntry::SpawnSlow(Task task, const std::string& label) {
+  if (slow_tasks_.size() >= 16) {
+    std::erase_if(slow_tasks_, [](const TaskHandle& h) { return h.done(); });
+  }
+  TaskHandle handle = env_.sim->Spawn(std::move(task), label, kSystemShard);
+  slow_tasks_.push_back(handle);
+  return handle;
 }
 
 void MmEntry::BindDriver(Stretch* stretch, StretchDriver* driver) {
@@ -226,8 +241,8 @@ Task MmEntry::Worker() {
       // interactions — central frame lists, the USD head, evicted-page unmaps
       // — so the slow path runs serially on the system shard; the worker hops
       // back onto the domain shard when the join completes.
-      TaskHandle h = env_.sim->Spawn(job.driver->ResolveFault(job.fault, job.stretch, &result),
-                                     domain_.name() + "/resolve", kSystemShard);
+      TaskHandle h = SpawnSlow(job.driver->ResolveFault(job.fault, job.stretch, &result),
+                               domain_.name() + "/resolve");
       co_await Join(h);
       faults_worker_.Inc();
       if (observing) {
@@ -250,8 +265,8 @@ Task MmEntry::Worker() {
         }
         // Relinquish unmaps frames and returns them to the central allocator:
         // system-shard work, like the fault slow path above.
-        TaskHandle h = env_.sim->Spawn(driver->RelinquishFrames(job.revoke_k - freed, &freed),
-                                       domain_.name() + "/relinquish", kSystemShard);
+        TaskHandle h = SpawnSlow(driver->RelinquishFrames(job.revoke_k - freed, &freed),
+                                 domain_.name() + "/relinquish");
         co_await Join(h);
       }
       revocations_handled_.Inc();

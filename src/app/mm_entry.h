@@ -91,6 +91,11 @@ class MmEntry {
   Task ActivationLoop();
   Task Worker();
   void CompleteFault(Vpn vpn, FaultResult result);
+  // Spawns a driver slow-path task (fault resolve / relinquish) and records
+  // the handle so Stop() can kill it with its worker. A slow-path task
+  // outliving the worker writes results into the worker's destroyed frame if
+  // anything ever wakes it — the async pager's teardown NotifyAll does.
+  TaskHandle SpawnSlow(Task task, const std::string& label);
 
   DriverEnv env_;
   Domain& domain_;
@@ -111,6 +116,7 @@ class MmEntry {
   Condition work_cv_;
 
   std::vector<TaskHandle> tasks_;
+  std::vector<TaskHandle> slow_tasks_;  // in-flight resolve/relinquish tasks
   bool started_ = false;
 
   StatCounter faults_fast_path_;

@@ -1,5 +1,6 @@
 #include "src/app/paged_driver.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/base/assert.h"
@@ -8,15 +9,69 @@
 
 namespace nemesis {
 
+namespace {
+constexpr Pfn kNoPfn = UINT64_MAX;
+}  // namespace
+
 PagedStretchDriver::PagedStretchDriver(DriverEnv env, UsdClient* swap, Extent swap_extent,
                                        Config config)
     : PhysicalStretchDriver(env), swap_(swap), swap_extent_(swap_extent), config_(config),
       blocks_per_page_(static_cast<uint32_t>(env.page_size() / 512)),
       bloks_(swap_extent.length / blocks_per_page_),
-      staging_cv_(std::make_unique<Condition>(*env.sim)),
+      pipeline_cv_(std::make_unique<Condition>(*env.sim)),
       replacement_rng_(config.replacement_seed) {
   NEM_ASSERT(config.max_frames >= 1);
   NEM_ASSERT(swap_extent.length >= blocks_per_page_);
+  // Stream-paging is the pipeline_depth == 1 special case: a single staged
+  // page, a fixed one-page window, synchronous per-victim writeback.
+  if (config_.stream_paging && config_.pipeline_depth == 0) {
+    config_.pipeline_depth = 1;
+    config_.min_cluster = 1;
+    config_.max_cluster = 1;
+    config_.writeback_batch = 0;
+  }
+  if (config_.pipeline_depth > 0) {
+    NEM_ASSERT(config_.min_cluster >= 1);
+    NEM_ASSERT(config_.max_cluster >= config_.min_cluster);
+    slots_.resize(config_.pipeline_depth);  // sized once; slot pointers stable
+    cluster_window_ = config_.min_cluster;
+    // With depth > 1 transactions in flight, replies must be routed by
+    // request id: the channel's FIFO hands replies to receivers in Recv
+    // order, which need not match issue order across concurrent tasks.
+    pump_task_ = env_.sim->Spawn(PumpReplies(), "swap-reply-pump", kSystemShard);
+  }
+}
+
+PagedStretchDriver::~PagedStretchDriver() { StopPipeline(); }
+
+void PagedStretchDriver::StopPipeline() {
+  if (!pipeline_enabled() || pipeline_stopped_) {
+    return;
+  }
+  pipeline_stopped_ = true;
+  pump_task_.Kill();
+  for (TaskHandle& handle : pipeline_tasks_) {
+    handle.Kill();
+  }
+  pipeline_tasks_.clear();
+  // Release every frame pinned by in-flight speculative work: the tasks are
+  // dead, nobody else will. Frames revoked underneath are tolerated.
+  for (StageSlot& slot : slots_) {
+    if (slot.state != StageSlot::State::kFree && slot.pfn != kNoPfn) {
+      ReleaseReservation(slot.pfn);
+    }
+    slot = StageSlot{};
+  }
+  for (Pfn pfn : writeback_frames_) {
+    ReleaseReservation(pfn);
+  }
+  writeback_frames_.clear();
+  for (PageInfo& page : pages_) {
+    page.cleaning = false;
+  }
+  cleans_inflight_ = 0;
+  inflight_.clear();
+  pipeline_cv_->NotifyAll();
 }
 
 Status<VmError> PagedStretchDriver::Bind(Stretch* stretch) {
@@ -28,8 +83,15 @@ Status<VmError> PagedStretchDriver::Bind(Stretch* stretch) {
 
 std::optional<Pfn> PagedStretchDriver::FindUnusedPoolFrame() const {
   for (Pfn pfn : pool_) {
-    if (staging_.active && pfn == staging_.pfn) {
-      continue;  // reserved for the staged page
+    bool staged = false;
+    for (const StageSlot& slot : slots_) {
+      if (slot.state != StageSlot::State::kFree && slot.pfn == pfn) {
+        staged = true;  // claimed for a staged page
+        break;
+      }
+    }
+    if (staged) {
+      continue;
     }
     if (env_.kernel->ramtab().OwnerOf(pfn) == env_.domain &&
         env_.kernel->ramtab().StateOf(pfn) == FrameState::kUnused) {
@@ -69,6 +131,83 @@ void PagedStretchDriver::ReleaseReservation(Pfn pfn) {
   }
 }
 
+// --- Staging-table helpers ---------------------------------------------------
+
+PagedStretchDriver::StageSlot* PagedStretchDriver::FindStage(size_t page) {
+  for (StageSlot& slot : slots_) {
+    if (slot.state != StageSlot::State::kFree && slot.page == page) {
+      return &slot;
+    }
+  }
+  return nullptr;
+}
+
+PagedStretchDriver::StageSlot* PagedStretchDriver::FreeStageSlot() {
+  for (StageSlot& slot : slots_) {
+    if (slot.state == StageSlot::State::kFree) {
+      return &slot;
+    }
+  }
+  return nullptr;
+}
+
+size_t PagedStretchDriver::StagedCount() const {
+  size_t n = 0;
+  for (const StageSlot& slot : slots_) {
+    n += slot.state != StageSlot::State::kFree;
+  }
+  return n;
+}
+
+bool PagedStretchDriver::AnyLoading() const {
+  for (const StageSlot& slot : slots_) {
+    if (slot.state == StageSlot::State::kLoading) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void PagedStretchDriver::CancelStage(StageSlot& slot) {
+  if (slot.state == StageSlot::State::kReady) {
+    const Pfn pfn = slot.pfn;
+    slot = StageSlot{};
+    prefetch_wasted_.Inc();
+    ReleaseReservation(pfn);
+  } else if (slot.state == StageSlot::State::kLoading) {
+    slot.abandoned = true;  // its StageTask releases the frame when the read lands
+  }
+}
+
+bool PagedStretchDriver::ConsumeStage(StageSlot& slot, size_t index, VirtAddr page_va) {
+  NEM_ASSERT(slot.state == StageSlot::State::kReady && slot.page == index);
+  const Pfn staged = slot.pfn;
+  slot = StageSlot{};
+  ReleaseReservation(staged);
+  if (env_.kernel->ramtab().OwnerOf(staged) != env_.domain ||
+      !env_.syscalls().Map(env_.domain, env_.pdom, page_va, staged, MapAttrs{}).ok()) {
+    return false;  // frame revoked underneath us; caller falls back to demand
+  }
+  pages_[index].resident = true;
+  fifo_.push_back(index);
+  if (FrameStack* stack = env_.frames->StackOf(env_.domain); stack != nullptr) {
+    stack->MoveToBottom(staged);
+  }
+  return true;
+}
+
+void PagedStretchDriver::NoteFaultIndex(size_t index) {
+  if (index == last_fault_page_) {
+    return;  // a retried fault must not shrink the window
+  }
+  if (last_fault_page_ != SIZE_MAX && index == last_fault_page_ + 1) {
+    cluster_window_ = std::min(cluster_window_ * 2, config_.max_cluster);
+  } else {
+    cluster_window_ = std::max(cluster_window_ / 2, config_.min_cluster);
+  }
+  last_fault_page_ = index;
+}
+
 FaultResult PagedStretchDriver::HandleFault(const FaultRecord& fault, Stretch& stretch) {
   if (fault.type == FaultType::kFaultAcv || fault.type == FaultType::kFaultUnallocated) {
     return FaultResult::kFailure;
@@ -79,26 +218,26 @@ FaultResult PagedStretchDriver::HandleFault(const FaultRecord& fault, Stretch& s
   }
   const size_t index = stretch.PageIndexOf(fault.va);
   PageInfo& page = pages_[index];
-  if (staging_.active && staging_.ready && staging_.page == index) {
-    // Stream-paging hit: the page was speculatively read already; mapping the
-    // staged frame needs no IO and is legal in the fast path.
-    const Pfn staged = staging_.pfn;
-    staging_.active = false;
-    staging_.ready = false;
-    ReleaseReservation(staged);
-    if (env_.kernel->ramtab().OwnerOf(staged) == env_.domain &&
-        env_.syscalls().Map(env_.domain, env_.pdom, page_va, staged, MapAttrs{}).ok()) {
-      page.resident = true;
-      fifo_.push_back(index);
-      if (FrameStack* stack = env_.frames->StackOf(env_.domain); stack != nullptr) {
-        stack->MoveToBottom(staged);
+  if (pipeline_enabled()) {
+    if (StageSlot* slot = FindStage(index); slot != nullptr) {
+      if (slot->state == StageSlot::State::kReady && ConsumeStage(*slot, index, page_va)) {
+        // Staged hit: the page was speculatively read already; mapping the
+        // staged frame needs no IO and is legal in the fast path.
+        prefetch_hits_.Inc();
+        fast_maps_.Inc();
+        NoteFaultIndex(index);
+        // Cleaning first: the batch frees frames synchronously for clean
+        // victims, so the read-ahead tasks spawned next can claim them.
+        MaybeScheduleCleaning();
+        TopUpReadAhead(index);
+        return FaultResult::kSuccess;
       }
-      prefetch_hits_.Inc();
-      fast_maps_.Inc();
-      MaybeStartPrefetch(index);
-      return FaultResult::kSuccess;
+      // Still loading (or revoked underneath us): worker context.
+      return FaultResult::kRetry;
     }
-    // Frame was revoked underneath us: fall back to the normal path.
+    if (page.cleaning) {
+      return FaultResult::kRetry;  // writeback in flight: must wait for it
+    }
   }
   if (page.has_disk_copy && !config_.forgetful) {
     return FaultResult::kRetry;  // needs a swap read: worker context
@@ -120,21 +259,76 @@ FaultResult PagedStretchDriver::HandleFault(const FaultRecord& fault, Stretch& s
   return FaultResult::kSuccess;
 }
 
+// --- Swap IO -----------------------------------------------------------------
+
+Task PagedStretchDriver::PumpReplies() {
+  // Sole consumer of the channel's reply FIFO while the pipeline is enabled:
+  // routes each completion to its issuer's ticket by request id. ReceiveReply
+  // releases the pipeline slot, preserving the rbufs depth invariant.
+  for (;;) {
+    UsdReply reply = co_await swap_->ReceiveReply();
+    auto it = inflight_.find(reply.id);
+    if (it != inflight_.end()) {
+      it->second.done = true;
+      it->second.reply = std::move(reply);
+    }
+    pipeline_cv_->NotifyAll();
+  }
+}
+
 Task PagedStretchDriver::SwapWrite(uint64_t blok, Pfn pfn, bool* ok, uint64_t fid) {
   const SimTime start = env_.sim->Now();  // span covers the slot wait too
-  co_await swap_->AcquireSlot();
-  UsdRequest req;
-  req.id = blok;
-  req.lba = BlokLba(blok);
-  req.nblocks = blocks_per_page_;
-  req.is_write = true;
-  req.trace_id = fid;
-  auto data = env_.phys->FrameData(pfn);
-  req.data.assign(data.begin(), data.end());
-  swap_->Push(std::move(req));
-  UsdReply reply = co_await swap_->ReceiveReply();
-  *ok = reply.ok;
-  if (reply.ok) {
+  *ok = false;
+  if (pipeline_enabled()) {
+    if (pipeline_stopped_) {
+      co_return;
+    }
+    co_await swap_->AcquireSlot();
+    if (pipeline_stopped_) {
+      co_return;  // the channel is being torn down; the reply would be lost
+    }
+    const uint64_t io_id = next_io_id_++;
+    inflight_[io_id];
+    UsdRequest req;
+    req.id = io_id;
+    req.lba = BlokLba(blok);
+    req.nblocks = blocks_per_page_;
+    req.is_write = true;
+    req.trace_id = fid;
+    auto data = env_.phys->FrameData(pfn);
+    req.data.assign(data.begin(), data.end());
+    swap_->Push(std::move(req));
+    for (;;) {
+      auto it = inflight_.find(io_id);
+      if (it == inflight_.end()) {
+        break;  // StopPipeline cleared the tickets
+      }
+      if (it->second.done) {
+        *ok = it->second.reply.ok;
+        inflight_.erase(it);
+        break;
+      }
+      if (pipeline_stopped_) {
+        inflight_.erase(it);
+        break;
+      }
+      co_await pipeline_cv_->Wait();
+    }
+  } else {
+    co_await swap_->AcquireSlot();
+    UsdRequest req;
+    req.id = blok;
+    req.lba = BlokLba(blok);
+    req.nblocks = blocks_per_page_;
+    req.is_write = true;
+    req.trace_id = fid;
+    auto data = env_.phys->FrameData(pfn);
+    req.data.assign(data.begin(), data.end());
+    swap_->Push(std::move(req));
+    UsdReply reply = co_await swap_->ReceiveReply();
+    *ok = reply.ok;
+  }
+  if (*ok) {
     pageouts_.Inc();
   }
   if (Obs* obs = env_.obs; fid != 0 && obs != nullptr && obs->enabled()) {
@@ -148,20 +342,63 @@ Task PagedStretchDriver::SwapWrite(uint64_t blok, Pfn pfn, bool* ok, uint64_t fi
 
 Task PagedStretchDriver::SwapRead(uint64_t blok, Pfn pfn, bool* ok, uint64_t fid) {
   const SimTime start = env_.sim->Now();
-  co_await swap_->AcquireSlot();
-  UsdRequest req;
-  req.id = blok;
-  req.lba = BlokLba(blok);
-  req.nblocks = blocks_per_page_;
-  req.is_write = false;
-  req.trace_id = fid;
-  swap_->Push(std::move(req));
-  UsdReply reply = co_await swap_->ReceiveReply();
-  *ok = reply.ok;
-  if (reply.ok) {
-    auto frame = env_.phys->FrameData(pfn);
-    NEM_ASSERT(reply.data.size() == frame.size());
-    std::memcpy(frame.data(), reply.data.data(), frame.size());
+  *ok = false;
+  if (pipeline_enabled()) {
+    if (pipeline_stopped_) {
+      co_return;
+    }
+    co_await swap_->AcquireSlot();
+    if (pipeline_stopped_) {
+      co_return;
+    }
+    const uint64_t io_id = next_io_id_++;
+    inflight_[io_id];
+    UsdRequest req;
+    req.id = io_id;
+    req.lba = BlokLba(blok);
+    req.nblocks = blocks_per_page_;
+    req.is_write = false;
+    req.trace_id = fid;
+    swap_->Push(std::move(req));
+    for (;;) {
+      auto it = inflight_.find(io_id);
+      if (it == inflight_.end()) {
+        break;
+      }
+      if (it->second.done) {
+        if (it->second.reply.ok) {
+          auto frame = env_.phys->FrameData(pfn);
+          NEM_ASSERT(it->second.reply.data.size() == frame.size());
+          std::memcpy(frame.data(), it->second.reply.data.data(), frame.size());
+          *ok = true;
+        }
+        inflight_.erase(it);
+        break;
+      }
+      if (pipeline_stopped_) {
+        inflight_.erase(it);
+        break;
+      }
+      co_await pipeline_cv_->Wait();
+    }
+  } else {
+    co_await swap_->AcquireSlot();
+    UsdRequest req;
+    req.id = blok;
+    req.lba = BlokLba(blok);
+    req.nblocks = blocks_per_page_;
+    req.is_write = false;
+    req.trace_id = fid;
+    swap_->Push(std::move(req));
+    UsdReply reply = co_await swap_->ReceiveReply();
+    if (reply.ok) {
+      auto frame = env_.phys->FrameData(pfn);
+      NEM_ASSERT(reply.data.size() == frame.size());
+      std::memcpy(frame.data(), reply.data.data(), frame.size());
+      *ok = true;
+    }
+  }
+  if (*ok) {
     pageins_.Inc();
   }
   if (Obs* obs = env_.obs; fid != 0 && obs != nullptr && obs->enabled()) {
@@ -172,6 +409,8 @@ Task PagedStretchDriver::SwapRead(uint64_t blok, Pfn pfn, bool* ok, uint64_t fid
     }
   }
 }
+
+// --- Eviction ----------------------------------------------------------------
 
 size_t PagedStretchDriver::SelectVictim() {
   NEM_ASSERT(!fifo_.empty());
@@ -250,13 +489,144 @@ Task PagedStretchDriver::EvictOne(Pfn* out_pfn, bool* ok, uint64_t fid) {
     } else {
       page.has_disk_copy = true;
     }
+  } else {
+    // A clean page either already has a valid disk copy or was never written
+    // (demand-zero on next touch): the frame comes back without any IO.
+    cleaned_evictions_.Inc();
   }
-  // A clean page either already has a valid disk copy or was never written
-  // (demand-zero on next touch); nothing to do.
 
   *out_pfn = pfn;
   *ok = true;
 }
+
+size_t PagedStretchDriver::StartEvictBatch(size_t max_victims) {
+  if (pipeline_stopped_) {
+    return 0;  // teardown already released everything; do not touch the fifo
+  }
+  // Gather up to `max_victims` replacement victims in one go. Clean pages
+  // hand their frame back immediately; dirty ones are unmapped, their frames
+  // pinned, and cleaned by a single detached blok-sorted write chain.
+  // Synchronous (no awaits): callers rely on the victims being unmapped and
+  // the chain being in flight when this returns.
+  std::vector<WritebackItem> dirty;
+  size_t freed_now = 0;
+  for (size_t k = 0; k < max_victims && !fifo_.empty(); ++k) {
+    const size_t victim = SelectVictim();
+    PageInfo& page = pages_[victim];
+    const VirtAddr victim_va = stretch_->PageBase(victim);
+    auto trans = env_.syscalls().Trans(victim_va);
+    NEM_ASSERT_MSG(trans.has_value(), "resident page not mapped");
+    const bool dirty_bit = trans->dirty;
+    if (dirty_bit && !page.blok.has_value()) {
+      page.blok = bloks_.Alloc();
+      if (!page.blok.has_value()) {
+        // Swap exhausted: put the victim back (still mapped, nothing lost)
+        // and stop gathering.
+        NEM_LOG_WARN("paged", "swap space exhausted");
+        fifo_.push_front(victim);
+        break;
+      }
+    }
+    Pfn pfn = 0;
+    NEM_ASSERT(env_.syscalls().Unmap(env_.domain, env_.pdom, victim_va, &pfn).ok());
+    NEM_ASSERT(env_.syscalls().Nail(env_.domain, pfn).ok());
+    evictions_.Inc();
+    page.resident = false;
+    if (!dirty_bit) {
+      cleaned_evictions_.Inc();
+      ReleaseReservation(pfn);
+      ++freed_now;
+      continue;
+    }
+    page.cleaning = true;
+    dirty.push_back(WritebackItem{victim, *page.blok, pfn});
+  }
+  const size_t dirty_count = dirty.size();
+  if (!dirty.empty()) {
+    cleans_inflight_ += dirty.size();
+    for (const WritebackItem& item : dirty) {
+      writeback_frames_.push_back(item.pfn);
+    }
+    SpawnPipelineTask(WritebackChainTask(std::move(dirty)), "writeback-chain");
+  }
+  return freed_now + dirty_count;
+}
+
+Task PagedStretchDriver::WritebackChainTask(std::vector<WritebackItem> items) {
+  // Blok order maximizes LBA contiguity, so the channel's batch policy can
+  // coalesce the whole set into few chained disk transactions. Off the fault
+  // path by design: trace_id stays 0, no fault is charged for these writes.
+  std::sort(items.begin(), items.end(),
+            [](const WritebackItem& a, const WritebackItem& b) { return a.blok < b.blok; });
+  std::vector<uint64_t> io_ids;
+  io_ids.reserve(items.size());
+  for (const WritebackItem& item : items) {
+    if (pipeline_stopped_) {
+      break;
+    }
+    co_await swap_->AcquireSlot();
+    if (pipeline_stopped_) {
+      break;
+    }
+    const uint64_t io_id = next_io_id_++;
+    inflight_[io_id];
+    UsdRequest req;
+    req.id = io_id;
+    req.lba = BlokLba(item.blok);
+    req.nblocks = blocks_per_page_;
+    req.is_write = true;
+    auto data = env_.phys->FrameData(item.pfn);
+    req.data.assign(data.begin(), data.end());
+    swap_->Push(std::move(req));
+    writeback_batched_.Inc();
+    io_ids.push_back(io_id);
+  }
+  for (size_t i = 0; i < items.size(); ++i) {
+    const WritebackItem& item = items[i];
+    bool write_ok = false;
+    if (i < io_ids.size()) {
+      for (;;) {
+        auto it = inflight_.find(io_ids[i]);
+        if (it == inflight_.end()) {
+          break;
+        }
+        if (it->second.done) {
+          write_ok = it->second.reply.ok;
+          inflight_.erase(it);
+          break;
+        }
+        if (pipeline_stopped_) {
+          inflight_.erase(it);
+          break;
+        }
+        co_await pipeline_cv_->Wait();
+      }
+    }
+    PageInfo& page = pages_[item.page];
+    if (write_ok) {
+      pageouts_.Inc();
+      if (config_.forgetful) {
+        bloks_.Free(*page.blok);
+        page.blok.reset();
+        page.has_disk_copy = false;
+      } else {
+        page.has_disk_copy = true;
+      }
+    } else if (!pipeline_stopped_) {
+      NEM_LOG_WARN("paged", "batched writeback failed; page contents dropped");
+    }
+    page.cleaning = false;
+    ReleaseReservation(item.pfn);
+    std::erase(writeback_frames_, item.pfn);
+    if (cleans_inflight_ > 0) {
+      --cleans_inflight_;
+    }
+    // Wake frame-waiting faults as each frame lands, not at chain end.
+    pipeline_cv_->NotifyAll();
+  }
+}
+
+// --- Fault resolution --------------------------------------------------------
 
 Task PagedStretchDriver::ResolveFault(FaultRecord fault, Stretch* stretch, FaultResult* result) {
   const VirtAddr page_va = AlignDown(fault.va, env_.page_size());
@@ -269,35 +639,48 @@ Task PagedStretchDriver::ResolveFault(FaultRecord fault, Stretch* stretch, Fault
   }
   PrunePool();
 
-  // Stream-paging: if this page is being (or has been) staged, use it.
-  if (staging_.active && staging_.page == index) {
-    while (staging_.active && !staging_.ready) {
-      co_await staging_cv_->Wait();
-    }
-    if (staging_.active && staging_.ready) {
-      const Pfn staged = staging_.pfn;
-      staging_.active = false;
-      staging_.ready = false;
-      ReleaseReservation(staged);
-      if (env_.kernel->ramtab().OwnerOf(staged) == env_.domain &&
-          env_.syscalls().Map(env_.domain, env_.pdom, page_va, staged, MapAttrs{}).ok()) {
-        page.resident = true;
-        fifo_.push_back(index);
-        if (FrameStack* stack = env_.frames->StackOf(env_.domain); stack != nullptr) {
-          stack->MoveToBottom(staged);
+  if (pipeline_enabled()) {
+    NoteFaultIndex(index);
+    // If this page is being (or has been) staged, use the staged frame.
+    for (;;) {
+      StageSlot* slot = FindStage(index);
+      if (slot == nullptr) {
+        break;
+      }
+      if (slot->state == StageSlot::State::kReady) {
+        if (ConsumeStage(*slot, index, page_va)) {
+          prefetch_hits_.Inc();
+          slow_maps_.Inc();
+          MaybeScheduleCleaning();
+          TopUpReadAhead(index);
+          *result = FaultResult::kSuccess;
+          co_return;
         }
-        prefetch_hits_.Inc();
-        slow_maps_.Inc();
-        MaybeStartPrefetch(index);
-        *result = FaultResult::kSuccess;
+        break;  // frame revoked underneath us: demand path
+      }
+      co_await pipeline_cv_->Wait();  // loading: its StageTask will settle it
+      if (pipeline_stopped_) {
+        *result = FaultResult::kFailure;  // domain torn down while we slept
+        co_return;
+      }
+    }
+    // A batched writeback of this page in flight means neither the frame nor
+    // the blok holds a stable copy yet; wait for the chain to land it.
+    while (page.cleaning) {
+      co_await pipeline_cv_->Wait();
+      if (pipeline_stopped_) {
+        *result = FaultResult::kFailure;  // domain torn down while we slept
         co_return;
       }
     }
   }
 
   // 1. Obtain a free frame: from the pool, by growing the pool up to the
-  //    configured maximum, or by evicting the FIFO-oldest resident page.
+  //    configured maximum, or by evicting resident pages.
   std::optional<Pfn> pfn;
+  if (pipeline_enabled()) {
+    ++demand_waiters_;  // read-ahead must not take frames while we wait
+  }
   for (;;) {
     pfn = FindUnusedPoolFrame();
     if (pfn.has_value()) {
@@ -316,14 +699,52 @@ Task PagedStretchDriver::ResolveFault(FaultRecord fault, Stretch* stretch, Fault
       }
       // Quota or memory exhausted: fall through to eviction.
     }
+    if (pipeline_enabled() && config_.writeback_batch >= 2 && !fifo_.empty()) {
+      // Batched writeback: unmap several victims at once. Clean frames are
+      // reusable on the next loop pass; dirty ones land via the chain.
+      if (cleans_inflight_ == 0) {
+        if (StartEvictBatch(std::min<size_t>(config_.writeback_batch, fifo_.size())) == 0) {
+          --demand_waiters_;
+          *result = FaultResult::kFailure;  // swap exhausted
+          co_return;
+        }
+        continue;
+      }
+      co_await pipeline_cv_->Wait();  // a chain is in flight; frames incoming
+      if (pipeline_stopped_) {
+        --demand_waiters_;
+        *result = FaultResult::kFailure;  // domain torn down while we slept
+        co_return;
+      }
+      continue;
+    }
     if (fifo_.empty()) {
-      if (staging_.active && staging_.ready) {
-        // Cancel a useless staged page rather than failing the fault.
-        pfn = staging_.pfn;
-        staging_.active = false;
-        staging_.ready = false;
-        prefetch_wasted_.Inc();
-        break;
+      if (pipeline_enabled()) {
+        // Cancel a useless staged page rather than failing the fault. The
+        // stolen frame stays nailed; Reserve below tolerates that.
+        bool stole = false;
+        for (StageSlot& slot : slots_) {
+          if (slot.state == StageSlot::State::kReady) {
+            pfn = slot.pfn;
+            slot = StageSlot{};
+            prefetch_wasted_.Inc();
+            stole = true;
+            break;
+          }
+        }
+        if (stole) {
+          break;
+        }
+        if (AnyLoading() || cleans_inflight_ > 0) {
+          co_await pipeline_cv_->Wait();  // in-flight work will free a frame
+          if (pipeline_stopped_) {
+            --demand_waiters_;
+            *result = FaultResult::kFailure;  // domain torn down while we slept
+            co_return;
+          }
+          continue;
+        }
+        --demand_waiters_;
       }
       *result = FaultResult::kFailure;  // no frames and nothing to evict
       co_return;
@@ -333,11 +754,17 @@ Task PagedStretchDriver::ResolveFault(FaultRecord fault, Stretch* stretch, Fault
     TaskHandle h = env_.sim->Spawn(EvictOne(&evicted, &ok, fault.id), "evict");
     co_await Join(h);
     if (!ok) {
+      if (pipeline_enabled()) {
+        --demand_waiters_;
+      }
       *result = FaultResult::kFailure;
       co_return;
     }
     pfn = evicted;
     break;
+  }
+  if (pipeline_enabled()) {
+    --demand_waiters_;
   }
 
   // 2. Fill the frame: page in from swap, or demand-zero. The frame stays
@@ -375,102 +802,238 @@ Task PagedStretchDriver::ResolveFault(FaultRecord fault, Stretch* stretch, Fault
   if (Obs* obs = env_.obs; obs != nullptr && obs->enabled()) {
     obs->Span(env_.sim->Now(), env_.domain, "map", 0.0, fault.id);
   }
-  MaybeStartPrefetch(index);
+  if (pipeline_enabled()) {
+    // Issued after the demand read completed on purpose: replies for a
+    // coalesced chain fan out when the whole chain lands, so folding the
+    // demand page into its own cluster would delay the faulting task. The
+    // cluster instead streams while the application computes, bridged by the
+    // channel's laxity idling.
+    MaybeScheduleCleaning();
+    TopUpReadAhead(index);
+  }
   *result = FaultResult::kSuccess;
 }
 
-void PagedStretchDriver::MaybeStartPrefetch(size_t index) {
-  if (!config_.stream_paging || config_.forgetful || staging_.active) {
+// --- Read-ahead and opportunistic cleaning -----------------------------------
+
+void PagedStretchDriver::TopUpReadAhead(size_t index) {
+  if (!pipeline_enabled() || pipeline_stopped_ || config_.forgetful) {
     return;
   }
-  const size_t next = index + 1;
-  if (next >= pages_.size() || pages_[next].resident || !pages_[next].has_disk_copy) {
-    return;
+  // Bound the burst by the channel's free slots so speculative reads never
+  // queue up on the semaphore ahead of a demand read.
+  size_t budget = swap_->free_slots();
+  const size_t last = index + cluster_window_;
+  for (size_t next = index + 1; next <= last && next < pages_.size(); ++next) {
+    if (budget == 0) {
+      break;
+    }
+    PageInfo& page = pages_[next];
+    if (page.resident || page.cleaning || !page.has_disk_copy || !page.blok.has_value()) {
+      continue;
+    }
+    if (FindStage(next) != nullptr) {
+      continue;  // already staged or staging
+    }
+    StageSlot* slot = FreeStageSlot();
+    if (slot == nullptr) {
+      break;  // staging table full
+    }
+    slot->state = StageSlot::State::kLoading;
+    slot->abandoned = false;
+    slot->page = next;
+    slot->pfn = kNoPfn;  // sentinel until the task claims a frame
+    prefetch_issued_.Inc();
+    staging_highwater_.Observe(StagedCount());
+    --budget;
+    // Spawned back to back in one event: the reads land in the channel queue
+    // together, where swap-contiguous bloks coalesce into one chain.
+    SpawnPipelineTask(StageTask(next), "stage-read");
   }
-  staging_.active = true;
-  staging_.ready = false;
-  staging_.page = next;
-  // No frame reserved yet: a sentinel keeps FindUnusedPoolFrame from skipping
-  // a real frame until PrefetchTask claims one.
-  staging_.pfn = UINT64_MAX;
-  prefetch_issued_.Inc();
-  // The prefetch allocates frames and talks to the USD: system-shard work,
-  // spawned explicitly because this is also reached from the domain-shard
-  // fast path (stream-paging hit in HandleFault).
-  env_.sim->Spawn(PrefetchTask(next), "stream-prefetch", kSystemShard);
 }
 
-Task PagedStretchDriver::PrefetchTask(size_t index) {
-  // Obtain a frame without displacing the most recently mapped page: take an
-  // unused pool frame, or evict the FIFO-oldest page if at least two pages
-  // are resident.
-  std::optional<Pfn> pfn = FindUnusedPoolFrame();
-  if (!pfn.has_value() && pool_.size() < config_.max_frames) {
-    auto allocated = env_.frames->AllocFrame(env_.domain);
-    if (allocated.has_value()) {
-      pool_.push_back(*allocated);
-      pfn = *allocated;
+Task PagedStretchDriver::StageTask(size_t index) {
+  // Claim a frame without displacing demand: an unused pool frame, pool
+  // growth, or — only when no demand fault is waiting and no writeback keeps
+  // headroom — evicting the replacement victim (needs >= 2 resident pages so
+  // the most recent mapping survives).
+  std::optional<Pfn> pfn;
+  if (demand_waiters_ == 0 && !pipeline_stopped_) {
+    pfn = FindUnusedPoolFrame();
+    if (!pfn.has_value() && pool_.size() < config_.max_frames) {
+      auto allocated = env_.frames->AllocFrame(env_.domain);
+      if (allocated.has_value()) {
+        pool_.push_back(*allocated);
+        pfn = *allocated;
+      }
+    }
+    if (!pfn.has_value() && config_.writeback_batch < 2 && cleans_inflight_ == 0 &&
+        fifo_.size() >= 2) {
+      Pfn evicted = 0;
+      bool ok = false;
+      TaskHandle h = env_.sim->Spawn(EvictOne(&evicted, &ok), "prefetch-evict");
+      co_await Join(h);
+      if (ok) {
+        pfn = evicted;
+      }
     }
   }
-  if (!pfn.has_value() && fifo_.size() >= 2) {
-    Pfn evicted = 0;
-    bool ok = false;
-    TaskHandle h = env_.sim->Spawn(EvictOne(&evicted, &ok), "prefetch-evict");
-    co_await Join(h);
-    if (ok) {
-      pfn = evicted;
+  StageSlot* slot = FindStage(index);
+  if (slot == nullptr || slot->state != StageSlot::State::kLoading) {
+    // The slot was reclaimed (teardown) while we were acquiring the frame.
+    if (pfn.has_value()) {
+      ReleaseReservation(*pfn);
     }
-  }
-  if (!pfn.has_value() || !staging_.active || staging_.page != index) {
-    staging_.active = false;
-    staging_cv_->NotifyAll();
+    pipeline_cv_->NotifyAll();
     co_return;
   }
-  staging_.pfn = *pfn;
-  Reserve(*pfn);  // reserve until mapped or cancelled
+  if (!pfn.has_value() || slot->abandoned || demand_waiters_ > 0) {
+    // No frame, cancelled, or a demand fault arrived while we evicted: give
+    // the frame (if any) back and drop the slot.
+    if (pfn.has_value()) {
+      ReleaseReservation(*pfn);
+    }
+    *slot = StageSlot{};
+    pipeline_cv_->NotifyAll();
+    co_return;
+  }
+  slot->pfn = *pfn;
+  Reserve(*pfn);  // reserved until consumed or cancelled
   NEM_ASSERT(pages_[index].blok.has_value());
   bool read_ok = false;
-  TaskHandle h = env_.sim->Spawn(SwapRead(*pages_[index].blok, *pfn, &read_ok), "prefetch-read");
+  TaskHandle h = env_.sim->Spawn(SwapRead(*pages_[index].blok, *pfn, &read_ok), "stage-swap-read");
   co_await Join(h);
-  if (!read_ok || !staging_.active || staging_.page != index) {
-    staging_.active = false;
+  if (pipeline_stopped_ || !read_ok || slot->state != StageSlot::State::kLoading ||
+      slot->page != index || slot->abandoned) {
     ReleaseReservation(*pfn);
+    *slot = StageSlot{};
     prefetch_wasted_.Inc();
   } else {
-    staging_.ready = true;
+    slot->state = StageSlot::State::kReady;
   }
-  staging_cv_->NotifyAll();
+  pipeline_cv_->NotifyAll();
 }
+
+void PagedStretchDriver::MaybeScheduleCleaning() {
+  if (!pipeline_enabled() || pipeline_stopped_ || config_.writeback_batch < 2) {
+    return;
+  }
+  if (cleans_inflight_ > 0 || demand_waiters_ > 0 || fifo_.size() < 2) {
+    return;
+  }
+  if (pool_.size() < config_.max_frames || FindUnusedPoolFrame().has_value()) {
+    return;  // headroom exists (or can be grown) without evicting
+  }
+  // Conditions re-checked by the task on the system shard: this is also
+  // reached from the domain-shard fast path, where unmapping is off-limits.
+  SpawnPipelineTask(CleaningTask(), "clean-batch");
+}
+
+Task PagedStretchDriver::CleaningTask() {
+  if (pipeline_stopped_ || cleans_inflight_ > 0 || demand_waiters_ > 0 || fifo_.size() < 2) {
+    co_return;
+  }
+  if (pool_.size() < config_.max_frames || FindUnusedPoolFrame().has_value()) {
+    co_return;
+  }
+  // Keep the most recent mapping resident; clean up to a batch of the rest.
+  StartEvictBatch(std::min<size_t>(config_.writeback_batch, fifo_.size() - 1));
+}
+
+void PagedStretchDriver::SpawnPipelineTask(Task task, const char* label) {
+  if (pipeline_stopped_) {
+    return;
+  }
+  if (pipeline_tasks_.size() >= 64) {
+    std::erase_if(pipeline_tasks_, [](const TaskHandle& h) { return TaskDead(h.state()); });
+  }
+  pipeline_tasks_.push_back(env_.sim->Spawn(std::move(task), label, kSystemShard));
+}
+
+// --- Revocation --------------------------------------------------------------
 
 Task PagedStretchDriver::RelinquishFrames(uint64_t target, uint64_t* freed) {
   FrameStack* stack = env_.frames->StackOf(env_.domain);
-  // First hand over any already-unused pool frames.
-  for (Pfn pfn : pool_) {
-    if (*freed >= target) {
-      co_return;
+  if (!pipeline_enabled()) {
+    // First hand over any already-unused pool frames.
+    for (Pfn pfn : pool_) {
+      if (*freed >= target) {
+        co_return;
+      }
+      if (env_.kernel->ramtab().StateOf(pfn) == FrameState::kUnused) {
+        if (stack != nullptr) {
+          stack->MoveToTop(pfn);
+        }
+        ++*freed;
+      }
     }
-    if (env_.kernel->ramtab().StateOf(pfn) == FrameState::kUnused) {
+    // Then evict resident pages (cleaning dirty ones to swap — this is why
+    // the intrusive revocation deadline "may be relatively far in the
+    // future").
+    while (*freed < target && !fifo_.empty()) {
+      Pfn evicted = 0;
+      bool ok = false;
+      TaskHandle h = env_.sim->Spawn(EvictOne(&evicted, &ok), "revoke-evict");
+      co_await Join(h);
+      if (!ok) {
+        co_return;
+      }
+      ReleaseReservation(evicted);
       if (stack != nullptr) {
-        stack->MoveToTop(pfn);
+        stack->MoveToTop(evicted);
       }
       ++*freed;
     }
+    co_return;
   }
-  // Then evict resident pages (cleaning dirty ones to swap — this is why the
-  // intrusive revocation deadline "may be relatively far in the future").
+
+  // Pipeline: speculative work is the first thing to go — ready staged pages
+  // are cancelled outright, loading ones abandoned (their StageTask releases
+  // the frame when the read lands).
+  for (StageSlot& slot : slots_) {
+    CancelStage(slot);
+  }
+  // Track what was already handed over: unlike the legacy path, this one
+  // re-scans the pool as in-flight IO drains, and must not count a frame
+  // twice.
+  std::vector<Pfn> handed;
+  auto hand_over_unused = [&] {
+    for (Pfn pfn : pool_) {
+      if (*freed >= target) {
+        return;
+      }
+      if (env_.kernel->ramtab().OwnerOf(pfn) == env_.domain &&
+          env_.kernel->ramtab().StateOf(pfn) == FrameState::kUnused &&
+          std::find(handed.begin(), handed.end(), pfn) == handed.end()) {
+        if (stack != nullptr) {
+          stack->MoveToTop(pfn);
+        }
+        handed.push_back(pfn);
+        ++*freed;
+      }
+    }
+  };
+  hand_over_unused();
   while (*freed < target && !fifo_.empty()) {
     Pfn evicted = 0;
     bool ok = false;
     TaskHandle h = env_.sim->Spawn(EvictOne(&evicted, &ok), "revoke-evict");
     co_await Join(h);
     if (!ok) {
-      co_return;
+      break;
     }
     ReleaseReservation(evicted);
     if (stack != nullptr) {
       stack->MoveToTop(evicted);
     }
+    handed.push_back(evicted);
     ++*freed;
+  }
+  // Frames pinned by in-flight stage fills and writeback chains become
+  // unused as those land; wait them out if the target is still short.
+  while (*freed < target && !pipeline_stopped_ && (cleans_inflight_ > 0 || AnyLoading())) {
+    co_await pipeline_cv_->Wait();
+    hand_over_unused();
   }
 }
 

@@ -14,14 +14,41 @@
 // during a page fault" — every fault demand-zeroes, every dirty eviction
 // still pays a disk write.
 //
+// Async pager pipeline (DESIGN.md "Async pager pipeline"): the paper's §8
+// stream-paging sketch generalized into a real pipeline, an application-level
+// policy choice in the self-paging spirit (§3: "improved page replacement and
+// prefetching"). Opt-in via Config::pipeline_depth >= 1:
+//   * a staging table of up to `pipeline_depth` concurrently in-flight
+//     speculative page-ins (the single-slot stream-paging scheme is the
+//     pipeline_depth == 1 special case);
+//   * clustered read-ahead: after a fault on page i the next pages are staged
+//     in one burst sized by a sequentiality detector (window doubles on
+//     sequential faults, halves otherwise, clamped to [min_cluster,
+//     max_cluster]); swap-contiguous members pushed back-to-back coalesce
+//     into one chained disk transaction through the PR 3 UsdBatchPolicy path;
+//   * batched victim writeback (Config::writeback_batch >= 2): instead of a
+//     synchronous per-victim SwapWrite inside the fault path, up to that many
+//     victims are unmapped together, their dirty pages cleaned by one
+//     detached blok-sorted write chain, and clean victims handed back
+//     immediately — plus opportunistic cleaning after a resolve keeps free
+//     frames ahead of demand, so most evictions return a pre-cleaned frame.
+// With the pipeline on, every swap reply is routed by a per-request id
+// through a reply-pump task, so depth > 1 in-flight transactions can never be
+// mis-matched to waiters. Default (pipeline_depth == 0, stream_paging off)
+// keeps the exact one-page-at-a-time demand path, bit-identical.
+//
 // Concurrency: the driver assumes its slow paths are serialised (the MMEntry
-// runs one worker per domain), matching the paper's single paging thread.
+// runs one worker per domain), matching the paper's single paging thread;
+// pipeline tasks all run on the system shard and interleave only at co_await
+// points.
 #ifndef SRC_APP_PAGED_DRIVER_H_
 #define SRC_APP_PAGED_DRIVER_H_
 
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "src/app/blok_allocator.h"
@@ -51,35 +78,85 @@ class PagedStretchDriver : public PhysicalStretchDriver {
     // Stream-paging (the paper's §8 future-work extension): after resolving a
     // fault on page i, speculatively page i+1 into a staged frame so a
     // subsequent sequential fault is satisfied without stalling on the disk.
+    // Equivalent to pipeline_depth = 1 with a fixed one-page window.
     bool stream_paging = false;
+    // Async pager pipeline (see file comment). 0 = off. The swap UsdClient
+    // should be opened with depth >= pipeline_depth + writeback_batch so the
+    // staged reads, the demand read and the writeback chain can all be in
+    // flight at once (AppDomain wiring does this automatically).
+    uint32_t pipeline_depth = 0;
+    uint32_t min_cluster = 1;   // read-ahead window floor (pages)
+    uint32_t max_cluster = 8;   // read-ahead window ceiling (pages)
+    // >= 2 gathers up to this many victims per eviction round into one
+    // coalesced write chain; 0/1 keeps the synchronous per-victim write.
+    uint32_t writeback_batch = 0;
   };
 
   // `swap` is the QoS-negotiated USD channel for this domain's swap file
   // covering `swap_extent` (obtained from the SFS).
   PagedStretchDriver(DriverEnv env, UsdClient* swap, Extent swap_extent, Config config);
+  ~PagedStretchDriver() override;
 
   Status<VmError> Bind(Stretch* stretch) override;
   FaultResult HandleFault(const FaultRecord& fault, Stretch& stretch) override;
   Task ResolveFault(FaultRecord fault, Stretch* stretch, FaultResult* result) override;
   Task RelinquishFrames(uint64_t target, uint64_t* freed) override;
 
+  // Stops the reply pump and every in-flight prefetch/writeback task and
+  // releases staged frames. Called on domain kill and teardown BEFORE the
+  // swap client is closed; the driver issues no further swap IO afterwards.
+  void StopPipeline();
+
   const char* kind() const override { return "paged"; }
 
   uint64_t pageins() const { return pageins_.value(); }
   uint64_t pageouts() const { return pageouts_.value(); }
   uint64_t evictions() const { return evictions_.value(); }
+  uint64_t cleaned_evictions() const { return cleaned_evictions_.value(); }
   uint64_t prefetch_hits() const { return prefetch_hits_.value(); }
   uint64_t prefetch_issued() const { return prefetch_issued_.value(); }
   uint64_t prefetch_wasted() const { return prefetch_wasted_.value(); }
+  uint64_t writeback_batched() const { return writeback_batched_.value(); }
+  uint64_t staging_highwater() const { return staging_highwater_.value(); }
   size_t resident_pages() const { return fifo_.size(); }
   size_t pool_size() const { return pool_.size(); }
   const BlokAllocator& bloks() const { return bloks_; }
+  bool pipeline_enabled() const { return config_.pipeline_depth >= 1; }
 
  private:
   struct PageInfo {
     bool resident = false;
     bool has_disk_copy = false;
+    // A batched writeback of this page is in flight: the blok contents are
+    // not yet valid and the page must not be touched until the chain lands.
+    bool cleaning = false;
     std::optional<uint64_t> blok;
+  };
+
+  // One entry of the staging table: a speculative page-in that is either in
+  // flight (kLoading) or completed and waiting to be consumed by a fault
+  // (kReady). The frame is IO-reserved (nailed) from claim to consumption.
+  struct StageSlot {
+    enum class State : uint8_t { kFree, kLoading, kReady };
+    State state = State::kFree;
+    bool abandoned = false;  // cancelled while loading; StageTask cleans up
+    size_t page = 0;
+    Pfn pfn = UINT64_MAX;    // sentinel until a frame is claimed
+  };
+
+  // Completion ticket for one pump-routed swap transaction, keyed by the
+  // unique request id. The issuer registers it before Push; the reply pump
+  // fills it and broadcasts pipeline_cv_; the issuer consumes and erases it.
+  struct IoTicket {
+    bool done = false;
+    UsdReply reply;
+  };
+
+  // A dirty victim travelling through a batched writeback chain.
+  struct WritebackItem {
+    size_t page = 0;
+    uint64_t blok = 0;
+    Pfn pfn = 0;
   };
 
   std::optional<Pfn> FindUnusedPoolFrame() const;
@@ -94,11 +171,41 @@ class PagedStretchDriver : public PhysicalStretchDriver {
   // replacement policy.
   size_t SelectVictim();
 
-  // Stream-paging machinery: starts a speculative page-in of `index + 1`
-  // after a fault on `index` was resolved, and the awaitable side that maps a
-  // staged frame.
-  void MaybeStartPrefetch(size_t index);
-  Task PrefetchTask(size_t index);
+  // --- Staging-table pipeline machinery --------------------------------------
+
+  StageSlot* FindStage(size_t page);
+  StageSlot* FreeStageSlot();
+  size_t StagedCount() const;
+  bool AnyLoading() const;
+  // Drops a slot: a ready frame is released immediately; a loading one is
+  // marked abandoned for its StageTask to clean up.
+  void CancelStage(StageSlot& slot);
+  // Maps a ready staged frame at `page_va`; returns false if the frame was
+  // revoked underneath the driver (slot freed either way).
+  bool ConsumeStage(StageSlot& slot, size_t index, VirtAddr page_va);
+  // Sequentiality detector: doubles the read-ahead window on a sequential
+  // fault, halves it otherwise.
+  void NoteFaultIndex(size_t index);
+  // Starts speculative page-ins for the pages after `index`, bounded by the
+  // current window, the staging table and the channel depth.
+  void TopUpReadAhead(size_t index);
+  // Speculative page-in of `index` into its (pre-claimed) staging slot.
+  Task StageTask(size_t index);
+  // Routes every swap reply to its ticket by request id. Only runs (and only
+  // may run — it consumes all replies) while the pipeline is enabled.
+  Task PumpReplies();
+  // Unmaps up to `max_victims` victims at once; clean frames are released
+  // immediately, dirty ones handed to one WritebackChainTask. Returns the
+  // number of frames that are (or will become) reusable.
+  size_t StartEvictBatch(size_t max_victims);
+  Task WritebackChainTask(std::vector<WritebackItem> items);
+  // Keeps free-frame headroom ahead of demand: schedules a CleaningTask when
+  // the pool has no unused frame left and no cleaning is already in flight.
+  void MaybeScheduleCleaning();
+  Task CleaningTask();
+  // Spawns a pipeline task on the system shard and tracks its handle so
+  // StopPipeline / the destructor can kill it.
+  void SpawnPipelineTask(Task task, const char* label);
 
   // Evicts the FIFO-oldest resident page, cleaning it to swap if dirty.
   // Writes the freed frame to *out_pfn; *ok=false on swap exhaustion.
@@ -107,6 +214,7 @@ class PagedStretchDriver : public PhysicalStretchDriver {
 
   // Swap IO (worker context): whole-page write/read through the USD channel.
   // `fid` threads the fault trace id into the UsdRequest (0 = untraced).
+  // With the pipeline enabled these route their replies through the pump.
   Task SwapWrite(uint64_t blok, Pfn pfn, bool* ok, uint64_t fid = 0);
   Task SwapRead(uint64_t blok, Pfn pfn, bool* ok, uint64_t fid = 0);
 
@@ -121,24 +229,37 @@ class PagedStretchDriver : public PhysicalStretchDriver {
   std::deque<size_t> fifo_;  // resident pages, oldest first
   std::vector<Pfn> pool_;    // frames this driver has acquired
 
-  // Stream-paging state: at most one staged page at a time. The staged frame
-  // is excluded from FindUnusedPoolFrame while active.
-  struct Staging {
-    bool active = false;
-    bool ready = false;
-    size_t page = 0;
-    Pfn pfn = 0;
-  };
-  Staging staging_;
-  std::unique_ptr<Condition> staging_cv_;
+  // Staging table (empty when the pipeline is off). Slots are stable: the
+  // vector is sized once in the constructor and never reallocated.
+  std::vector<StageSlot> slots_;
+  std::unique_ptr<Condition> pipeline_cv_;  // staging / ticket / writeback events
+  std::unordered_map<uint64_t, IoTicket> inflight_;
+  uint64_t next_io_id_ = 1;
+  TaskHandle pump_task_;
+  std::vector<TaskHandle> pipeline_tasks_;
+  bool pipeline_stopped_ = false;
+  // Read-ahead window state.
+  size_t last_fault_page_ = SIZE_MAX;
+  uint32_t cluster_window_ = 1;
+  // Demand faults currently waiting for a frame; while nonzero, read-ahead
+  // must not take frames (the fault path has priority).
+  uint32_t demand_waiters_ = 0;
+  // Dirty victims whose writeback chain has not completed yet, and the
+  // (nailed) frames they pin — released by the chain, or by StopPipeline if
+  // the chain is killed first.
+  size_t cleans_inflight_ = 0;
+  std::vector<Pfn> writeback_frames_;
 
   Random replacement_rng_;
   StatCounter pageins_;
   StatCounter pageouts_;
   StatCounter evictions_;
+  StatCounter cleaned_evictions_;  // evictions that handed back a clean frame
   StatCounter prefetch_hits_;
   StatCounter prefetch_issued_;
   StatCounter prefetch_wasted_;
+  StatCounter writeback_batched_;  // victim writes issued through batch chains
+  StatHighWater staging_highwater_;
 };
 
 }  // namespace nemesis

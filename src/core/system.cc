@@ -1,5 +1,6 @@
 #include "src/core/system.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <utility>
 
@@ -155,9 +156,19 @@ AppDomain::AppDomain(System& system, AppConfig config)
       driver_ = std::make_unique<PhysicalStretchDriver>(env_);
       break;
     case AppConfig::DriverKind::kPaged: {
+      size_t usd_depth = config_.usd_depth;
+      UsdBatchPolicy usd_batch = config_.usd_batch;
+      if (config_.pipeline_depth > 0) {
+        // The pipeline needs slots for the staged reads, the demand read and
+        // the writeback chain at once, and lives off request coalescing.
+        usd_depth = std::max<size_t>(
+            usd_depth, config_.pipeline_depth + std::max<uint32_t>(config_.writeback_batch, 1));
+        if (!usd_batch.enabled) {
+          usd_batch.enabled = true;
+        }
+      }
       auto swap = system.sfs().CreateSwapFile(config_.name + "-swap", config_.swap_bytes,
-                                              config_.disk_qos, config_.usd_depth,
-                                              config_.usd_batch);
+                                              config_.disk_qos, usd_depth, usd_batch);
       NEM_ASSERT_MSG(swap.has_value(), "swap file creation failed (QoS or space)");
       swap_file_ = *swap;
       PagedStretchDriver::Config driver_config;
@@ -165,6 +176,10 @@ AppDomain::AppDomain(System& system, AppConfig config)
       driver_config.forgetful = config_.forgetful;
       driver_config.stream_paging = config_.stream_paging;
       driver_config.replacement = config_.replacement;
+      driver_config.pipeline_depth = config_.pipeline_depth;
+      driver_config.min_cluster = config_.readahead_min_cluster;
+      driver_config.max_cluster = config_.readahead_max_cluster;
+      driver_config.writeback_batch = config_.writeback_batch;
       driver_ = std::make_unique<PagedStretchDriver>(env_, swap_file_.client, swap_file_.extent,
                                                      driver_config);
       break;
@@ -190,6 +205,15 @@ AppDomain::AppDomain(System& system, AppConfig config)
     reg.RegisterGauge(prefix + "pageins", [paged] { return paged->pageins(); });
     reg.RegisterGauge(prefix + "pageouts", [paged] { return paged->pageouts(); });
     reg.RegisterGauge(prefix + "evictions", [paged] { return paged->evictions(); });
+    reg.RegisterGauge(prefix + "cleaned_evictions",
+                      [paged] { return paged->cleaned_evictions(); });
+    reg.RegisterGauge(prefix + "prefetch_issued", [paged] { return paged->prefetch_issued(); });
+    reg.RegisterGauge(prefix + "prefetch_hits", [paged] { return paged->prefetch_hits(); });
+    reg.RegisterGauge(prefix + "prefetch_wasted", [paged] { return paged->prefetch_wasted(); });
+    reg.RegisterGauge(prefix + "writeback_batched",
+                      [paged] { return paged->writeback_batched(); });
+    reg.RegisterGauge(prefix + "staging_highwater",
+                      [paged] { return paged->staging_highwater(); });
   }
 }
 
@@ -249,6 +273,11 @@ void AppDomain::Kill() {
   }
   workloads_.clear();
   mm_entry_->Stop();
+  if (PagedStretchDriver* paged = paged_driver(); paged != nullptr) {
+    // Stop the reply pump and in-flight prefetch/writeback tasks before the
+    // swap client can be closed out from under them.
+    paged->StopPipeline();
+  }
   domain_->MarkDead();
 }
 

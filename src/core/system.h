@@ -108,6 +108,15 @@ struct AppConfig {
   bool forgetful = false;
   bool stream_paging = false;  // enable the paper's §8 stream-paging extension
   PagedStretchDriver::Replacement replacement = PagedStretchDriver::Replacement::kFifo;
+  // Async pager pipeline (DESIGN.md "Async pager pipeline"): 0 keeps the
+  // demand pager. N >= 1 stages up to N speculative page-ins; the swap
+  // channel depth is raised to cover the staged reads, the demand read and
+  // the writeback chain, and request coalescing is switched on unless a
+  // policy was configured explicitly.
+  uint32_t pipeline_depth = 0;
+  uint32_t readahead_min_cluster = 1;
+  uint32_t readahead_max_cluster = 8;
+  uint32_t writeback_batch = 0;  // >= 2 batches victim writeback
 
   AppCostModel costs;
   size_t mm_workers = 1;

@@ -34,6 +34,27 @@ class StatCounter {
   std::atomic<uint64_t> v_{0};
 };
 
+// Running-maximum statistic (e.g. a queue-depth high-water mark). Same
+// contract as StatCounter: relaxed atomics, exact under commuting updates,
+// the sanctioned shape for max-style stats outside src/obs/.
+class StatHighWater {
+ public:
+  StatHighWater() = default;
+  StatHighWater(const StatHighWater&) = delete;
+  StatHighWater& operator=(const StatHighWater&) = delete;
+
+  void Observe(uint64_t n) {
+    uint64_t cur = v_.load(std::memory_order_relaxed);
+    while (n > cur && !v_.compare_exchange_weak(cur, n, std::memory_order_relaxed)) {
+    }
+  }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
 }  // namespace nemesis
 
 #endif  // SRC_OBS_COUNTER_H_

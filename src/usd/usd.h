@@ -96,6 +96,9 @@ class UsdClient {
   const std::string& name() const { return name_; }
   SchedClientId sched_id() const { return sched_id_; }
   size_t depth() const { return depth_; }
+  // Pipeline slots not currently in flight. Lets a pipelined issuer (the
+  // async pager) bound a speculative burst without suspending on AcquireSlot.
+  size_t free_slots() const { return slots_.count() > 0 ? static_cast<size_t>(slots_.count()) : 0; }
   size_t queued() const { return queue_.size(); }
   uint64_t transactions() const { return transactions_.value(); }
   uint64_t bytes_transferred() const { return bytes_transferred_.value(); }

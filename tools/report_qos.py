@@ -81,7 +81,11 @@ def load_domain_names(metrics_path):
     return names, metrics
 
 
-def build_report(spans, revocations, revoke_counts, names):
+PIPELINE_GAUGES = ["prefetch_issued", "prefetch_hits", "prefetch_wasted",
+                   "writeback_batched", "cleaned_evictions", "staging_highwater"]
+
+
+def build_report(spans, revocations, revoke_counts, names, metrics=None):
     # Group stage durations by fault id, keyed to the owning domain.
     faults = collections.defaultdict(dict)  # fid -> {event: (start, dur)}
     for fid, event, start, dur, _client in spans:
@@ -165,6 +169,23 @@ def build_report(spans, revocations, revoke_counts, names):
             f"  stall overlap: {attributed[(victim, aggressor)]:>9.1f} ms")
     if not any_revocation:
         out("  (none: no revocations in this run)")
+
+    # Pager-pipeline counters (per-app gauges from the metrics snapshot).
+    # Every paged app registers them; a pipeline left off reads as zeros.
+    gauges = (metrics or {}).get("gauges", {})
+    pipeline_rows = []
+    for name in sorted({n for n in names.values()}):
+        row = {g: gauges.get(f"app.{name}.{g}") for g in PIPELINE_GAUGES}
+        if any(v is not None for v in row.values()):
+            pipeline_rows.append((name, row))
+    if pipeline_rows:
+        out("")
+        out("Pager pipeline (per-domain counters; zeros = plain demand pager):")
+        out(f"  {'domain':<16} " + " ".join(f"{g:>18}" for g in PIPELINE_GAUGES))
+        for name, row in pipeline_rows:
+            out(f"  {name:<16} " + " ".join(
+                f"{int(row[g]) if row[g] is not None else '-':>18}"
+                for g in PIPELINE_GAUGES))
     return "\n".join(lines) + "\n", pct
 
 
@@ -182,8 +203,9 @@ def main():
     if not spans:
         sys.exit(f"error: no span records in {args.trace_csv} "
                  "(was the bench run with NEMESIS_OBS=1?)")
-    names, _metrics = load_domain_names(args.metrics)
-    report, complete_pct = build_report(spans, revocations, revoke_counts, names)
+    names, metrics = load_domain_names(args.metrics)
+    report, complete_pct = build_report(spans, revocations, revoke_counts, names,
+                                        metrics)
 
     if args.out:
         with open(args.out, "w") as f:

@@ -52,6 +52,8 @@ BENCH_TARGETS = [
     "bench_obs_overhead",
     "bench_ablation_batching",
     "bench_ablation_parallel",
+    "bench_ablation_streampaging",
+    "bench_ablation_pipeline",
 ]
 
 # NEMESIS_OBS=1 reruns that publish the per-domain QoS-crosstalk reports:
@@ -150,6 +152,9 @@ def run_figure(build_dir, name):
                   re.findall(r"ratios: ([\d.]+) .*?, ([\d.]+)", out),
         "shape_checks": re.findall(r"shape check: (\w+)", out),
     }
+    m = re.search(r"speedup: ([\d.]+)x", out)
+    if m:
+        fig["speedup"] = float(m.group(1))
     m = re.search(r"speedup at (\d+) workers = ([\d.]+)x "
                   r"\(host has (\d+) hardware threads\)", out)
     if m:
@@ -270,6 +275,8 @@ def main():
             "fig9_fs_isolation": run_figure(args.build, "bench_fig9_fs_isolation"),
             "ablation_batching": run_figure(args.build, "bench_ablation_batching"),
             "ablation_parallel": run_figure(args.build, "bench_ablation_parallel"),
+            "ablation_streampaging": run_figure(args.build, "bench_ablation_streampaging"),
+            "ablation_pipeline": run_figure(args.build, "bench_ablation_pipeline"),
         }
         doc["obs"] = run_obs_overhead(args.build)
         if not args.skip_qos:
