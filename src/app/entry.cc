@@ -38,6 +38,10 @@ void Entry::Stop() {
     t.Kill();
   }
   tasks_.clear();
+  // Jobs joined by the killed workers must die with them: a job task that
+  // outlives its worker would complete into the worker's destroyed frame (the
+  // orphan-task bug class; see OwnedTaskSet in src/sim/task.h).
+  job_tasks_.KillAll();
   started_ = false;
 }
 
@@ -61,7 +65,7 @@ Task Entry::Worker() {
     }
     Job job = std::move(jobs_.front());
     jobs_.pop_front();
-    TaskHandle h = sim_.Spawn(job(), domain_.name() + "/entry-job");
+    TaskHandle h = job_tasks_.Adopt(sim_.Spawn(job(), domain_.name() + "/entry-job"));
     co_await Join(h);
     ++jobs_run_;
   }

@@ -18,6 +18,7 @@
 
 #include "src/kernel/domain.h"
 #include "src/kernel/kernel.h"
+#include "src/base/thread_annotations.h"
 #include "src/sim/sync.h"
 
 namespace nemesis {
@@ -48,7 +49,7 @@ class Entry {
 
  private:
   Task ActivationLoop();
-  Task Worker();
+  NEM_RUNS_ON(domain) Task Worker();
 
   Simulator& sim_;
   Domain& domain_;
@@ -56,6 +57,7 @@ class Entry {
   std::deque<Job> jobs_;
   Condition work_cv_;
   std::vector<TaskHandle> tasks_;
+  OwnedTaskSet job_tasks_;  // in-flight worker jobs (joined by the workers)
   bool started_ = false;
   uint64_t jobs_run_ = 0;
 };

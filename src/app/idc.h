@@ -47,6 +47,14 @@ class IdcService {
     entry_.Start();
   }
 
+  ~IdcService() {
+    // The entry's workers (joining on handler tasks) are stopped first, then
+    // the handler tasks die with them — a surviving handler would complete
+    // into its Process joiner's destroyed frame.
+    entry_.Stop();
+    handler_tasks_.KillAll();
+  }
+
   Domain& domain() { return domain_; }
   uint64_t requests_served() const { return requests_served_; }
 
@@ -111,7 +119,9 @@ class IdcService {
 
   Task Process(Binding* binding, Req request) {
     Rep reply{};
-    TaskHandle h = sim_.Spawn(handler_(std::move(request), &reply), domain_.name() + "/idc");
+    TaskHandle h =
+        handler_tasks_.Adopt(sim_.Spawn(handler_(std::move(request), &reply),
+                                        domain_.name() + "/idc"));
     co_await Join(h);
     ++requests_served_;
     co_await binding->replies->Send(std::move(reply));
@@ -124,6 +134,7 @@ class IdcService {
   Entry entry_;
   EndpointId request_ep_ = 0;
   std::deque<Pending> queue_;
+  OwnedTaskSet handler_tasks_;  // in-flight handlers (joined by Process jobs)
   uint64_t requests_served_ = 0;
 };
 

@@ -42,20 +42,12 @@ void MmEntry::Stop() {
   tasks_.clear();
   // Slow-path tasks joined by the killed workers must die with them: their
   // result pointers live on the workers' (now destroyed) coroutine frames.
-  for (auto& t : slow_tasks_) {
-    t.Kill();
-  }
-  slow_tasks_.clear();
+  slow_tasks_.KillAll();
   started_ = false;
 }
 
 TaskHandle MmEntry::SpawnSlow(Task task, const std::string& label) {
-  if (slow_tasks_.size() >= 16) {
-    std::erase_if(slow_tasks_, [](const TaskHandle& h) { return h.done(); });
-  }
-  TaskHandle handle = env_.sim->Spawn(std::move(task), label, kSystemShard);
-  slow_tasks_.push_back(handle);
-  return handle;
+  return slow_tasks_.Adopt(env_.sim->Spawn(std::move(task), label, kSystemShard));
 }
 
 void MmEntry::BindDriver(Stretch* stretch, StretchDriver* driver) {

@@ -24,6 +24,7 @@
 
 #include "src/app/driver_env.h"
 #include "src/app/stretch_driver.h"
+#include "src/base/thread_annotations.h"
 #include "src/kernel/domain.h"
 #include "src/mm/stretch_allocator.h"
 #include "src/sim/sync.h"
@@ -86,11 +87,11 @@ class MmEntry {
     SimTime enqueued_at = 0;  // for the queue-wait span
   };
 
-  void OnFaultEvent();
-  void OnRevokeEvent();
+  NEM_RUNS_ON(domain) void OnFaultEvent();
+  NEM_RUNS_ON(domain) void OnRevokeEvent();
   Task ActivationLoop();
-  Task Worker();
-  void CompleteFault(Vpn vpn, FaultResult result);
+  NEM_RUNS_ON(domain) Task Worker();
+  NEM_RUNS_ON(domain) void CompleteFault(Vpn vpn, FaultResult result);
   // Spawns a driver slow-path task (fault resolve / relinquish) and records
   // the handle so Stop() can kill it with its worker. A slow-path task
   // outliving the worker writes results into the worker's destroyed frame if
@@ -116,7 +117,7 @@ class MmEntry {
   Condition work_cv_;
 
   std::vector<TaskHandle> tasks_;
-  std::vector<TaskHandle> slow_tasks_;  // in-flight resolve/relinquish tasks
+  OwnedTaskSet slow_tasks_;  // in-flight resolve/relinquish tasks
   bool started_ = false;
 
   StatCounter faults_fast_path_;

@@ -9,6 +9,7 @@
 
 #include "src/app/driver_env.h"
 #include "src/app/stretch_driver.h"
+#include "src/base/thread_annotations.h"
 
 namespace nemesis {
 
@@ -20,10 +21,10 @@ class NailedStretchDriver : public StretchDriver {
   // Fails if the domain's frame contract cannot cover the stretch right now.
   Status<VmError> Bind(Stretch* stretch) override;
 
-  FaultResult HandleFault(const FaultRecord& fault, Stretch& stretch) override;
-  Task ResolveFault(FaultRecord fault, Stretch* stretch, FaultResult* result) override;
+  NEM_RUNS_ON(domain) FaultResult HandleFault(const FaultRecord& fault, Stretch& stretch) override;
+  NEM_RUNS_ON(system) Task ResolveFault(FaultRecord fault, Stretch* stretch, FaultResult* result) override;
   // Nailed frames are immune to revocation: relinquishes nothing.
-  Task RelinquishFrames(uint64_t target, uint64_t* freed) override;
+  NEM_RUNS_ON(system) Task RelinquishFrames(uint64_t target, uint64_t* freed) override;
 
   const char* kind() const override { return "nailed"; }
 

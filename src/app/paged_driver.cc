@@ -45,6 +45,11 @@ PagedStretchDriver::PagedStretchDriver(DriverEnv env, UsdClient* swap, Extent sw
 PagedStretchDriver::~PagedStretchDriver() { StopPipeline(); }
 
 void PagedStretchDriver::StopPipeline() {
+  // The demand path's in-flight evict/swap tasks die on every teardown,
+  // pipeline or not: they are joined by the MMEntry's slow-path tasks (killed
+  // just before this runs), and an orphan completing later would write its
+  // results into the joiner's destroyed frame.
+  io_tasks_.KillAll();
   if (!pipeline_enabled() || pipeline_stopped_) {
     return;
   }
@@ -473,7 +478,8 @@ Task PagedStretchDriver::EvictOne(Pfn* out_pfn, bool* ok, uint64_t fid) {
       }
     }
     bool write_ok = false;
-    TaskHandle h = env_.sim->Spawn(SwapWrite(*page.blok, pfn, &write_ok, fid), "swap-write");
+    TaskHandle h =
+        io_tasks_.Adopt(env_.sim->Spawn(SwapWrite(*page.blok, pfn, &write_ok, fid), "swap-write"));
     co_await Join(h);
     if (!write_ok) {
       ReleaseReservation(pfn);
@@ -751,7 +757,7 @@ Task PagedStretchDriver::ResolveFault(FaultRecord fault, Stretch* stretch, Fault
     }
     Pfn evicted = 0;
     bool ok = false;
-    TaskHandle h = env_.sim->Spawn(EvictOne(&evicted, &ok, fault.id), "evict");
+    TaskHandle h = io_tasks_.Adopt(env_.sim->Spawn(EvictOne(&evicted, &ok, fault.id), "evict"));
     co_await Join(h);
     if (!ok) {
       if (pipeline_enabled()) {
@@ -774,7 +780,8 @@ Task PagedStretchDriver::ResolveFault(FaultRecord fault, Stretch* stretch, Fault
   if (page.has_disk_copy && !config_.forgetful) {
     NEM_ASSERT(page.blok.has_value());
     bool ok = false;
-    TaskHandle h = env_.sim->Spawn(SwapRead(*page.blok, *pfn, &ok, fault.id), "swap-read");
+    TaskHandle h =
+        io_tasks_.Adopt(env_.sim->Spawn(SwapRead(*page.blok, *pfn, &ok, fault.id), "swap-read"));
     co_await Join(h);
     ReleaseReservation(*pfn);
     if (!ok) {
@@ -871,7 +878,7 @@ Task PagedStretchDriver::StageTask(size_t index) {
         fifo_.size() >= 2) {
       Pfn evicted = 0;
       bool ok = false;
-      TaskHandle h = env_.sim->Spawn(EvictOne(&evicted, &ok), "prefetch-evict");
+      TaskHandle h = io_tasks_.Adopt(env_.sim->Spawn(EvictOne(&evicted, &ok), "prefetch-evict"));
       co_await Join(h);
       if (ok) {
         pfn = evicted;
@@ -901,7 +908,8 @@ Task PagedStretchDriver::StageTask(size_t index) {
   Reserve(*pfn);  // reserved until consumed or cancelled
   NEM_ASSERT(pages_[index].blok.has_value());
   bool read_ok = false;
-  TaskHandle h = env_.sim->Spawn(SwapRead(*pages_[index].blok, *pfn, &read_ok), "stage-swap-read");
+  TaskHandle h = io_tasks_.Adopt(
+      env_.sim->Spawn(SwapRead(*pages_[index].blok, *pfn, &read_ok), "stage-swap-read"));
   co_await Join(h);
   if (pipeline_stopped_ || !read_ok || slot->state != StageSlot::State::kLoading ||
       slot->page != index || slot->abandoned) {
@@ -973,7 +981,7 @@ Task PagedStretchDriver::RelinquishFrames(uint64_t target, uint64_t* freed) {
     while (*freed < target && !fifo_.empty()) {
       Pfn evicted = 0;
       bool ok = false;
-      TaskHandle h = env_.sim->Spawn(EvictOne(&evicted, &ok), "revoke-evict");
+      TaskHandle h = io_tasks_.Adopt(env_.sim->Spawn(EvictOne(&evicted, &ok), "revoke-evict"));
       co_await Join(h);
       if (!ok) {
         co_return;
@@ -1017,7 +1025,7 @@ Task PagedStretchDriver::RelinquishFrames(uint64_t target, uint64_t* freed) {
   while (*freed < target && !fifo_.empty()) {
     Pfn evicted = 0;
     bool ok = false;
-    TaskHandle h = env_.sim->Spawn(EvictOne(&evicted, &ok), "revoke-evict");
+    TaskHandle h = io_tasks_.Adopt(env_.sim->Spawn(EvictOne(&evicted, &ok), "revoke-evict"));
     co_await Join(h);
     if (!ok) {
       break;

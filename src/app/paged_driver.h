@@ -54,6 +54,7 @@
 #include "src/app/blok_allocator.h"
 #include "src/app/physical_driver.h"
 #include "src/base/random.h"
+#include "src/base/thread_annotations.h"
 #include "src/sim/sync.h"
 #include "src/usd/usd.h"
 
@@ -98,9 +99,9 @@ class PagedStretchDriver : public PhysicalStretchDriver {
   ~PagedStretchDriver() override;
 
   Status<VmError> Bind(Stretch* stretch) override;
-  FaultResult HandleFault(const FaultRecord& fault, Stretch& stretch) override;
-  Task ResolveFault(FaultRecord fault, Stretch* stretch, FaultResult* result) override;
-  Task RelinquishFrames(uint64_t target, uint64_t* freed) override;
+  NEM_RUNS_ON(domain) FaultResult HandleFault(const FaultRecord& fault, Stretch& stretch) override;
+  NEM_RUNS_ON(system) Task ResolveFault(FaultRecord fault, Stretch* stretch, FaultResult* result) override;
+  NEM_RUNS_ON(system) Task RelinquishFrames(uint64_t target, uint64_t* freed) override;
 
   // Stops the reply pump and every in-flight prefetch/writeback task and
   // releases staged frames. Called on domain kill and teardown BEFORE the
@@ -190,19 +191,19 @@ class PagedStretchDriver : public PhysicalStretchDriver {
   // current window, the staging table and the channel depth.
   void TopUpReadAhead(size_t index);
   // Speculative page-in of `index` into its (pre-claimed) staging slot.
-  Task StageTask(size_t index);
+  NEM_RUNS_ON(system) Task StageTask(size_t index);
   // Routes every swap reply to its ticket by request id. Only runs (and only
   // may run — it consumes all replies) while the pipeline is enabled.
-  Task PumpReplies();
+  NEM_RUNS_ON(system) Task PumpReplies();
   // Unmaps up to `max_victims` victims at once; clean frames are released
   // immediately, dirty ones handed to one WritebackChainTask. Returns the
   // number of frames that are (or will become) reusable.
   size_t StartEvictBatch(size_t max_victims);
-  Task WritebackChainTask(std::vector<WritebackItem> items);
+  NEM_RUNS_ON(system) Task WritebackChainTask(std::vector<WritebackItem> items);
   // Keeps free-frame headroom ahead of demand: schedules a CleaningTask when
   // the pool has no unused frame left and no cleaning is already in flight.
   void MaybeScheduleCleaning();
-  Task CleaningTask();
+  NEM_RUNS_ON(system) Task CleaningTask();
   // Spawns a pipeline task on the system shard and tracks its handle so
   // StopPipeline / the destructor can kill it.
   void SpawnPipelineTask(Task task, const char* label);
@@ -210,13 +211,13 @@ class PagedStretchDriver : public PhysicalStretchDriver {
   // Evicts the FIFO-oldest resident page, cleaning it to swap if dirty.
   // Writes the freed frame to *out_pfn; *ok=false on swap exhaustion.
   // `fid` is the fault trace id driving the eviction (0 outside a fault).
-  Task EvictOne(Pfn* out_pfn, bool* ok, uint64_t fid = 0);
+  NEM_RUNS_ON(system) Task EvictOne(Pfn* out_pfn, bool* ok, uint64_t fid = 0);
 
   // Swap IO (worker context): whole-page write/read through the USD channel.
   // `fid` threads the fault trace id into the UsdRequest (0 = untraced).
   // With the pipeline enabled these route their replies through the pump.
-  Task SwapWrite(uint64_t blok, Pfn pfn, bool* ok, uint64_t fid = 0);
-  Task SwapRead(uint64_t blok, Pfn pfn, bool* ok, uint64_t fid = 0);
+  NEM_RUNS_ON(system) Task SwapWrite(uint64_t blok, Pfn pfn, bool* ok, uint64_t fid = 0);
+  NEM_RUNS_ON(system) Task SwapRead(uint64_t blok, Pfn pfn, bool* ok, uint64_t fid = 0);
 
   UsdClient* swap_;
   Extent swap_extent_;
@@ -237,6 +238,11 @@ class PagedStretchDriver : public PhysicalStretchDriver {
   uint64_t next_io_id_ = 1;
   TaskHandle pump_task_;
   std::vector<TaskHandle> pipeline_tasks_;
+  // Demand-path evict/swap tasks, joined by ResolveFault/RelinquishFrames.
+  // Killed by StopPipeline on every teardown (pipeline or not): the joiners
+  // are MMEntry slow-path tasks whose frames hold these tasks' result
+  // pointers.
+  OwnedTaskSet io_tasks_;
   bool pipeline_stopped_ = false;
   // Read-ahead window state.
   size_t last_fault_page_ = SIZE_MAX;

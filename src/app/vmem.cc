@@ -67,8 +67,9 @@ Task VMem::AccessRange(VirtAddr va, size_t len, AccessType access, bool* ok,
     const size_t chunk = static_cast<size_t>(std::min<VirtAddr>(end, page_end) - cursor);
 
     bool page_ok = false;
-    TaskHandle h = env_.sim->Spawn(VMemDetail::ResolvePage(this, cursor, access, &page_ok),
-                                   "resolve-page");
+    TaskHandle h = resolve_tasks_.Adopt(
+        env_.sim->Spawn(VMemDetail::ResolvePage(this, cursor, access, &page_ok),
+                        "resolve-page"));
     co_await Join(h);
     if (!page_ok) {
       *ok = false;
@@ -115,9 +116,9 @@ Task VMem::Read(VirtAddr va, std::span<uint8_t> out, bool* ok) {
         std::min<VirtAddr>(va + out.size(), page_end) - cursor);
 
     bool page_ok = false;
-    TaskHandle h = env_.sim->Spawn(VMemDetail::ResolvePage(this, cursor, AccessType::kRead,
-                                                           &page_ok),
-                                   "resolve-page");
+    TaskHandle h = resolve_tasks_.Adopt(
+        env_.sim->Spawn(VMemDetail::ResolvePage(this, cursor, AccessType::kRead, &page_ok),
+                        "resolve-page"));
     co_await Join(h);
     if (!page_ok) {
       *ok = false;
@@ -147,9 +148,9 @@ Task VMem::Write(VirtAddr va, std::span<const uint8_t> data, bool* ok) {
         std::min<VirtAddr>(va + data.size(), page_end) - cursor);
 
     bool page_ok = false;
-    TaskHandle h = env_.sim->Spawn(VMemDetail::ResolvePage(this, cursor, AccessType::kWrite,
-                                                           &page_ok),
-                                   "resolve-page");
+    TaskHandle h = resolve_tasks_.Adopt(
+        env_.sim->Spawn(VMemDetail::ResolvePage(this, cursor, AccessType::kWrite, &page_ok),
+                        "resolve-page"));
     co_await Join(h);
     if (!page_ok) {
       *ok = false;

@@ -15,6 +15,7 @@
 
 #include "src/app/driver_env.h"
 #include "src/app/mm_entry.h"
+#include "src/base/thread_annotations.h"
 #include "src/hw/mmu.h"
 #include "src/sim/task.h"
 
@@ -39,12 +40,19 @@ class VMem {
   // charging per-byte CPU cost; *ok = false if a fault was unresolvable.
   // *bytes_done (optional) is updated continuously so watcher threads can
   // log progress, as the paper's experiments do.
+  NEM_RUNS_ON(domain)
   Task AccessRange(VirtAddr va, size_t len, AccessType access, bool* ok,
                    uint64_t* bytes_done = nullptr);
 
   // Copies memory out of / into the address space (faulting as needed).
-  Task Read(VirtAddr va, std::span<uint8_t> out, bool* ok);
-  Task Write(VirtAddr va, std::span<const uint8_t> data, bool* ok);
+  NEM_RUNS_ON(domain) Task Read(VirtAddr va, std::span<uint8_t> out, bool* ok);
+  NEM_RUNS_ON(domain) Task Write(VirtAddr va, std::span<const uint8_t> data, bool* ok);
+
+  // Kills any in-flight page-resolution tasks. Called on domain kill (after
+  // the workload tasks that join on them are killed) and from the destructor:
+  // an orphaned ResolvePage would complete into its joiner's destroyed frame.
+  void Stop() { resolve_tasks_.KillAll(); }
+  ~VMem() { Stop(); }
 
   uint64_t faults_taken() const { return faults_taken_.value(); }
   uint64_t checksum() const { return checksum_; }
@@ -66,6 +74,7 @@ class VMem {
   MmEntry& mm_entry_;
   Mmu& mmu_;
   AppCostModel costs_;
+  OwnedTaskSet resolve_tasks_;  // in-flight ResolvePage tasks (joined by callers)
   StatCounter faults_taken_;
   SimDuration fault_stall_time_ = 0;
   uint64_t checksum_ = 0;  // defeats dead-read elimination; exposed for tests

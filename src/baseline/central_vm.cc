@@ -34,7 +34,7 @@ CentralVm::Vma* CentralVm::FindVma(VirtAddr va) {
 }
 
 void CentralVm::CreateRegion(VirtAddr base, size_t len, uint8_t prot) {
-  std::lock_guard<std::mutex> guard(kernel_lock_);
+  MutexLock guard(kernel_lock_);
   NEM_ASSERT(IsAligned(base, page_size_));
   len = AlignUp(len, page_size_);
   vmas_[base] = Vma{base, base + len, prot};
@@ -46,7 +46,7 @@ void CentralVm::CreateRegion(VirtAddr base, size_t len, uint8_t prot) {
 }
 
 void CentralVm::PopulateRegion(VirtAddr base, size_t len, Pfn first_pfn) {
-  std::lock_guard<std::mutex> guard(kernel_lock_);
+  MutexLock guard(kernel_lock_);
   len = AlignUp(len, page_size_);
   Pfn pfn = first_pfn;
   for (Vpn vpn = base / page_size_; vpn < (base + len) / page_size_; ++vpn) {
@@ -58,7 +58,7 @@ void CentralVm::PopulateRegion(VirtAddr base, size_t len, Pfn first_pfn) {
 
 int CentralVm::Mprotect(VirtAddr base, size_t len, uint8_t prot) {
   KernelCrossing();  // mprotect(2) system-call entry
-  std::lock_guard<std::mutex> guard(kernel_lock_);
+  MutexLock guard(kernel_lock_);
   if (!IsAligned(base, page_size_)) {
     return -1;
   }
@@ -113,7 +113,7 @@ int CentralVm::Access(VirtAddr va, AccessType access) {
   for (int attempt = 0; attempt < 2; ++attempt) {
     bool prot_fault = false;
     {
-      std::lock_guard<std::mutex> guard(kernel_lock_);
+      MutexLock guard(kernel_lock_);
       if (TranslateLocked(va, access, &prot_fault)) {
         Pte* pte = pt_.Lookup(va / page_size_);
         pte->referenced = true;
@@ -152,7 +152,7 @@ int CentralVm::Access(VirtAddr va, AccessType access) {
 
 bool CentralVm::IsDirty(VirtAddr va) {
   KernelCrossing();  // dirty queries need a system call in this baseline
-  std::lock_guard<std::mutex> guard(kernel_lock_);
+  MutexLock guard(kernel_lock_);
   Vma* vma = FindVma(va);
   if (vma == nullptr) {
     return false;

@@ -17,6 +17,7 @@
 #include <map>
 #include <mutex>
 
+#include "src/base/thread_annotations.h"
 #include "src/hw/mmu.h"
 #include "src/hw/page_table.h"
 #include "src/hw/tlb.h"
@@ -70,14 +71,15 @@ class CentralVm {
     uint64_t regs[64];
   };
 
-  Vma* FindVma(VirtAddr va);
-  bool TranslateLocked(VirtAddr va, AccessType access, bool* prot_fault);
+  Vma* FindVma(VirtAddr va) NEM_REQUIRES(kernel_lock_);
+  bool TranslateLocked(VirtAddr va, AccessType access, bool* prot_fault)
+      NEM_REQUIRES(kernel_lock_);
 
   size_t page_size_;
-  std::mutex kernel_lock_;
-  std::map<VirtAddr, Vma> vmas_;
-  LinearPageTable pt_;
-  Tlb tlb_;
+  Mutex kernel_lock_;
+  std::map<VirtAddr, Vma> vmas_ NEM_GUARDED_BY(kernel_lock_);
+  LinearPageTable pt_ NEM_GUARDED_BY(kernel_lock_);
+  Tlb tlb_ NEM_GUARDED_BY(kernel_lock_);
   SignalHandler handler_;
   SavedContext live_context_{};
   SavedContext saved_context_{};

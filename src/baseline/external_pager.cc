@@ -27,6 +27,13 @@ void ExternalPagerSystem::Start() {
   }
 }
 
+void ExternalPagerSystem::Stop() {
+  // Joiner before joinee: the pager loop holds ResolveOne's frame via Join,
+  // so it dies first.
+  pager_task_.Kill();
+  resolve_tasks_.KillAll();
+}
+
 Task ExternalPagerSystem::SequentialLoop(Client* client, bool write, SimTime until,
                                          SimDuration per_byte_cpu) {
   uint64_t page = 0;
@@ -59,7 +66,7 @@ Task ExternalPagerSystem::PagerLoop() {
     }
     FaultRequest request = queue_.front();
     queue_.pop_front();
-    TaskHandle h = sim_.Spawn(ResolveOne(request), "pager-resolve");
+    TaskHandle h = resolve_tasks_.Adopt(sim_.Spawn(ResolveOne(request), "pager-resolve"));
     co_await Join(h);
     ++faults_served_;
     request.client->fault_pending_ = false;

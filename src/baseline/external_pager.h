@@ -67,6 +67,12 @@ class ExternalPagerSystem {
   // Spawns the shared pager task.
   void Start();
 
+  // Kills the pager task and any in-flight fault resolution it is joining on;
+  // idempotent. Also run by the destructor so the tasks never outlive the
+  // system object whose state they mutate.
+  void Stop();
+  ~ExternalPagerSystem() { Stop(); }
+
   // Client workload: sequentially touches every byte of every page, looping,
   // until `until`. Faults are queued to the shared pager. `write` selects the
   // paging-out pattern (every page dirtied).
@@ -93,6 +99,7 @@ class ExternalPagerSystem {
   std::deque<FaultRequest> queue_;
   Condition work_cv_;
   TaskHandle pager_task_;
+  OwnedTaskSet resolve_tasks_;  // in-flight ResolveOne tasks (joined by PagerLoop)
   bool started_ = false;
   uint64_t faults_served_ = 0;
 };

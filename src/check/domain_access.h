@@ -52,6 +52,7 @@
 
 #include "src/base/assert.h"
 #include "src/base/shard.h"
+#include "src/base/thread_annotations.h"
 
 namespace nemesis {
 
@@ -150,14 +151,14 @@ class DomainAccessChecker {
       return;
     }
     violations_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(owned_mu_);
+    MutexLock lock(owned_mu_);
     owned_violations_.push_back(OwnedWriteViolation{structure, owner, writer});
   }
 
   // Drains the owned-write violation log (auditor rule shard-confinement;
   // called at batch barriers, never concurrently with a segment).
   std::vector<OwnedWriteViolation> TakeOwnedWriteViolations() {
-    std::lock_guard<std::mutex> lock(owned_mu_);
+    MutexLock lock(owned_mu_);
     return std::exchange(owned_violations_, {});
   }
 
@@ -196,8 +197,8 @@ class DomainAccessChecker {
   uint32_t cross_domain_depth_ = 0;
   std::atomic<uint64_t> violations_{0};
   bool abort_on_violation_ = true;
-  std::mutex owned_mu_;
-  std::vector<OwnedWriteViolation> owned_violations_;
+  Mutex owned_mu_;
+  std::vector<OwnedWriteViolation> owned_violations_ NEM_GUARDED_BY(owned_mu_);
 };
 
 // RAII marker for the sanctioned cross-domain interfaces (revocation /

@@ -6,7 +6,7 @@
 //
 // Mutation is confined to the ownership authorities — the frames allocator
 // (src/mm/frames_allocator.cc) and the translation syscalls
-// (src/kernel/syscalls.cc); tools/lint.py enforces the confinement and the
+// (src/kernel/syscalls.cc); tools/analyze.py enforces the confinement and the
 // invariant auditor (src/check/invariants.h) cross-checks the contents
 // against the allocator, page table and TLB.
 #ifndef SRC_KERNEL_RAMTAB_H_
@@ -88,9 +88,12 @@ class RamTab {
 
  private:
   // The frame-use table is shared by every domain's fault path under the
-  // threaded design; writes happen only inside the system domain's
-  // serialized section.
-  std::vector<RamTabEntry> entries_ NEM_GUARDED_BY(g_system_domain);
+  // threaded design: reads are sanctioned from any context (the paper's
+  // user-readable translation structures), so the vector itself carries no
+  // GUARDED_BY — mutation confinement is expressed on the Set* entry points
+  // (NEM_REQUIRES(g_system_domain)) and enforced by tools/analyze.py's
+  // authority-confinement rule plus the runtime DomainAccessChecker.
+  std::vector<RamTabEntry> entries_;
 };
 
 }  // namespace nemesis

@@ -24,6 +24,7 @@ Expected<Pte*, VmError> TranslationSyscalls::ValidateMeta(const RightsResolver* 
 
 Status<VmError> TranslationSyscalls::Map(DomainId caller, const RightsResolver* pdom, VirtAddr va,
                                          Pfn pfn, MapAttrs attrs) {
+  g_system_domain.AssertHeld();  // serialized system section (see thread_annotations.h)
   auto pte_or = ValidateMeta(pdom, va);
   if (!pte_or.has_value()) {
     return MakeUnexpected(pte_or.error());
@@ -66,6 +67,7 @@ Status<VmError> TranslationSyscalls::Map(DomainId caller, const RightsResolver* 
 
 Status<VmError> TranslationSyscalls::Unmap(DomainId caller, const RightsResolver* pdom,
                                            VirtAddr va, Pfn* out_pfn) {
+  g_system_domain.AssertHeld();  // serialized system section (see thread_annotations.h)
   auto pte_or = ValidateMeta(pdom, va);
   if (!pte_or.has_value()) {
     return MakeUnexpected(pte_or.error());
@@ -96,6 +98,7 @@ Status<VmError> TranslationSyscalls::Unmap(DomainId caller, const RightsResolver
 }
 
 Status<VmError> TranslationSyscalls::Nail(DomainId caller, Pfn pfn) {
+  g_system_domain.AssertHeld();  // serialized system section (see thread_annotations.h)
   if (!ramtab_.ValidPfn(pfn)) {
     return MakeUnexpected(VmError::kBadFrame);
   }
@@ -114,6 +117,7 @@ Status<VmError> TranslationSyscalls::Nail(DomainId caller, Pfn pfn) {
 }
 
 Status<VmError> TranslationSyscalls::Unnail(DomainId caller, Pfn pfn) {
+  g_system_domain.AssertHeld();  // serialized system section (see thread_annotations.h)
   if (!ramtab_.ValidPfn(pfn)) {
     return MakeUnexpected(VmError::kBadFrame);
   }
@@ -136,6 +140,7 @@ Status<VmError> TranslationSyscalls::Unnail(DomainId caller, Pfn pfn) {
 }
 
 bool TranslationSyscalls::ForceUnmap(Vpn vpn) {
+  g_system_domain.AssertHeld();  // serialized system section (see thread_annotations.h)
   Pte* pte = mmu_.page_table()->Lookup(vpn);
   if (pte == nullptr || !pte->valid) {
     return false;

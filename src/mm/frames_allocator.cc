@@ -12,6 +12,7 @@ FramesAllocator::FramesAllocator(Simulator& sim, RamTab& ramtab, uint64_t total_
                                  TraceRecorder* trace)
     : sim_(sim), ramtab_(ramtab), trace_(trace), total_frames_(total_frames),
       frames_available_(sim) {
+  g_system_domain.AssertHeld();  // serialized system section (see thread_annotations.h)
   NEM_ASSERT_LE(total_frames, ramtab.size());
   free_list_.reserve(total_frames);
   // Keep the free list so that low PFNs are handed out first.
@@ -21,6 +22,7 @@ FramesAllocator::FramesAllocator(Simulator& sim, RamTab& ramtab, uint64_t total_
 }
 
 FramesAllocator::Client* FramesAllocator::Find(DomainId domain) {
+  g_system_domain.AssertHeld();  // serialized system section (see thread_annotations.h)
   for (auto& c : clients_) {
     if (c->domain == domain && c->alive) {
       return c.get();
@@ -30,10 +32,12 @@ FramesAllocator::Client* FramesAllocator::Find(DomainId domain) {
 }
 
 const FramesAllocator::Client* FramesAllocator::Find(DomainId domain) const {
+  g_system_domain.AssertHeld();  // serialized system section (see thread_annotations.h)
   return const_cast<FramesAllocator*>(this)->Find(domain);
 }
 
 Status<FramesError> FramesAllocator::AdmitClient(DomainId domain, FramesContract contract) {
+  g_system_domain.AssertHeld();  // serialized system section (see thread_annotations.h)
   if (Find(domain) != nullptr) {
     return MakeUnexpected(FramesError::kAlreadyClient);
   }
@@ -58,6 +62,7 @@ Status<FramesError> FramesAllocator::AdmitClient(DomainId domain, FramesContract
 }
 
 Status<FramesError> FramesAllocator::RemoveClient(DomainId domain) {
+  g_system_domain.AssertHeld();  // serialized system section (see thread_annotations.h)
   Client* c = Find(domain);
   if (c == nullptr) {
     return MakeUnexpected(FramesError::kNotClient);
@@ -69,6 +74,7 @@ Status<FramesError> FramesAllocator::RemoveClient(DomainId domain) {
 bool FramesAllocator::IsClient(DomainId domain) const { return Find(domain) != nullptr; }
 
 void FramesAllocator::set_access_checker(DomainAccessChecker* checker) {
+  g_system_domain.AssertHeld();  // serialized system section (see thread_annotations.h)
   access_checker_ = checker;
   for (auto& client : clients_) {
     client->stack.BindChecker(checker, client->domain);
@@ -76,6 +82,7 @@ void FramesAllocator::set_access_checker(DomainAccessChecker* checker) {
 }
 
 Pfn FramesAllocator::TakeFreeFrame(Client& client) {
+  g_system_domain.AssertHeld();  // serialized system section (see thread_annotations.h)
   NEM_ASSERT(!free_list_.empty());
   const Pfn pfn = free_list_.back();
   free_list_.pop_back();
@@ -88,6 +95,7 @@ Pfn FramesAllocator::TakeFreeFrame(Client& client) {
 
 std::optional<FramesError> FramesAllocator::CheckAllocation(const Client& client,
                                                             bool* guaranteed_request) const {
+  g_system_domain.AssertHeld();  // serialized system section (see thread_annotations.h)
   if (client.allocated >= client.contract.limit()) {
     return FramesError::kQuotaExceeded;
   }
@@ -109,6 +117,7 @@ std::optional<FramesError> FramesAllocator::CheckAllocation(const Client& client
 }
 
 Expected<Pfn, FramesError> FramesAllocator::GrantSpecific(Client& client, Pfn pfn) {
+  g_system_domain.AssertHeld();  // serialized system section (see thread_annotations.h)
   auto it = std::find(free_list_.begin(), free_list_.end(), pfn);
   if (it == free_list_.end()) {
     return MakeUnexpected(FramesError::kNoMemory);
@@ -122,6 +131,7 @@ Expected<Pfn, FramesError> FramesAllocator::GrantSpecific(Client& client, Pfn pf
 }
 
 Expected<Pfn, FramesError> FramesAllocator::AllocSpecificFrame(DomainId domain, Pfn pfn) {
+  g_system_domain.AssertHeld();  // serialized system section (see thread_annotations.h)
   Client* c = Find(domain);
   if (c == nullptr) {
     return MakeUnexpected(FramesError::kNotClient);
@@ -139,6 +149,7 @@ Expected<Pfn, FramesError> FramesAllocator::AllocSpecificFrame(DomainId domain, 
 
 Expected<Pfn, FramesError> FramesAllocator::AllocFrameInRegion(DomainId domain, Pfn region_base,
                                                                uint64_t region_len) {
+  g_system_domain.AssertHeld();  // serialized system section (see thread_annotations.h)
   Client* c = Find(domain);
   if (c == nullptr) {
     return MakeUnexpected(FramesError::kNotClient);
@@ -158,6 +169,7 @@ Expected<Pfn, FramesError> FramesAllocator::AllocFrameInRegion(DomainId domain, 
 
 Expected<Pfn, FramesError> FramesAllocator::AllocFrameWithColour(DomainId domain, uint64_t colour,
                                                                  uint64_t num_colours) {
+  g_system_domain.AssertHeld();  // serialized system section (see thread_annotations.h)
   Client* c = Find(domain);
   if (c == nullptr) {
     return MakeUnexpected(FramesError::kNotClient);
@@ -177,6 +189,7 @@ Expected<Pfn, FramesError> FramesAllocator::AllocFrameWithColour(DomainId domain
 }
 
 Expected<Pfn, FramesError> FramesAllocator::AllocFrame(DomainId domain) {
+  g_system_domain.AssertHeld();  // serialized system section (see thread_annotations.h)
   Client* c = Find(domain);
   if (c == nullptr) {
     return MakeUnexpected(FramesError::kNotClient);
@@ -227,6 +240,7 @@ Expected<Pfn, FramesError> FramesAllocator::AllocFrame(DomainId domain) {
 }
 
 Status<FramesError> FramesAllocator::FreeFrame(DomainId domain, Pfn pfn) {
+  g_system_domain.AssertHeld();  // serialized system section (see thread_annotations.h)
   Client* c = Find(domain);
   if (c == nullptr) {
     return MakeUnexpected(FramesError::kNotClient);
@@ -247,6 +261,7 @@ Status<FramesError> FramesAllocator::FreeFrame(DomainId domain, Pfn pfn) {
 }
 
 uint64_t FramesAllocator::ReclaimUnusedTop(Client& victim, uint64_t k) {
+  g_system_domain.AssertHeld();  // serialized system section (see thread_annotations.h)
   // "the frames allocator can simply reclaim these frames and update the
   // application's frame stack" — but only while the top frames are unused.
   // Sanctioned frame-stealing interface: the allocator touches the victim's
@@ -268,6 +283,7 @@ uint64_t FramesAllocator::ReclaimUnusedTop(Client& victim, uint64_t k) {
 }
 
 FramesAllocator::Client* FramesAllocator::PickVictim() {
+  g_system_domain.AssertHeld();  // serialized system section (see thread_annotations.h)
   // "the frames allocator chooses a candidate application (i.e. one which
   // currently has optimistically allocated frames)" — take the one with the
   // largest optimistic surplus.
@@ -287,6 +303,7 @@ FramesAllocator::Client* FramesAllocator::PickVictim() {
 }
 
 void FramesAllocator::StartIntrusiveRevocation(Client& victim, uint64_t k, DomainId aggressor) {
+  g_system_domain.AssertHeld();  // serialized system section (see thread_annotations.h)
   // Sanctioned: the notifier may run the victim's revocation handler
   // synchronously, inside the requester's access window.
   CrossDomainSection cross(access_checker_);
@@ -316,6 +333,7 @@ void FramesAllocator::StartIntrusiveRevocation(Client& victim, uint64_t k, Domai
 }
 
 void FramesAllocator::RevocationComplete(DomainId domain) {
+  g_system_domain.AssertHeld();  // serialized system section (see thread_annotations.h)
   if (!revocation_active_ || revocation_victim_ != domain) {
     return;
   }
@@ -325,6 +343,7 @@ void FramesAllocator::RevocationComplete(DomainId domain) {
 }
 
 void FramesAllocator::FinishRevocation(DomainId victim_id, bool deadline_expired) {
+  g_system_domain.AssertHeld();  // serialized system section (see thread_annotations.h)
   if (!revocation_active_ || revocation_victim_ != victim_id) {
     return;
   }
@@ -366,6 +385,7 @@ void FramesAllocator::FinishRevocation(DomainId victim_id, bool deadline_expired
 }
 
 void FramesAllocator::KillAndReclaim(Client& victim) {
+  g_system_domain.AssertHeld();  // serialized system section (see thread_annotations.h)
   // Sanctioned: teardown strips another domain's frames and mappings.
   CrossDomainSection cross(access_checker_);
   // Reclaim every frame, forcibly tearing down live mappings. A nailed frame
@@ -390,6 +410,7 @@ void FramesAllocator::KillAndReclaim(Client& victim) {
 }
 
 void FramesAllocator::ForEachClient(const std::function<void(const ClientView&)>& fn) const {
+  g_system_domain.AssertHeld();  // serialized system section (see thread_annotations.h)
   for (const auto& c : clients_) {
     if (!c->alive) {
       continue;
@@ -399,16 +420,19 @@ void FramesAllocator::ForEachClient(const std::function<void(const ClientView&)>
 }
 
 FrameStack* FramesAllocator::StackOf(DomainId domain) {
+  g_system_domain.AssertHeld();  // serialized system section (see thread_annotations.h)
   Client* c = Find(domain);
   return c != nullptr ? &c->stack : nullptr;
 }
 
 uint64_t FramesAllocator::AllocatedCount(DomainId domain) const {
+  g_system_domain.AssertHeld();  // serialized system section (see thread_annotations.h)
   const Client* c = Find(domain);
   return c != nullptr ? c->allocated : 0;
 }
 
 FramesContract FramesAllocator::ContractOf(DomainId domain) const {
+  g_system_domain.AssertHeld();  // serialized system section (see thread_annotations.h)
   const Client* c = Find(domain);
   return c != nullptr ? c->contract : FramesContract{};
 }

@@ -59,8 +59,8 @@ class FramesAllocator {
 
   // --- Client management ---------------------------------------------------
 
-  Status<FramesError> AdmitClient(DomainId domain, FramesContract contract);
-  Status<FramesError> RemoveClient(DomainId domain);
+  NEM_RUNS_ON(system) Status<FramesError> AdmitClient(DomainId domain, FramesContract contract);
+  NEM_RUNS_ON(system) Status<FramesError> RemoveClient(DomainId domain);
   bool IsClient(DomainId domain) const;
 
   // --- Allocation ----------------------------------------------------------
@@ -69,7 +69,7 @@ class FramesAllocator {
   // revocation was initiated on the caller's behalf: wait on
   // frames_available() and retry (the retry is guaranteed to make progress
   // while the caller is under its guarantee).
-  Expected<Pfn, FramesError> AllocFrame(DomainId domain);
+  NEM_RUNS_ON(system) Expected<Pfn, FramesError> AllocFrame(DomainId domain);
 
   // Fine-grained placement (paper §6.2: "A domain may request specific
   // physical frames, or frames within a 'special' region. This allows an
@@ -77,22 +77,26 @@ class FramesAllocator {
   // take advantage of superpage TLB mappings"). Placement requests never
   // trigger revocation: as the paper's footnote notes, fragmentation means
   // such requests may fail even under the guarantee.
-  Expected<Pfn, FramesError> AllocSpecificFrame(DomainId domain, Pfn pfn);
+  NEM_RUNS_ON(system) Expected<Pfn, FramesError> AllocSpecificFrame(DomainId domain, Pfn pfn);
+  NEM_RUNS_ON(system)
   Expected<Pfn, FramesError> AllocFrameInRegion(DomainId domain, Pfn region_base,
                                                 uint64_t region_len);
   // Page-colouring helper: any free frame with pfn % num_colours == colour.
+  NEM_RUNS_ON(system)
   Expected<Pfn, FramesError> AllocFrameWithColour(DomainId domain, uint64_t colour,
                                                   uint64_t num_colours);
 
   // Returns an (unused) frame to the allocator.
-  Status<FramesError> FreeFrame(DomainId domain, Pfn pfn);
+  NEM_RUNS_ON(system) Status<FramesError> FreeFrame(DomainId domain, Pfn pfn);
 
   // --- Revocation protocol -------------------------------------------------
 
   // Application side: called when the victim has arranged for the top k
   // frames of its stack to be unused ("Application B replies that all is now
   // ready").
-  void RevocationComplete(DomainId domain);
+  // Designed domain-context upcall: the victim's MMEntry reports revocation
+  // completion from its own shard; the allocator applies it at the barrier.
+  NEM_CROSSES_DOMAINS void RevocationComplete(DomainId domain);
 
   // Notifier invoked (synchronously) when an intrusive revocation starts;
   // wired by the system to the victim's MMEntry event path.
@@ -170,14 +174,14 @@ class FramesAllocator {
   // Removes a specific frame from the free list and grants it.
   Expected<Pfn, FramesError> GrantSpecific(Client& client, Pfn pfn);
   // Reclaims up to `k` unused frames from the top of the victim's stack.
-  uint64_t ReclaimUnusedTop(Client& victim, uint64_t k);
+  NEM_RUNS_ON(system) uint64_t ReclaimUnusedTop(Client& victim, uint64_t k);
   // Picks the domain holding the most optimistic frames.
   Client* PickVictim();
   // `aggressor` is the domain whose allocation forced the revocation; it is
   // carried into the revoke-* spans so crosstalk can be attributed.
-  void StartIntrusiveRevocation(Client& victim, uint64_t k, DomainId aggressor);
-  void FinishRevocation(DomainId victim, bool deadline_expired);
-  void KillAndReclaim(Client& victim);
+  NEM_RUNS_ON(system) void StartIntrusiveRevocation(Client& victim, uint64_t k, DomainId aggressor);
+  NEM_RUNS_ON(system) void FinishRevocation(DomainId victim, bool deadline_expired);
+  NEM_RUNS_ON(system) void KillAndReclaim(Client& victim);
 
   void RecordAccess(DomainId domain) {
     if (access_checker_ != nullptr) {

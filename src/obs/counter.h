@@ -4,8 +4,8 @@
 // src/obs/ itself: a relaxed atomic, so shard lanes under the parallel
 // simulator may bump it concurrently without a data race. Totals stay exact
 // (increments commute); only the interleaving is unordered, which no snapshot
-// consumer observes. tools/lint.py rule 5 points raw `uint64_t foo_count_`
-// members here.
+// consumer observes. tools/analyze.py's authority-stats rule points raw
+// `uint64_t foo_count_` members here.
 //
 // Header-only and dependency-free so layers below the obs library (the
 // simulator, the hardware models) could adopt it without a link cycle.

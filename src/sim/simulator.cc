@@ -165,7 +165,7 @@ uint64_t Simulator::CallAtOn(ShardId shard, SimTime t, Callback fn) {
     uint32_t slot;
     uint64_t id;
     {
-      std::lock_guard<std::mutex> lk(parallel_->slot_mu);
+      MutexLock lk(parallel_->slot_mu);
       slot = AllocSlot();
       Slot& s = slots_[slot];
       s.fn = std::move(fn);
@@ -213,7 +213,7 @@ void Simulator::Cancel(uint64_t id) {
     // Eager cancel from a worker, under the slot mutex. Deterministic for
     // future-timestamp targets and same-shard targets (the only kinds the
     // tree produces; see the header comment on the cross-shard limitation).
-    std::lock_guard<std::mutex> lk(parallel_->slot_mu);
+    MutexLock lk(parallel_->slot_mu);
     CancelLocked(id);
     return;
   }
@@ -277,7 +277,7 @@ void Simulator::StopParallel() {
     return;
   }
   {
-    std::lock_guard<std::mutex> lk(parallel_->mu);
+    MutexLock lk(parallel_->mu);
     parallel_->stop = true;
   }
   parallel_->work_cv.notify_all();
@@ -292,8 +292,8 @@ void Simulator::WorkerThread(size_t idx) {
   uint64_t seen_gen = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lk(p.mu);
-      p.work_cv.wait(lk, [&] { return p.stop || p.job_gen != seen_gen; });
+      CondLock lk(p.mu);
+      p.work_cv.wait(lk.native(), [&] { return p.stop || p.job_gen != seen_gen; });
       if (p.stop) {
         return;
       }
@@ -301,7 +301,7 @@ void Simulator::WorkerThread(size_t idx) {
     }
     RunGroups(p.ctxs[idx]);
     {
-      std::lock_guard<std::mutex> lk(p.mu);
+      MutexLock lk(p.mu);
       ++p.done_count;
     }
     p.done_cv.notify_one();
@@ -321,7 +321,7 @@ void Simulator::RunGroups(WorkerCtx& ctx) {
       const uint32_t slot = g.slots[i];
       Callback fn;
       {
-        std::lock_guard<std::mutex> lk(p.slot_mu);
+        MutexLock lk(p.slot_mu);
         Slot& s = slots_[slot];
         if (s.cancelled) {
           continue;  // surfaced cancelled; retired (executed flag stays 0)
@@ -364,15 +364,15 @@ uint64_t Simulator::ExecuteSegment() {
   p.executed.assign(run_scratch_.size(), 0);
   p.next_group.store(0, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lk(p.mu);
+    MutexLock lk(p.mu);
     ++p.job_gen;
     p.done_count = 0;
   }
   p.work_cv.notify_all();
   RunGroups(p.ctxs[0]);  // the driving thread is executor 0
   {
-    std::unique_lock<std::mutex> lk(p.mu);
-    p.done_cv.wait(lk, [&] { return p.done_count == p.threads.size(); });
+    CondLock lk(p.mu);
+    p.done_cv.wait(lk.native(), [&] { return p.done_count == p.threads.size(); });
   }
 
   // --- single-threaded from here on ---

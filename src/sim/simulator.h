@@ -54,6 +54,7 @@
 
 #include "src/base/shard.h"
 #include "src/base/small_function.h"
+#include "src/base/thread_annotations.h"
 #include "src/sim/task.h"
 #include "src/sim/time.h"
 
@@ -232,20 +233,22 @@ class Simulator {
     size_t executors = 1;
     std::vector<WorkerCtx> ctxs;       // one per executor; [0] = driving thread
     std::vector<std::thread> threads;  // executors - 1 pool threads
-    std::mutex mu;
+    Mutex mu;
     std::condition_variable work_cv;
     std::condition_variable done_cv;
-    uint64_t job_gen = 0;
-    size_t done_count = 0;
-    bool stop = false;
+    uint64_t job_gen NEM_GUARDED_BY(mu) = 0;
+    size_t done_count NEM_GUARDED_BY(mu) = 0;
+    bool stop NEM_GUARDED_BY(mu) = false;
     // Published segment (filled by the driving thread before job_gen bumps).
     std::vector<SegmentGroup> groups;  // recycled; [0, ngroups) live
     size_t ngroups = 0;
     std::atomic<size_t> next_group{0};
     std::vector<uint8_t> executed;  // per run entry; 0 = found cancelled
     uint32_t seg_base = 0;
-    // Guards slots_/free_slots_/live_pending_ while workers run.
-    std::mutex slot_mu;
+    // Guards slots_/free_slots_/live_pending_ while workers run. Those
+    // fields cannot carry NEM_GUARDED_BY: they are lock-free single-threaded
+    // state outside parallel segments, guarded only conditionally.
+    Mutex slot_mu;
     uint64_t segments = 0;
     uint64_t parallel_events = 0;
 

@@ -142,6 +142,44 @@ class TaskHandle {
   std::shared_ptr<TaskState> state_;
 };
 
+// Owned set of spawned-task handles: the owned-handle discipline that closes
+// the orphan-task bug class (an un-owned spawned task outliving its spawner
+// and writing through pointers into the spawner's destroyed coroutine frame —
+// the async pager's teardown bug). Adopt() every Spawn result whose task
+// captures `this` or stack references, and KillAll() from the owner's Stop()
+// or destructor, *after* killing any task that joins on the adopted ones (the
+// joiners' frames hold the result pointers). Completed handles are pruned
+// lazily once the set reaches a threshold, so steady-state adoption stays a
+// plain vector append. tools/analyze.py's task-lifetime rule checks both
+// halves statically: no discarded Spawn results, and every recording member
+// killed in its owner's teardown.
+class OwnedTaskSet {
+ public:
+  // Records `handle` and returns it (so adoption wraps a Spawn in place).
+  TaskHandle Adopt(TaskHandle handle) {
+    if (handles_.size() >= kPruneThreshold) {
+      std::erase_if(handles_, [](const TaskHandle& h) { return h.done(); });
+    }
+    handles_.push_back(handle);
+    return handle;
+  }
+
+  // Kills every recorded task (no-op for those already completed).
+  void KillAll() {
+    for (TaskHandle& h : handles_) {
+      h.Kill();
+    }
+    handles_.clear();
+  }
+
+  size_t size() const { return handles_.size(); }
+  bool empty() const { return handles_.empty(); }
+
+ private:
+  static constexpr size_t kPruneThreshold = 16;
+  std::vector<TaskHandle> handles_;
+};
+
 // Helper used by awaitables: extracts the TaskState of the suspending task.
 inline std::shared_ptr<TaskState> StateOf(std::coroutine_handle<Task::promise_type> h) {
   return h.promise().state;

@@ -1,0 +1,13 @@
+// Fixture: FrameStack membership mutation from a driver. Membership must
+// stay in the frames allocator, whose accounting those calls update.
+namespace nemesis {
+
+class GreedyDriver {
+ public:
+  void Hoard(FramesAllocator* frames) {
+    FrameStack* stack = frames->StackOf(7);
+    stack->PushTop(42);  // VIOLATION: membership mutation
+  }
+};
+
+}  // namespace nemesis

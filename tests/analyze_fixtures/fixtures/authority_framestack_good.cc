@@ -1,0 +1,14 @@
+// Fixture: drivers may reorder their own stack; Remove on a non-FrameStack
+// receiver is someone else's method.
+namespace nemesis {
+
+class PoliteDriver {
+ public:
+  void Touch(FramesAllocator* frames) {
+    FrameStack* stack = frames->StackOf(7);
+    stack->MoveToBottom(42);  // reorder: allowed
+  }
+  void Forget(Roster* roster) { roster->Remove(3); }  // not a FrameStack
+};
+
+}  // namespace nemesis

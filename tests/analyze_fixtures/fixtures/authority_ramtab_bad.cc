@@ -1,0 +1,13 @@
+// Fixture: RamTab mutation through an alias — the old line-regex lint could
+// not see that `rt` is the RamTab; receiver resolution can.
+namespace nemesis {
+
+class RogueDriver {
+ public:
+  void Steal(Kernel* kernel) {
+    auto& rt = kernel->ramtab();
+    rt.SetOwner(3, 0);  // VIOLATION: mutation outside the authorities
+  }
+};
+
+}  // namespace nemesis

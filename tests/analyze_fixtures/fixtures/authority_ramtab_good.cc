@@ -1,0 +1,19 @@
+// Fixture: an unrelated class with a coincidental SetOwner method (the old
+// substring rule flagged this), plus sanctioned RamTab *reads*.
+namespace nemesis {
+
+class Ledger {
+ public:
+  void SetOwner(int row, int owner) { rows_[row] = owner; }
+
+ private:
+  int rows_[8];
+};
+
+class Bookkeeper {
+ public:
+  void Assign(Ledger* ledger) { ledger->SetOwner(1, 2); }  // not a RamTab
+  int Peek(Kernel* kernel) { return kernel->ramtab().OwnerOf(3); }  // reads ok
+};
+
+}  // namespace nemesis

@@ -1,0 +1,20 @@
+// Fixture: an ad-hoc uint64_t counter member growing outside the metrics
+// layer.
+#ifndef SRC_APP_AUTHORITY_STATS_BAD_H_
+#define SRC_APP_AUTHORITY_STATS_BAD_H_
+
+#include <cstdint>
+
+namespace nemesis {
+
+class HotPath {
+ public:
+  void Touch() { ++faults_; }
+
+ private:
+  uint64_t faults_ = 0;  // VIOLATION: use StatCounter
+};
+
+}  // namespace nemesis
+
+#endif  // SRC_APP_AUTHORITY_STATS_BAD_H_

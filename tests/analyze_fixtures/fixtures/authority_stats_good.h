@@ -1,0 +1,22 @@
+// Fixture: counters via StatCounter; sequence numbers and sizes are not
+// statistics even though they are uint64_t.
+#ifndef SRC_APP_AUTHORITY_STATS_GOOD_H_
+#define SRC_APP_AUTHORITY_STATS_GOOD_H_
+
+#include <cstdint>
+
+namespace nemesis {
+
+class MeteredPath {
+ public:
+  void Touch() { faults_.Inc(); }
+
+ private:
+  StatCounter faults_;
+  uint64_t fault_seq_ = 0;   // a sequence, not a count
+  uint64_t window_len_ = 0;  // a size, not a count
+};
+
+}  // namespace nemesis
+
+#endif  // SRC_APP_AUTHORITY_STATS_GOOD_H_

@@ -1,0 +1,14 @@
+// Fixture: wall-clock time in the simulator core. Output must be a pure
+// function of config and seeds.
+#include <chrono>
+
+namespace nemesis {
+
+class Stamper {
+ public:
+  long Now() {
+    return std::chrono::steady_clock::now().time_since_epoch().count();  // VIOLATION
+  }
+};
+
+}  // namespace nemesis

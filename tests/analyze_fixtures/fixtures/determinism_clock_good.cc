@@ -1,0 +1,14 @@
+// Fixture: time comes from the simulator, randomness from a seeded PRNG.
+namespace nemesis {
+
+class SimStamper {
+ public:
+  long Now() { return sim_->Now(); }
+  unsigned Pick() { return rng_.Next(); }
+
+ private:
+  Simulator* sim_;
+  SplitMix64* rng_;
+};
+
+}  // namespace nemesis

@@ -1,0 +1,20 @@
+// Fixture: hash-order iteration feeding stdout — byte-compared goldens
+// would depend on the hash seed and libstdc++ version.
+#include <cstdio>
+#include <unordered_map>
+
+namespace nemesis {
+
+class Dumper {
+ public:
+  void Dump() {
+    for (const auto& entry : table_) {
+      std::printf("%d\n", entry.second);  // VIOLATION: hash order to stdout
+    }
+  }
+
+ private:
+  std::unordered_map<int, int> table_;
+};
+
+}  // namespace nemesis

@@ -1,0 +1,29 @@
+// Fixture: unordered iteration is fine for order-insensitive aggregation;
+// emission happens from ordered state.
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+
+namespace nemesis {
+
+class SortedDumper {
+ public:
+  void Sum() {
+    for (const auto& entry : table_) {
+      total_ += entry.second;  // order-insensitive: allowed
+    }
+  }
+  void Dump() {
+    for (const auto& entry : sorted_) {
+      std::printf("%d\n", entry.second);  // ordered container: allowed
+    }
+    std::printf("total %d\n", total_);
+  }
+
+ private:
+  std::unordered_map<int, int> table_;
+  std::map<int, int> sorted_;
+  int total_ = 0;
+};
+
+}  // namespace nemesis

@@ -1,0 +1,22 @@
+// Fixture: a domain-shard fault path reaches a system-shard allocator
+// entry point through a neutral helper, without a spawn boundary or a
+// sanctioned cross-domain bridge.
+#include "src/base/thread_annotations.h"
+
+namespace nemesis {
+
+class FixtureAllocator {
+ public:
+  NEM_RUNS_ON(system) int AllocFrame(int domain) { return domain; }
+};
+
+class FixtureDriver {
+ public:
+  NEM_RUNS_ON(domain) int HandleFault(int va) { return GrowPool(va); }
+  int GrowPool(int va) { return alloc_->AllocFrame(va); }  // VIOLATION
+
+ private:
+  FixtureAllocator* alloc_;
+};
+
+}  // namespace nemesis

@@ -1,0 +1,42 @@
+// Fixture: the three sanctioned ways a domain context touches system-shard
+// work — a spawn boundary, a CrossDomainSection bridge, and an annotated
+// NEM_CROSSES_DOMAINS upcall.
+#include "src/base/thread_annotations.h"
+
+namespace nemesis {
+
+class BridgedAllocator {
+ public:
+  NEM_RUNS_ON(system) int AllocFrame(int domain) { return domain; }
+  NEM_CROSSES_DOMAINS void RevocationComplete(int domain) { last_ = domain; }
+
+ private:
+  int last_ = 0;
+};
+
+class BridgedDriver {
+ public:
+  ~BridgedDriver() { slow_tasks_.KillAll(); }
+  NEM_RUNS_ON(domain) void HandleFault() {
+    // Spawn boundary: ResolveFault runs on its declared shard, not ours.
+    slow_tasks_.Adopt(sim_->Spawn(ResolveFault(), "slow"));
+  }
+  NEM_RUNS_ON(system) Task ResolveFault();
+  NEM_RUNS_ON(domain) void Revoke() {
+    CrossDomainSection section(checker_);  // sanctioned bridge
+    alloc_->AllocFrame(2);
+  }
+  NEM_RUNS_ON(domain) void Complete() {
+    alloc_->RevocationComplete(7);  // annotated upcall
+  }
+
+ private:
+  BridgedAllocator* alloc_;
+  Simulator* sim_;
+  DomainAccessChecker* checker_;
+  OwnedTaskSet slow_tasks_;
+};
+
+Task BridgedDriver::ResolveFault() { return Task{alloc_->AllocFrame(1)}; }
+
+}  // namespace nemesis

@@ -1,0 +1,18 @@
+// Fixture: a Spawn result dropped on the floor. The spawned task joins
+// nobody and nobody can kill it — the PR-6 orphan-task shape at its source.
+#include "src/base/thread_annotations.h"
+
+namespace nemesis {
+
+class DiscardingService {
+ public:
+  void Start() {
+    sim_->Spawn(Worker(), "worker");  // VIOLATION: TaskHandle discarded
+  }
+  Task Worker();
+
+ private:
+  Simulator* sim_;
+};
+
+}  // namespace nemesis

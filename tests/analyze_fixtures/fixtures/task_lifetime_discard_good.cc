@@ -1,0 +1,26 @@
+// Fixture: every Spawn result is either adopted into an owned container or
+// explicitly detached with a justification.
+#include "src/base/thread_annotations.h"
+
+namespace nemesis {
+
+class OwningService {
+ public:
+  void Start() {
+    TaskHandle h = tasks_.Adopt(sim_->Spawn(Worker(), "worker"));
+    Use(h);
+    // Fire-and-forget: LogLoop captures only the simulator, which outlives
+    // every task by construction.
+    NEM_DETACHED(sim_->Spawn(LogLoop(), "log"));
+  }
+  void Stop() { tasks_.KillAll(); }
+  Task Worker();
+  Task LogLoop();
+  void Use(TaskHandle& h);
+
+ private:
+  OwnedTaskSet tasks_;
+  Simulator* sim_;
+};
+
+}  // namespace nemesis

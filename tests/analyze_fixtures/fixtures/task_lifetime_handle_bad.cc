@@ -1,0 +1,19 @@
+// Fixture: a long-running service task stored in a TaskHandle member that no
+// method ever kills; it outlives the object whose state it mutates.
+#include "src/base/thread_annotations.h"
+
+namespace nemesis {
+
+class PagerShape {
+ public:
+  void Start() {
+    pager_task_ = sim_->Spawn(PagerLoop(), "pager");  // VIOLATION: never killed
+  }
+  Task PagerLoop();
+
+ private:
+  TaskHandle pager_task_;
+  Simulator* sim_;
+};
+
+}  // namespace nemesis

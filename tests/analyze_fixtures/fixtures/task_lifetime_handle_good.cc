@@ -1,0 +1,20 @@
+// Fixture: the service task is killed on Stop (and Stop runs from the
+// destructor in the real tree).
+#include "src/base/thread_annotations.h"
+
+namespace nemesis {
+
+class PagerFixed {
+ public:
+  void Start() {
+    pager_task_ = sim_->Spawn(PagerLoop(), "pager");
+  }
+  void Stop() { pager_task_.Kill(); }
+  Task PagerLoop();
+
+ private:
+  TaskHandle pager_task_;
+  Simulator* sim_;
+};
+
+}  // namespace nemesis

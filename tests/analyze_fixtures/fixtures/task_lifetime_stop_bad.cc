@@ -1,0 +1,23 @@
+// Fixture: the PR-6 MmEntry::Stop bug shape. Slow-path tasks are adopted
+// into an owned set, but Stop() forgets to kill them — an orphan completing
+// after teardown writes through pointers into a destroyed coroutine frame.
+#include "src/base/thread_annotations.h"
+
+namespace nemesis {
+
+class MmEntryShape {
+ public:
+  TaskHandle SpawnSlow(Task task) {
+    return slow_tasks_.Adopt(sim_->Spawn(Move(task), "slow"));
+  }
+  void Stop() {
+    stopped_ = true;  // VIOLATION: slow_tasks_ never KillAll()ed
+  }
+
+ private:
+  OwnedTaskSet slow_tasks_;
+  Simulator* sim_;
+  bool stopped_ = false;
+};
+
+}  // namespace nemesis

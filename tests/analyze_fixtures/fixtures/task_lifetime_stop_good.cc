@@ -1,0 +1,22 @@
+// Fixture: the owned-handle discipline done right — Stop() kills the set.
+#include "src/base/thread_annotations.h"
+
+namespace nemesis {
+
+class MmEntryFixed {
+ public:
+  TaskHandle SpawnSlow(Task task) {
+    return slow_tasks_.Adopt(sim_->Spawn(Move(task), "slow"));
+  }
+  void Stop() {
+    stopped_ = true;
+    slow_tasks_.KillAll();
+  }
+
+ private:
+  OwnedTaskSet slow_tasks_;
+  Simulator* sim_;
+  bool stopped_ = false;
+};
+
+}  // namespace nemesis

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Fixture tests for tools/analyze.py.
+
+Each rule has (at least) one violating and one conforming fixture. A fixture
+is staged into a scratch tree at a path that puts it in the rule's scope
+(e.g. determinism rules only apply under src/sim and src/core), then
+analyze.py runs over that tree with the text frontend — the frontend that
+works on any machine — and the runner asserts:
+
+  * the violating fixture makes exactly its own rule fire (exit 1), and
+  * the conforming fixture is clean (exit 0).
+
+Two regression tests ride along:
+
+  * reintroducing the PR-6 MmEntry::Stop bug (deleting the
+    slow_tasks_.KillAll() line from the real src/app/mm_entry.cc) must be
+    caught by the task-lifetime rule, and
+  * the real tree as-is must be clean.
+
+Run from anywhere:  python3 tests/analyze_fixtures/run_fixtures.py
+"""
+
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+ANALYZE = os.path.join(REPO, "tools", "analyze.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+
+# fixture file -> (destination inside the scratch tree, rule expected to fire
+# or None for conforming fixtures)
+MANIFEST = [
+    ("task_lifetime_discard_bad.cc", "src/app/fixture.cc", "task-lifetime"),
+    ("task_lifetime_discard_good.cc", "src/app/fixture.cc", None),
+    ("task_lifetime_stop_bad.cc", "src/app/fixture.cc", "task-lifetime"),
+    ("task_lifetime_stop_good.cc", "src/app/fixture.cc", None),
+    ("task_lifetime_handle_bad.cc", "src/app/fixture.cc", "task-lifetime"),
+    ("task_lifetime_handle_good.cc", "src/app/fixture.cc", None),
+    ("shard_affinity_bad.cc", "src/app/fixture.cc", "shard-affinity"),
+    ("shard_affinity_good.cc", "src/app/fixture.cc", None),
+    ("authority_ramtab_bad.cc", "src/app/fixture.cc", "authority-ramtab"),
+    ("authority_ramtab_good.cc", "src/app/fixture.cc", None),
+    ("authority_framestack_bad.cc", "src/app/fixture.cc",
+     "authority-framestack"),
+    ("authority_framestack_good.cc", "src/app/fixture.cc", None),
+    ("authority_stats_bad.h", "src/app/fixture_stats.h", "authority-stats"),
+    ("authority_stats_good.h", "src/app/fixture_stats.h", None),
+    ("determinism_clock_bad.cc", "src/sim/fixture.cc", "determinism-clock"),
+    ("determinism_clock_good.cc", "src/sim/fixture.cc", None),
+    ("determinism_unordered_bad.cc", "src/sim/fixture.cc",
+     "determinism-unordered"),
+    ("determinism_unordered_good.cc", "src/sim/fixture.cc", None),
+]
+
+RULE_TAG = re.compile(r"\[([a-z-]+)\]")
+
+
+def run_analyze(root):
+    proc = subprocess.run(
+        [sys.executable, ANALYZE, "--root", root, "--frontend", "text",
+         "--all"],
+        capture_output=True, text=True)
+    fired = set(RULE_TAG.findall(proc.stdout))
+    return proc.returncode, fired, proc.stdout + proc.stderr
+
+
+def stage_and_check(fixture, dest, expect):
+    with tempfile.TemporaryDirectory(prefix="analyze_fixture_") as tmp:
+        dst = os.path.join(tmp, dest)
+        os.makedirs(os.path.dirname(dst), exist_ok=True)
+        shutil.copyfile(os.path.join(FIXTURES, fixture), dst)
+        code, fired, output = run_analyze(tmp)
+    if expect is None:
+        if code != 0:
+            return f"{fixture}: expected clean, got exit {code}:\n{output}"
+    else:
+        if code == 0:
+            return f"{fixture}: expected rule {expect} to fire, got clean"
+        if fired != {expect}:
+            return (f"{fixture}: expected exactly {{{expect}}} to fire, "
+                    f"got {sorted(fired)}:\n{output}")
+    return None
+
+
+def check_pr6_reintroduction():
+    """Deleting the KillAll from the real MmEntry::Stop must be caught."""
+    mm_h = os.path.join(REPO, "src", "app", "mm_entry.h")
+    mm_cc = os.path.join(REPO, "src", "app", "mm_entry.cc")
+    with open(mm_cc, encoding="utf-8") as f:
+        original = f.read()
+    buggy, n = re.subn(r"^.*slow_tasks_\.KillAll\(\).*\n", "", original,
+                       flags=re.M)
+    if n != 1:
+        return ("mm_entry.cc: expected exactly one slow_tasks_.KillAll() "
+                f"line to delete, found {n}")
+    with tempfile.TemporaryDirectory(prefix="analyze_pr6_") as tmp:
+        app = os.path.join(tmp, "src", "app")
+        os.makedirs(app)
+        shutil.copyfile(mm_h, os.path.join(app, "mm_entry.h"))
+        with open(os.path.join(app, "mm_entry.cc"), "w",
+                  encoding="utf-8") as f:
+            f.write(buggy)
+        code, fired, output = run_analyze(tmp)
+        if code == 0 or "task-lifetime" not in fired:
+            return ("PR-6 reintroduction (MmEntry::Stop without KillAll) "
+                    f"was NOT caught; rules fired: {sorted(fired)}\n{output}")
+        # and the unmodified pair must be clean
+        with open(os.path.join(app, "mm_entry.cc"), "w",
+                  encoding="utf-8") as f:
+            f.write(original)
+        code, fired, output = run_analyze(tmp)
+        if code != 0:
+            return (f"unmodified mm_entry pair not clean: {sorted(fired)}\n"
+                    f"{output}")
+    return None
+
+
+def check_head_clean():
+    code, fired, output = run_analyze(REPO)
+    if code != 0:
+        return f"HEAD src/ tree not clean: {sorted(fired)}\n{output}"
+    return None
+
+
+def main():
+    failures = []
+    for fixture, dest, expect in MANIFEST:
+        err = stage_and_check(fixture, dest, expect)
+        status = "FAIL" if err else "ok"
+        print(f"  [{status}] {fixture}")
+        if err:
+            failures.append(err)
+    for name, check in (("pr6-reintroduction", check_pr6_reintroduction),
+                        ("head-clean", check_head_clean)):
+        err = check()
+        status = "FAIL" if err else "ok"
+        print(f"  [{status}] {name}")
+        if err:
+            failures.append(err)
+    if failures:
+        print(f"\n{len(failures)} failure(s):", file=sys.stderr)
+        for f in failures:
+            print("-" * 60, file=sys.stderr)
+            print(f, file=sys.stderr)
+        return 1
+    print(f"run_fixtures.py: {len(MANIFEST) + 2} checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -190,7 +190,7 @@ TEST(PagedDriver, DataSurvivesPagingCycle) {
         pattern[i] = static_cast<uint8_t>((i * 7 + 13) & 0xFF);
       }
       bool w_ok = false;
-      TaskHandle wh = app->sim().Spawn(app->vmem().Write(base, pattern, &w_ok), "w");
+      TaskHandle wh = app->SpawnWorkload(app->vmem().Write(base, pattern, &w_ok), "w");
       co_await Join(wh);
       if (!w_ok) {
         *ok = false;
@@ -199,7 +199,7 @@ TEST(PagedDriver, DataSurvivesPagingCycle) {
       // ...then read it all back through page-ins and compare.
       std::vector<uint8_t> readback(len, 0);
       bool r_ok = false;
-      TaskHandle rh = app->sim().Spawn(app->vmem().Read(base, readback, &r_ok), "r");
+      TaskHandle rh = app->SpawnWorkload(app->vmem().Read(base, readback, &r_ok), "r");
       co_await Join(rh);
       *ok = r_ok && readback == pattern;
     }
@@ -227,12 +227,12 @@ TEST(PagedDriver, ForgetfulModeNeverPagesIn) {
     static Task Run(AppDomain* app, bool* ok) {
       bool a = false;
       bool b = false;
-      TaskHandle h1 = app->sim().Spawn(
+      TaskHandle h1 = app->SpawnWorkload(
           app->vmem().AccessRange(app->stretch()->base(), app->stretch()->length(),
                                   AccessType::kWrite, &a, nullptr),
           "p1");
       co_await Join(h1);
-      TaskHandle h2 = app->sim().Spawn(
+      TaskHandle h2 = app->SpawnWorkload(
           app->vmem().AccessRange(app->stretch()->base(), app->stretch()->length(),
                                   AccessType::kWrite, &b, nullptr),
           "p2");
@@ -306,7 +306,7 @@ TEST(MmEntryTest, FaultOutsideAnyStretchFails) {
   struct Oob {
     static Task Run(AppDomain* app, bool* ok) {
       // An address far outside the stretch arena.
-      TaskHandle h = app->sim().Spawn(
+      TaskHandle h = app->SpawnWorkload(
           app->vmem().AccessRange(4 * kDefaultPageSize, 1, AccessType::kRead, ok, nullptr), "oob");
       co_await Join(h);
     }
@@ -330,13 +330,13 @@ TEST(StreamPaging, SequentialReadsHitStagedFrames) {
   struct Passes {
     static Task Run(AppDomain* app, bool* ok) {
       bool w = false;
-      TaskHandle h1 = app->sim().Spawn(
+      TaskHandle h1 = app->SpawnWorkload(
           app->vmem().AccessRange(app->stretch()->base(), app->stretch()->length(),
                                   AccessType::kWrite, &w, nullptr),
           "w");
       co_await Join(h1);
       bool r = false;
-      TaskHandle h2 = app->sim().Spawn(
+      TaskHandle h2 = app->SpawnWorkload(
           app->vmem().AccessRange(app->stretch()->base(), app->stretch()->length(),
                                   AccessType::kRead, &r, nullptr),
           "r");
@@ -373,12 +373,12 @@ TEST(StreamPaging, DataIntegrityPreserved) {
         pattern[i] = static_cast<uint8_t>((i * 31 + 5) & 0xFF);
       }
       bool w = false;
-      TaskHandle wh = app->sim().Spawn(app->vmem().Write(app->stretch()->base(), pattern, &w),
+      TaskHandle wh = app->SpawnWorkload(app->vmem().Write(app->stretch()->base(), pattern, &w),
                                        "w");
       co_await Join(wh);
       std::vector<uint8_t> readback(len);
       bool r = false;
-      TaskHandle rh = app->sim().Spawn(app->vmem().Read(app->stretch()->base(), readback, &r),
+      TaskHandle rh = app->SpawnWorkload(app->vmem().Read(app->stretch()->base(), readback, &r),
                                        "r");
       co_await Join(rh);
       *ok = w && r && readback == pattern;
@@ -408,7 +408,7 @@ TEST(StreamPaging, RandomAccessWastesArePruned) {
     static Task Run(AppDomain* app, bool* ok) {
       // Prime forwards.
       bool w = false;
-      TaskHandle wh = app->sim().Spawn(
+      TaskHandle wh = app->SpawnWorkload(
           app->vmem().AccessRange(app->stretch()->base(), app->stretch()->length(),
                                   AccessType::kWrite, &w, nullptr),
           "w");
@@ -417,7 +417,7 @@ TEST(StreamPaging, RandomAccessWastesArePruned) {
       bool all_ok = w;
       for (size_t i = app->stretch()->page_count(); i > 0; --i) {
         bool r = false;
-        TaskHandle rh = app->sim().Spawn(
+        TaskHandle rh = app->SpawnWorkload(
             app->vmem().AccessRange(app->stretch()->PageBase(i - 1), kDefaultPageSize,
                                     AccessType::kRead, &r, nullptr),
             "r");
@@ -450,7 +450,7 @@ TEST(Replacement, ClockKeepsHotPagesResident) {
       static Task Run(AppDomain* app, bool* done) {
         // Prime all pages.
         bool ok = false;
-        TaskHandle p = app->sim().Spawn(
+        TaskHandle p = app->SpawnWorkload(
             app->vmem().AccessRange(app->stretch()->base(), app->stretch()->length(),
                                     AccessType::kWrite, &ok, nullptr),
             "prime");
@@ -460,7 +460,7 @@ TEST(Replacement, ClockKeepsHotPagesResident) {
         for (int i = 0; i < 400; ++i) {
           const size_t page = (i % 8 != 0) ? rng.NextBelow(3) : 3 + rng.NextBelow(13);
           bool t_ok = false;
-          TaskHandle h = app->sim().Spawn(
+          TaskHandle h = app->SpawnWorkload(
               app->vmem().AccessRange(app->stretch()->PageBase(page), 64, AccessType::kRead,
                                       &t_ok, nullptr),
               "touch");
@@ -496,12 +496,12 @@ TEST(Replacement, RandomPolicyIsDeterministicWithSeed) {
       static Task Run(AppDomain* app, bool* ok) {
         bool a = false;
         bool b = false;
-        TaskHandle h1 = app->sim().Spawn(
+        TaskHandle h1 = app->SpawnWorkload(
             app->vmem().AccessRange(app->stretch()->base(), app->stretch()->length(),
                                     AccessType::kWrite, &a, nullptr),
             "p1");
         co_await Join(h1);
-        TaskHandle h2 = app->sim().Spawn(
+        TaskHandle h2 = app->SpawnWorkload(
             app->vmem().AccessRange(app->stretch()->base(), app->stretch()->length(),
                                     AccessType::kRead, &b, nullptr),
             "p2");
@@ -541,12 +541,12 @@ TEST(MmEntryTest, TwoStretchesTwoDriversOneDomain) {
     static Task Run(AppDomain* app, Stretch* second, bool* ok) {
       bool a = false;
       bool b = false;
-      TaskHandle h1 = app->sim().Spawn(
+      TaskHandle h1 = app->SpawnWorkload(
           app->vmem().AccessRange(app->stretch()->base(), app->stretch()->length(),
                                   AccessType::kWrite, &a, nullptr),
           "paged");
       co_await Join(h1);
-      TaskHandle h2 = app->sim().Spawn(
+      TaskHandle h2 = app->SpawnWorkload(
           app->vmem().AccessRange(second->base(), second->length(), AccessType::kWrite, &b,
                                   nullptr),
           "physical");

@@ -117,11 +117,11 @@ TEST_F(VmemEdgeTest, UnalignedWriteReadAcrossPageBoundary) {
       std::vector<uint8_t> data(2 * kDefaultPageSize);
       std::iota(data.begin(), data.end(), 1);
       bool w = false;
-      TaskHandle wh = app->sim().Spawn(app->vmem().Write(start, data, &w), "w");
+      TaskHandle wh = app->SpawnWorkload(app->vmem().Write(start, data, &w), "w");
       co_await Join(wh);
       std::vector<uint8_t> back(data.size());
       bool r = false;
-      TaskHandle rh = app->sim().Spawn(app->vmem().Read(start, back, &r), "r");
+      TaskHandle rh = app->SpawnWorkload(app->vmem().Read(start, back, &r), "r");
       co_await Join(rh);
       *ok = w && r && back == data;
     }
@@ -138,11 +138,11 @@ TEST_F(VmemEdgeTest, SingleByteAccess) {
       const VirtAddr last = app->stretch()->base() + app->stretch()->length() - 1;
       std::vector<uint8_t> b{0xA5};
       bool w = false;
-      TaskHandle wh = app->sim().Spawn(app->vmem().Write(last, b, &w), "w");
+      TaskHandle wh = app->SpawnWorkload(app->vmem().Write(last, b, &w), "w");
       co_await Join(wh);
       std::vector<uint8_t> back{0};
       bool r = false;
-      TaskHandle rh = app->sim().Spawn(app->vmem().Read(last, back, &r), "r");
+      TaskHandle rh = app->SpawnWorkload(app->vmem().Read(last, back, &r), "r");
       co_await Join(rh);
       *ok = w && r && back[0] == 0xA5;
     }

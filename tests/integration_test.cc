@@ -292,7 +292,7 @@ TEST(Integration, ConcurrentThreadsInOneDomain) {
   AppDomain* app = system.CreateApp(cfg);
   struct Half {
     static Task Run(AppDomain* app, size_t first_page, size_t pages, bool* ok) {
-      TaskHandle h = app->sim().Spawn(
+      TaskHandle h = app->SpawnWorkload(
           app->vmem().AccessRange(app->stretch()->PageBase(first_page),
                                   pages * kDefaultPageSize, AccessType::kWrite, ok, nullptr),
           "half");
@@ -320,7 +320,7 @@ TEST(Integration, ConcurrentFaultsOnSamePageAreDeduplicated) {
   AppDomain* app = system.CreateApp(cfg);
   struct Toucher {
     static Task Run(AppDomain* app, bool* ok) {
-      TaskHandle h = app->sim().Spawn(
+      TaskHandle h = app->SpawnWorkload(
           app->vmem().AccessRange(app->stretch()->base(), kDefaultPageSize, AccessType::kRead,
                                   ok, nullptr),
           "touch");
@@ -381,7 +381,7 @@ TEST(Integration, FowDirtyTrackingForIncrementalCheckpoint) {
       Stretch* stretch = app->stretch();
       // Touch everything once.
       bool pass_ok = false;
-      TaskHandle h = app->sim().Spawn(
+      TaskHandle h = app->SpawnWorkload(
           app->vmem().AccessRange(stretch->base(), stretch->length(), AccessType::kWrite,
                                   &pass_ok, nullptr),
           "fill");
@@ -397,11 +397,11 @@ TEST(Integration, FowDirtyTrackingForIncrementalCheckpoint) {
       }
       // Touch only pages 3 and 7.
       bool t_ok = false;
-      TaskHandle h3 = app->sim().Spawn(
+      TaskHandle h3 = app->SpawnWorkload(
           app->vmem().AccessRange(stretch->PageBase(3), 16, AccessType::kWrite, &t_ok, nullptr),
           "t3");
       co_await Join(h3);
-      TaskHandle h7 = app->sim().Spawn(
+      TaskHandle h7 = app->SpawnWorkload(
           app->vmem().AccessRange(stretch->PageBase(7), 16, AccessType::kWrite, &t_ok, nullptr),
           "t7");
       co_await Join(h7);

@@ -43,13 +43,13 @@ AppConfig PipelineApp(const std::string& name, uint64_t frames, size_t stretch_p
 // Write pass then read pass, joined in order.
 Task WriteThenRead(AppDomain* app, bool* ok) {
   bool w = false;
-  TaskHandle wh = app->sim().Spawn(
+  TaskHandle wh = app->SpawnWorkload(
       app->vmem().AccessRange(app->stretch()->base(), app->stretch()->length(),
                               AccessType::kWrite, &w, nullptr),
       "w");
   co_await Join(wh);
   bool r = false;
-  TaskHandle rh = app->sim().Spawn(
+  TaskHandle rh = app->SpawnWorkload(
       app->vmem().AccessRange(app->stretch()->base(), app->stretch()->length(),
                               AccessType::kRead, &r, nullptr),
       "r");
@@ -65,11 +65,11 @@ Task VerifyPattern(AppDomain* app, bool* ok) {
     pattern[i] = static_cast<uint8_t>((i * 131 + 17) & 0xFF);
   }
   bool w = false;
-  TaskHandle wh = app->sim().Spawn(app->vmem().Write(app->stretch()->base(), pattern, &w), "w");
+  TaskHandle wh = app->SpawnWorkload(app->vmem().Write(app->stretch()->base(), pattern, &w), "w");
   co_await Join(wh);
   std::vector<uint8_t> readback(len);
   bool r = false;
-  TaskHandle rh = app->sim().Spawn(app->vmem().Read(app->stretch()->base(), readback, &r), "r");
+  TaskHandle rh = app->SpawnWorkload(app->vmem().Read(app->stretch()->base(), readback, &r), "r");
   co_await Join(rh);
   *ok = w && r && readback == pattern;
 }
@@ -148,7 +148,7 @@ TEST(Pipeline, ClusterReadsOverFragmentedBloks) {
         bool all_ok = true;
         for (size_t i = app->stretch()->page_count(); i > 0; --i) {
           bool w = false;
-          TaskHandle wh = app->sim().Spawn(
+          TaskHandle wh = app->SpawnWorkload(
               app->vmem().AccessRange(app->stretch()->PageBase(i - 1), kDefaultPageSize,
                                       AccessType::kWrite, &w, nullptr),
               "w");
@@ -157,7 +157,7 @@ TEST(Pipeline, ClusterReadsOverFragmentedBloks) {
         }
         // Forward sequential read: clusters span non-adjacent bloks.
         bool r = false;
-        TaskHandle rh = app->sim().Spawn(
+        TaskHandle rh = app->SpawnWorkload(
             app->vmem().AccessRange(app->stretch()->base(), app->stretch()->length(),
                                     AccessType::kRead, &r, nullptr),
             "r");

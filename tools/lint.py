@@ -1,41 +1,21 @@
 #!/usr/bin/env python3
 """Repository lint for the Nemesis self-paging reproduction.
 
-Five project-specific rules that clang-tidy cannot express:
+Two textual rules that need no semantic analysis:
 
 1. Raw `new` / `delete` are confined to src/base/ (the small-buffer
    machinery). Everywhere else, allocation must go through std::make_unique
    or an adjacent std::unique_ptr<...>(new ...) adoption (used where a
    constructor is private to a factory).
 
-2. RamTab mutation is confined to the two ownership authorities: the frames
-   allocator (src/mm/frames_allocator.cc) and the translation syscalls
-   (src/kernel/syscalls.cc), plus the definitions in ramtab.h itself. The
-   invariant auditor (src/check) cross-checks the *contents*; this rule
-   keeps new code from growing a third mutation path the auditor does not
-   know about.
-
-3. Include hygiene: project includes are quoted and rooted at src/ (no
+2. Include hygiene: project includes are quoted and rooted at src/ (no
    relative ".." paths), and every header carries an include guard derived
    from its path (SRC_FOO_BAR_H_).
 
-4. FrameStack *membership* mutation (PushTop/PushBottom/PopTop/Remove) is
-   confined to the frames allocator — the system-shard authority that also
-   updates the accounting those calls must stay in sync with. Domain drivers
-   may only *reorder* their own stack (MoveToTop/MoveToBottom); under the
-   parallel simulator those run on the owner's shard lane, and the
-   DomainAccessChecker's shard-confinement rule enforces the ownership at
-   runtime. This rule keeps new code from growing a membership-mutation path
-   that would race the allocator across shards.
-
-5. Statistics live in src/obs/. A header declaring a raw `uint64_t`
-   member whose name reads like a counter (faults, hits, transactions, ...)
-   is growing a new ad-hoc statistic outside the metrics layer: use
-   StatCounter (src/obs/counter.h), and expose it through the system's
-   MetricsRegistry as a gauge or histogram. Deliberate exceptions are
-   allow-listed: the TLB's hot-path hit/miss counters (single-writer,
-   performance-critical) and the trace ring's drop counter. src/baseline/
-   is exempt wholesale — it replicates pre-Nemesis designs verbatim.
+The former regex rules for RamTab mutation confinement, FrameStack
+membership confinement and ad-hoc uint64_t statistics members moved to
+tools/analyze.py (authority-ramtab / authority-framestack / authority-stats),
+which resolves receiver types from the AST instead of matching substrings.
 
 Run from the repository root:  python3 tools/lint.py
 Exits non-zero and prints one line per violation otherwise.
@@ -56,46 +36,8 @@ DELETED_FN = re.compile(r"=\s*delete\s*;")
 # the previous line, as clang-format splits long factory expressions).
 UNIQUE_PTR_ADOPTION = re.compile(r"(unique_ptr\s*<|make_unique|\.reset\s*\()")
 
-# Rule 2: RamTab mutators and the files allowed to call them.
-RAMTAB_MUTATION = re.compile(r"\.\s*(SetOwner|SetMapped|SetUnused|SetNailed)\s*\(")
-RAMTAB_ALLOWED = {
-    os.path.join("src", "kernel", "ramtab.h"),       # the definitions
-    os.path.join("src", "kernel", "syscalls.cc"),    # translation authority
-    os.path.join("src", "mm", "frames_allocator.cc") # ownership authority
-}
-
-# Rule 3: include hygiene.
+# Rule 2: include hygiene.
 QUOTED_INCLUDE = re.compile(r'#include\s+"([^"]+)"')
-
-# Rule 4: FrameStack membership mutation. PushTop/PushBottom/PopTop are
-# unique to FrameStack; Remove is generic, so it is only flagged when the
-# receiver is spelled `stack` (the repo-wide naming for FrameStack members).
-FRAMESTACK_MEMBERSHIP = re.compile(
-    r"(?:\.\s*(?:PushTop|PushBottom|PopTop)|stack\s*(?:\.|->)\s*Remove)\s*\(")
-FRAMESTACK_ALLOWED = {
-    os.path.join("src", "mm", "frame_stack.h"),      # the definitions
-    os.path.join("src", "mm", "frames_allocator.cc") # system-shard authority
-}
-
-# Rule 5: raw uint64_t statistics members in headers. A member is a
-# "statistic" when any underscore-separated segment of its name is counting
-# vocabulary (plural/past forms only: `fault_seq_` is a sequence, not a
-# count). Matches declarations with or without an initializer or a
-# NEM_GUARDED_BY annotation.
-STATS_MEMBER = re.compile(
-    r"^\s*uint64_t\s+(\w+_)\s*(?:NEM_GUARDED_BY\([^)]*\)\s*)?(?:=\s*[\w{}]+\s*)?;")
-STATS_WORDS = {
-    "faults", "hits", "misses", "sent", "dispatched", "handled",
-    "transactions", "batches", "batched", "rejected", "dropped",
-    "revocations", "killed", "issued", "wasted", "transferred",
-    "pageins", "pageouts", "evictions", "txns", "maps", "counts",
-}
-STATS_ALLOWED = {
-    (os.path.join("src", "hw", "tlb.h"), "hits_"),        # hot path
-    (os.path.join("src", "hw", "tlb.h"), "misses_"),      # hot path
-    (os.path.join("src", "sim", "trace.h"), "dropped_"),  # the ring's own book-keeping
-    (os.path.join("src", "core", "system.h"), "audit_batches_"),  # stride phase, not a stat
-}
 
 
 def strip_comment(line):
@@ -125,31 +67,7 @@ def lint_file(path, errors):
             if RAW_DELETE.search(code) and not DELETED_FN.search(code):
                 errors.append(f"{rel}:{lineno}: raw `delete` outside src/base/")
 
-        # --- Rule 2: RamTab mutation confinement ----------------------------
-        if rel not in RAMTAB_ALLOWED and RAMTAB_MUTATION.search(code):
-            errors.append(f"{rel}:{lineno}: RamTab mutation outside the ownership "
-                          "authorities (frames_allocator.cc / syscalls.cc)")
-
-        # --- Rule 4: FrameStack membership mutation confinement -------------
-        if rel not in FRAMESTACK_ALLOWED and FRAMESTACK_MEMBERSHIP.search(code):
-            errors.append(f"{rel}:{lineno}: FrameStack membership mutation outside "
-                          "the frames allocator (drivers may only reorder via "
-                          "MoveToTop/MoveToBottom)")
-
-        # --- Rule 5: ad-hoc uint64_t statistics members in headers ----------
-        if (is_header and not rel.startswith(os.path.join("src", "obs") + os.sep)
-                and not rel.startswith(os.path.join("src", "baseline") + os.sep)):
-            sm = STATS_MEMBER.match(code)
-            if sm:
-                member = sm.group(1)
-                segments = set(member.strip("_").split("_"))
-                if segments & STATS_WORDS and (rel, member) not in STATS_ALLOWED:
-                    errors.append(
-                        f"{rel}:{lineno}: raw uint64_t statistic `{member}` — use "
-                        "StatCounter (src/obs/counter.h) and register it with the "
-                        "MetricsRegistry")
-
-        # --- Rule 3a: project includes rooted at src/ -----------------------
+        # --- Rule 2a: project includes rooted at src/ -----------------------
         m = QUOTED_INCLUDE.search(code)
         if m:
             inc = m.group(1)
@@ -160,7 +78,7 @@ def lint_file(path, errors):
         if code.strip():
             prev_code = code
 
-    # --- Rule 3b: include guards match the path -----------------------------
+    # --- Rule 2b: include guards match the path -----------------------------
     if is_header:
         guard = rel.upper().replace(os.sep, "_").replace(".", "_").replace("-", "_") + "_"
         text = "".join(lines)

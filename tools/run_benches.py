@@ -67,6 +67,19 @@ QOS_RUNS = [
      "fig9_metrics.json", "fig9_qos_report.txt"),
 ]
 
+# Golden byte-compare (--capture-golden / --check-golden): the figure
+# benches' stdout and side-channel trace CSVs must be byte-identical run to
+# run — the static-analysis layer (tools/analyze.py, the NEM_* annotations)
+# is build-time-only and must never perturb simulated output. fig9 only
+# writes its span trace under NEMESIS_OBS=1, so it runs a second time with
+# the env var set just to produce the CSV; the stdout compare always uses
+# the plain run (the observed run appends "written to ..." lines).
+GOLDEN_RUNS = [
+    ("bench_fig7_paging_in", "fig7.stdout", ["fig7_usd_trace.csv"], False),
+    ("bench_fig8_paging_out", "fig8.stdout", ["fig8_usd_trace.csv"], False),
+    ("bench_fig9_fs_isolation", "fig9.stdout", ["fig9_trace.csv"], True),
+]
+
 # (benchmark prefix, baseline template arg, optimized template arg)
 SPEEDUP_PAIRS = [
     ("BM_TlbLookupHit", "LinearScanTlb", "Tlb"),
@@ -209,6 +222,49 @@ def run_qos_reports(build_dir, source_dir):
     return reports
 
 
+def run_golden(build_dir, golden_dir, capture):
+    """Byte-compares (or captures) the figure benches' deterministic output.
+
+    Returns the number of mismatches; capture mode always returns 0.
+    """
+    golden_dir.mkdir(parents=True, exist_ok=True)
+    mismatches = 0
+
+    def compare(name, data):
+        nonlocal mismatches
+        path = golden_dir / name
+        if capture:
+            path.write_bytes(data)
+            print(f"  captured {path}")
+            return
+        if not path.exists():
+            print(f"  MISSING golden {path}")
+            mismatches += 1
+        elif path.read_bytes() != data:
+            print(f"  DIFF {name}: output is not byte-identical to {path}")
+            mismatches += 1
+        else:
+            print(f"  match {name}")
+
+    for bench, stdout_name, csvs, needs_obs in GOLDEN_RUNS:
+        binary = (build_dir / "bench" / bench).resolve()
+        if not binary.exists():
+            sys.exit(f"error: {binary} not found; build the bench targets first")
+        out = subprocess.run([str(binary)], check=True, capture_output=True,
+                             cwd=build_dir)
+        compare(stdout_name, out.stdout)
+        if needs_obs:
+            subprocess.run([str(binary)], check=True, capture_output=True,
+                           cwd=build_dir,
+                           env=dict(os.environ, NEMESIS_OBS="1"))
+        for csv in csvs:
+            side = build_dir / csv
+            if not side.exists():
+                sys.exit(f"error: {bench} did not write {side}")
+            compare(csv, side.read_bytes())
+    return mismatches
+
+
 def check_obs_gate(doc, prior, out_path):
     """Publication gate: the obs-disabled fig7 wall-clock must not regress
     more than 2% against the previously published number on the same host."""
@@ -242,10 +298,26 @@ def main():
     ap.add_argument("--no-obs-gate", action="store_true",
                     help="publish even if the obs-disabled fig7 wall-clock "
                          "regressed > 2%% vs the existing --out file")
+    ap.add_argument("--capture-golden", type=Path, metavar="DIR",
+                    help="record fig7/8/9 stdout and trace CSVs into DIR, "
+                         "then exit (no JSON published)")
+    ap.add_argument("--check-golden", type=Path, metavar="DIR",
+                    help="rerun fig7/8/9 and fail unless stdout and trace "
+                         "CSVs are byte-identical to DIR, then exit")
     args = ap.parse_args()
 
     if not args.skip_build:
         ensure_release_build(args.source, args.build)
+
+    if args.capture_golden or args.check_golden:
+        capture = args.capture_golden is not None
+        golden_dir = args.capture_golden if capture else args.check_golden
+        bad = run_golden(args.build, golden_dir, capture)
+        if bad:
+            sys.exit(f"error: {bad} golden mismatch(es) — simulated output "
+                     "moved; the analysis layer must be build-time-only")
+        print(f"golden {'capture' if capture else 'check'}: ok ({golden_dir})")
+        return
     build_type = read_build_type(args.build)
     if build_type is None:
         sys.exit(f"error: {args.build}/CMakeCache.txt not found; "
