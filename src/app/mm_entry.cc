@@ -13,7 +13,14 @@ MmEntry::MmEntry(DriverEnv env, Domain& domain, StretchAllocator& salloc, size_t
   NEM_ASSERT(num_workers >= 1);
 }
 
-MmEntry::~MmEntry() { Stop(); }
+MmEntry::~MmEntry() {
+  // ~AppDomain destroys the drivers before this runs, and each driver's own
+  // destructor already quiesced its IO tasks; drop the dangling pointers so
+  // Stop() does not call into freed objects. No simulator step can interleave
+  // between those destructors and this one, so no orphan can complete here.
+  drivers_.clear();
+  Stop();
+}
 
 void MmEntry::Start() {
   if (started_) {
@@ -43,6 +50,15 @@ void MmEntry::Stop() {
   // Slow-path tasks joined by the killed workers must die with them: their
   // result pointers live on the workers' (now destroyed) coroutine frames.
   slow_tasks_.KillAll();
+  // The killed slow paths in turn join driver IO tasks (evict/swap) whose
+  // result pointers live on THEIR frames; quiesce every bound driver so no
+  // orphan completes into a destroyed joiner. Outside full teardown (a hung
+  // domain) nothing else would kill them.
+  for (auto& [sid, driver] : drivers_) {
+    if (driver != nullptr) {
+      driver->Quiesce();
+    }
+  }
   started_ = false;
 }
 

@@ -108,6 +108,8 @@ class PagedStretchDriver : public PhysicalStretchDriver {
   // swap client is closed; the driver issues no further swap IO afterwards.
   void StopPipeline();
 
+  void Quiesce() override { StopPipeline(); }
+
   const char* kind() const override { return "paged"; }
 
   uint64_t pageins() const { return pageins_.value(); }

@@ -10,9 +10,13 @@ Task SequentialAccessLoop(AppDomain& app, AccessType access, SimTime until, uint
   Simulator& sim = app.sim();
   while (sim.Now() < until && app.alive()) {
     bool pass_ok = false;
-    TaskHandle h = sim.Spawn(app.vmem().AccessRange(stretch->base(), stretch->length(), access,
-                                                    &pass_ok, bytes),
-                             app.name() + "/pass");
+    // The pass must be a workload task, not a raw spawn: its result pointer
+    // is on this frame, and if the domain is killed while a page resolve's
+    // joiner-resume is already in the event queue, an unowned pass would
+    // outlive us and write into the freed frame. Owned, it dies with us.
+    TaskHandle h = app.SpawnWorkload(app.vmem().AccessRange(stretch->base(), stretch->length(),
+                                                            access, &pass_ok, bytes),
+                                     "pass");
     co_await Join(h);
     if (!pass_ok) {
       *ok = false;
@@ -25,9 +29,10 @@ Task SequentialAccessLoop(AppDomain& app, AccessType access, SimTime until, uint
 Task SequentialPass(AppDomain& app, AccessType access, bool* ok) {
   Stretch* stretch = app.stretch();
   bool pass_ok = false;
-  TaskHandle h = app.sim().Spawn(
+  // Workload-owned for the same reason as in SequentialAccessLoop above.
+  TaskHandle h = app.SpawnWorkload(
       app.vmem().AccessRange(stretch->base(), stretch->length(), access, &pass_ok, nullptr),
-      app.name() + "/pass");
+      "pass");
   co_await Join(h);
   *ok = pass_ok;
 }

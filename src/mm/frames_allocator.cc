@@ -200,43 +200,96 @@ Expected<Pfn, FramesError> FramesAllocator::AllocFrame(DomainId domain) {
     return MakeUnexpected(*err);
   }
 
+  if (guaranteed_request) {
+    return AllocGuaranteed(*c);
+  }
   if (!free_list_.empty()) {
+    // CheckAllocation already verified the spare pool covers every
+    // outstanding guarantee (and hence every queued waiter's claim).
     return TakeFreeFrame(*c);
+  }
+  return MakeUnexpected(FramesError::kNoMemory);
+}
+
+Expected<Pfn, FramesError> FramesAllocator::AllocGuaranteed(Client& client) {
+  g_system_domain.AssertHeld();  // serialized system section (see thread_annotations.h)
+  PruneWaiters();
+  if (MayTakeFrame(client.domain)) {
+    DropWaiter(client.domain);
+    return TakeFreeFrame(client);
   }
 
-  if (!guaranteed_request) {
-    return MakeUnexpected(FramesError::kNoMemory);
+  // Under pressure: join the FIFO (freed frames are reserved for the queue in
+  // order) and make sure a reclamation is in flight on the queue's behalf.
+  if (WaiterPos(client.domain) == kNoPos) {
+    guaranteed_waiters_.push_back(client.domain);
   }
-
-  // Guaranteed request with no free memory: revoke optimistic frames from a
-  // victim. Try the transparent path first.
-  if (revocation_active_) {
-    return MakeUnexpected(FramesError::kRevocationPending);
-  }
-  Client* victim = PickVictim();
-  NEM_ASSERT_MSG(victim != nullptr,
-                 "admission control violated: guarantee unmet with no optimistic frames in use");
-  if (ReclaimUnusedTop(*victim, 1) == 1) {
-    revocations_transparent_.Inc();
-    if (trace_ != nullptr) {
-      trace_->Record(sim_.Now(), "frames", static_cast<int>(victim->domain), "revoke-transparent",
-                     1.0, 0.0);
+  if (!revocation_active_ && free_list_.size() < guaranteed_waiters_.size()) {
+    Client* victim = PickVictim();
+    if (victim == nullptr) {
+      // Admission control guarantees an optimistic surplus whenever a
+      // guarantee is unmet with an empty pool; with frames still free the
+      // reserved prefix is simply draining towards us.
+      NEM_ASSERT_MSG(!free_list_.empty(),
+                     "admission control violated: guarantee unmet with no optimistic frames in use");
+      return MakeUnexpected(FramesError::kRevocationPending);
     }
-    if (obs_ != nullptr) {
-      // Zero-duration span: the victim lost a frame to `domain` but was not
-      // stalled (the frame was already unused).
-      obs_->Span(sim_.Now(), victim->domain, "revoke-transparent", 0.0, domain);
+    if (ReclaimUnusedTop(*victim, 1) == 1) {
+      revocations_transparent_.Inc();
+      if (trace_ != nullptr) {
+        trace_->Record(sim_.Now(), "frames", static_cast<int>(victim->domain),
+                       "revoke-transparent", 1.0, 0.0);
+      }
+      if (obs_ != nullptr) {
+        // Zero-duration span: the victim lost a frame to the requester but
+        // was not stalled (the frame was already unused).
+        obs_->Span(sim_.Now(), victim->domain, "revoke-transparent", 0.0, client.domain);
+      }
+      frames_available_.NotifyAll();
+    } else {
+      StartIntrusiveRevocation(*victim, 1, client.domain);
     }
-    return TakeFreeFrame(*c);
-  }
-  StartIntrusiveRevocation(*victim, 1, domain);
-  // The victim may comply synchronously from inside the notifier (its
-  // revocation handler runs before we return); grant immediately in that case
-  // so the caller never misses the wakeup.
-  if (!revocation_active_ && !free_list_.empty()) {
-    return TakeFreeFrame(*c);
+    // Either path may have refilled the pool synchronously (transparent
+    // reclaim, or the victim complying from inside the notifier); grant now
+    // if the FIFO says the frame is ours, so the caller never misses the
+    // wakeup.
+    if (MayTakeFrame(client.domain)) {
+      DropWaiter(client.domain);
+      return TakeFreeFrame(client);
+    }
   }
   return MakeUnexpected(FramesError::kRevocationPending);
+}
+
+size_t FramesAllocator::WaiterPos(DomainId domain) const {
+  for (size_t i = 0; i < guaranteed_waiters_.size(); ++i) {
+    if (guaranteed_waiters_[i] == domain) {
+      return i;
+    }
+  }
+  return kNoPos;
+}
+
+void FramesAllocator::DropWaiter(DomainId domain) {
+  std::erase(guaranteed_waiters_, domain);
+}
+
+void FramesAllocator::PruneWaiters() {
+  // Lazily drop waiters whose client is gone (killed or deregistered): a dead
+  // domain never retries, and its reservation would starve the queue behind
+  // it.
+  std::erase_if(guaranteed_waiters_, [this](DomainId d) { return Find(d) == nullptr; });
+}
+
+bool FramesAllocator::MayTakeFrame(DomainId domain) const {
+  if (free_list_.empty()) {
+    return false;
+  }
+  const size_t pos = WaiterPos(domain);
+  if (pos == kNoPos) {
+    return free_list_.size() > guaranteed_waiters_.size();
+  }
+  return pos < free_list_.size();
 }
 
 Status<FramesError> FramesAllocator::FreeFrame(DomainId domain, Pfn pfn) {
@@ -286,24 +339,54 @@ FramesAllocator::Client* FramesAllocator::PickVictim() {
   g_system_domain.AssertHeld();  // serialized system section (see thread_annotations.h)
   // "the frames allocator chooses a candidate application (i.e. one which
   // currently has optimistically allocated frames)" — take the one with the
-  // largest optimistic surplus.
+  // largest optimistic surplus. A domain already mid-revocation is skipped
+  // (re-picking it would either assert or stall behind its own deadline), and
+  // a candidate whose frames are all nailed can only yield frames via the
+  // kill path, so it loses to any candidate with a reclaimable frame.
   Client* best = nullptr;
   uint64_t best_surplus = 0;
+  Client* fallback = nullptr;  // largest surplus, fully nailed
+  uint64_t fallback_surplus = 0;
   for (auto& c : clients_) {
     if (!c->alive || c->allocated <= c->contract.guaranteed) {
       continue;
     }
+    if (revocation_active_ && c->domain == revocation_victim_) {
+      continue;
+    }
     const uint64_t surplus = c->allocated - c->contract.guaranteed;
-    if (surplus > best_surplus) {
-      best_surplus = surplus;
-      best = c.get();
+    if (HasReclaimableFrame(*c)) {
+      if (surplus > best_surplus) {
+        best_surplus = surplus;
+        best = c.get();
+      }
+    } else if (surplus > fallback_surplus) {
+      fallback_surplus = surplus;
+      fallback = c.get();
     }
   }
-  return best;
+  return best != nullptr ? best : fallback;
+}
+
+bool FramesAllocator::HasReclaimableFrame(const Client& c) const {
+  g_system_domain.AssertHeld();  // serialized system section (see thread_annotations.h)
+  for (const Pfn pfn : c.stack.frames()) {
+    if (ramtab_.StateOf(pfn) != FrameState::kNailed) {
+      return true;
+    }
+  }
+  return false;
 }
 
 void FramesAllocator::StartIntrusiveRevocation(Client& victim, uint64_t k, DomainId aggressor) {
   g_system_domain.AssertHeld();  // serialized system section (see thread_annotations.h)
+  // Only one intrusive revocation may be in flight: a second start would
+  // clobber revocation_timer_ and the notifier context, leaving the first
+  // victim's deadline armed against the wrong state. Callers gate on
+  // revocation_in_progress() and queue behind frames_available().
+  NEM_ASSERT_MSG(!revocation_active_,
+                 "overlapping intrusive revocations: a second StartIntrusiveRevocation would "
+                 "clobber the in-flight timer/notifier state");
   // Sanctioned: the notifier may run the victim's revocation handler
   // synchronously, inside the requester's access window.
   CrossDomainSection cross(access_checker_);
@@ -339,6 +422,7 @@ void FramesAllocator::RevocationComplete(DomainId domain) {
   }
   RecordAccess(domain);
   sim_.Cancel(revocation_timer_);
+  revocation_timer_ = 0;
   FinishRevocation(domain, /*deadline_expired=*/false);
 }
 
@@ -349,6 +433,7 @@ void FramesAllocator::FinishRevocation(DomainId victim_id, bool deadline_expired
   }
   revocation_active_ = false;
   revocation_victim_ = kNoDomain;
+  revocation_timer_ = 0;
   const DomainId aggressor = revocation_aggressor_;
   revocation_aggressor_ = kNoDomain;
   if (obs_ != nullptr) {
@@ -386,6 +471,31 @@ void FramesAllocator::FinishRevocation(DomainId victim_id, bool deadline_expired
 
 void FramesAllocator::KillAndReclaim(Client& victim) {
   g_system_domain.AssertHeld();  // serialized system section (see thread_annotations.h)
+  // A dead domain can neither retry its queued request nor comply with a
+  // pending revocation: drop its reservation, and if it is the in-flight
+  // revocation victim, cancel the deadline timer so FinishRevocation never
+  // fires against a reclaimed client (or a later re-admission of the same
+  // domain id).
+  DropWaiter(victim.domain);
+  if (revocation_active_ && revocation_victim_ == victim.domain) {
+    sim_.Cancel(revocation_timer_);
+    revocation_timer_ = 0;
+    revocation_active_ = false;
+    revocation_victim_ = kNoDomain;
+    const DomainId aggressor = revocation_aggressor_;
+    revocation_aggressor_ = kNoDomain;
+    revocations_cancelled_.Inc();
+    if (trace_ != nullptr) {
+      trace_->Record(sim_.Now(), "frames", static_cast<int>(victim.domain), "revoke-cancel", 0.0,
+                     0.0);
+    }
+    if (obs_ != nullptr) {
+      // Close the revocation window at teardown so the span ledger balances
+      // (every revoke-start gets a revoke-end even when the victim dies).
+      obs_->Span(revocation_started_, victim.domain, "revoke-end",
+                 ToMilliseconds(sim_.Now() - revocation_started_), aggressor);
+    }
+  }
   // Sanctioned: teardown strips another domain's frames and mappings.
   CrossDomainSection cross(access_checker_);
   // Reclaim every frame, forcibly tearing down live mappings. A nailed frame

@@ -15,6 +15,7 @@
 #define SRC_MM_FRAMES_ALLOCATOR_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -65,10 +66,12 @@ class FramesAllocator {
 
   // --- Allocation ----------------------------------------------------------
 
-  // Allocates one frame. Returns kRevocationPending when an intrusive
-  // revocation was initiated on the caller's behalf: wait on
-  // frames_available() and retry (the retry is guaranteed to make progress
-  // while the caller is under its guarantee).
+  // Allocates one frame. Returns kRevocationPending when the caller must wait
+  // on frames_available() and retry. Guaranteed requesters that hit memory
+  // pressure join a FIFO waiter queue; freed frames are reserved for the
+  // queue head(s), so every retry makes progress within |queue| revocations
+  // even under a storm of concurrent guaranteed requests (no starvation, no
+  // newcomer stealing a freed frame from an older waiter).
   NEM_RUNS_ON(system) Expected<Pfn, FramesError> AllocFrame(DomainId domain);
 
   // Fine-grained placement (paper §6.2: "A domain may request specific
@@ -140,7 +143,10 @@ class FramesAllocator {
   uint64_t revocations_transparent() const { return revocations_transparent_.value(); }
   uint64_t revocations_intrusive() const { return revocations_intrusive_.value(); }
   uint64_t domains_killed() const { return domains_killed_.value(); }
+  uint64_t revocations_cancelled() const { return revocations_cancelled_.value(); }
   bool revocation_in_progress() const { return revocation_active_; }
+  // Guaranteed requesters currently queued for a reserved frame (tests).
+  size_t guaranteed_waiters() const { return guaranteed_waiters_.size(); }
 
   // Observability hook; revoke-* spans (victim as client, aggressor in
   // value_b) are emitted only while obs->enabled().
@@ -175,8 +181,22 @@ class FramesAllocator {
   Expected<Pfn, FramesError> GrantSpecific(Client& client, Pfn pfn);
   // Reclaims up to `k` unused frames from the top of the victim's stack.
   NEM_RUNS_ON(system) uint64_t ReclaimUnusedTop(Client& victim, uint64_t k);
-  // Picks the domain holding the most optimistic frames.
+  // Picks the domain holding the most optimistic frames. Skips the victim of
+  // the in-flight revocation and prefers candidates that hold at least one
+  // reclaimable (non-nailed) frame; a fully-nailed candidate is only returned
+  // as a last resort (the kill path), never picked over a compliant victim.
   Client* PickVictim();
+  bool HasReclaimableFrame(const Client& c) const;
+  // FIFO waiter-queue helpers (guaranteed-progress reservations).
+  static constexpr size_t kNoPos = SIZE_MAX;
+  size_t WaiterPos(DomainId domain) const;
+  void DropWaiter(DomainId domain);
+  void PruneWaiters();
+  // True when `domain` may take a free frame now: it is within the reserved
+  // FIFO prefix, or spare frames exist beyond every queued waiter's claim.
+  bool MayTakeFrame(DomainId domain) const;
+  // Guaranteed-request slow path: reservation check, queue join, revocation.
+  NEM_RUNS_ON(system) Expected<Pfn, FramesError> AllocGuaranteed(Client& client);
   // `aggressor` is the domain whose allocation forced the revocation; it is
   // carried into the revoke-* spans so crosstalk can be attributed.
   NEM_RUNS_ON(system) void StartIntrusiveRevocation(Client& victim, uint64_t k, DomainId aggressor);
@@ -203,8 +223,14 @@ class FramesAllocator {
   std::vector<std::unique_ptr<Client>> clients_ NEM_GUARDED_BY(g_system_domain);
   Condition frames_available_;
 
+  // Guaranteed requesters waiting for a frame, oldest first. While the queue
+  // is non-empty, up to |queue| free frames are reserved for the queued
+  // domains in FIFO order; KillAndReclaim and PruneWaiters drop dead entries
+  // so a torn-down waiter can never pin a reservation.
+  std::deque<DomainId> guaranteed_waiters_ NEM_GUARDED_BY(g_system_domain);
+
   // Intrusive-revocation state (one at a time, as requests are serialised
-  // through the system domain).
+  // through the system domain; StartIntrusiveRevocation asserts it).
   bool revocation_active_ = false;
   DomainId revocation_victim_ = kNoDomain;
   uint64_t revocation_k_ = 0;
@@ -220,6 +246,7 @@ class FramesAllocator {
 
   StatCounter revocations_transparent_;
   StatCounter revocations_intrusive_;
+  StatCounter revocations_cancelled_;  // victim torn down mid-revocation
   StatCounter domains_killed_;
 };
 

@@ -1,0 +1,109 @@
+// Adversarial scenario generator (seeded, deterministic).
+//
+// A scenario is a machine description plus a flat, time-ordered event script:
+// domains with heterogeneous (g, x) contracts — deliberately over-committed
+// beyond physical memory on the optimistic side — issue Zipf-skewed access
+// bursts while the script hangs some domains (so they blow the revocation
+// deadline T) and tears others down mid-flight. The same seed always produces
+// the same spec; the spec serialises to a line-oriented text script so a
+// failing case can be replayed, shrunk, and committed as a regression.
+//
+// This layer owns spec/generation/shrinking only; building a System from a
+// spec lives in src/core/scenario_runner.h (sim must not depend on core).
+#ifndef SRC_SIM_SCENARIO_GEN_H_
+#define SRC_SIM_SCENARIO_GEN_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace nemesis {
+
+// One tenant domain in the scenario.
+struct ScenarioDomainSpec {
+  int id = 0;                // scenario-local id (1-based, stable across runs)
+  uint64_t guaranteed = 0;   // frames contract g
+  uint64_t optimistic = 0;   // frames contract x
+  bool nailed = false;       // nailed driver (frames resist revocation)
+  uint64_t pages = 16;       // stretch size in pages
+  double zipf_s = 0.0;       // access skew exponent (0 = uniform)
+  // Admission time. Staggered arrivals are what make revocation reachable:
+  // a late tenant's guarantee meets a machine already filled by early hogs'
+  // optimistic frames (a guarantee reserved from t=0 is never under pressure,
+  // because optimistic grants cannot dip into outstanding guarantees).
+  SimTime admit_at = 0;
+};
+
+enum class ScenarioEventKind {
+  kBurst,     // domain touches `ops` Zipf-sampled pages (read or write)
+  kHang,      // domain stops servicing events: future revocations against it
+              // blow the deadline T and exercise the allocator kill path
+  kShutdown,  // full domain teardown mid-flight (deregisters from allocators)
+  kCorrupt,   // test-only: corrupt guarantee accounting so the auditor trips
+              // (used to validate the shrinker against a known violation)
+};
+
+struct ScenarioEvent {
+  ScenarioEventKind kind = ScenarioEventKind::kBurst;
+  SimTime at = 0;       // absolute sim time, ns
+  int domain = 0;       // target scenario domain id (unused for kCorrupt)
+  uint64_t ops = 0;     // kBurst: number of page touches
+  bool write = false;   // kBurst: write accesses (dirty pages resist reclaim)
+};
+
+struct ScenarioSpec {
+  uint64_t seed = 0;     // provenance only; replay uses the events verbatim
+  uint64_t frames = 32;  // physical frames on the simulated machine
+  std::vector<ScenarioDomainSpec> domains;
+  std::vector<ScenarioEvent> events;  // kept sorted by `at` (stable)
+
+  // Line-oriented text form (the "event script"): round-trips through
+  // FromScript exactly, so shrunk repros can be committed as fixtures.
+  std::string ToScript() const;
+  static bool FromScript(const std::string& text, ScenarioSpec* out);
+};
+
+struct GeneratorConfig {
+  uint64_t min_frames = 24;
+  uint64_t max_frames = 64;
+  int min_domains = 2;
+  int max_domains = 5;
+  int max_events = 24;                        // bursts + hangs + shutdowns
+  SimDuration horizon = Milliseconds(400);    // events land in [0, horizon)
+  uint64_t max_burst_ops = 256;
+  double nailed_prob = 0.2;    // chance a domain uses the nailed driver
+  double hang_prob = 0.25;     // chance a domain gets a hang event
+  double shutdown_prob = 0.25; // chance a domain gets a mid-flight teardown
+};
+
+// Deterministic: the same (seed, config) always yields the same spec. The
+// generated contracts are admission-safe (sum g <= frames) but over-committed
+// overall (sum g+x > frames), so guaranteed allocations must revoke.
+ScenarioSpec GenerateScenario(uint64_t seed, const GeneratorConfig& config = {});
+
+// Greedy event-script shrinker. `still_fails` must return true while the
+// candidate spec still reproduces the failure; Shrink returns the smallest
+// spec found (event removal to fixpoint, then burst-halving, then removal of
+// domains that no longer appear in any event).
+ScenarioSpec Shrink(const ScenarioSpec& spec,
+                    const std::function<bool(const ScenarioSpec&)>& still_fails);
+
+// Zipf(s) sampler over [0, n): rank-0 hottest. s == 0 degenerates to uniform.
+// Deterministic given the caller's Random stream.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double s);
+  // u must be uniform in [0, 1) (e.g. Random::NextDouble).
+  uint64_t Sample(double u) const;
+  uint64_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // inclusive prefix sums, normalised to 1.0
+};
+
+}  // namespace nemesis
+
+#endif  // SRC_SIM_SCENARIO_GEN_H_

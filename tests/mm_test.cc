@@ -528,5 +528,146 @@ TEST_F(FramesTest, PlacementNeverTriggersRevocation) {
   EXPECT_EQ(frames_.revocations_intrusive(), 0u);
 }
 
+TEST_F(FramesTest, StaleDeadlineTimerCancelledOnVictimTeardown) {
+  // Regression: the victim is torn down (RemoveClient, as AppDomain::Shutdown
+  // does) while an intrusive revocation is pending against it. The armed
+  // deadline timer must die with the client — before the fix it fired
+  // FinishRevocation against whoever held domain id 1 by then, killing an
+  // innocent re-admission of the same id.
+  ASSERT_TRUE(frames_.AdmitClient(1, {4, 12}).ok());
+  for (int i = 0; i < 16; ++i) {
+    auto f = frames_.AllocFrame(1);
+    ASSERT_TRUE(f.has_value());
+    ramtab_.SetMapped(*f, 100 + i);
+  }
+  DomainId killed = kNoDomain;
+  frames_.set_kill_handler([&](DomainId victim) { killed = victim; });
+  ASSERT_TRUE(frames_.AdmitClient(2, {4, 0}).ok());
+  ASSERT_FALSE(frames_.AllocFrame(2).has_value());
+  ASSERT_TRUE(frames_.revocation_in_progress());
+
+  // Teardown mid-revocation, then re-admit the same domain id.
+  ASSERT_TRUE(frames_.RemoveClient(1).ok());
+  EXPECT_FALSE(frames_.revocation_in_progress());
+  EXPECT_EQ(frames_.revocations_cancelled(), 1u);
+  ASSERT_TRUE(frames_.AdmitClient(1, {2, 0}).ok());
+  ASSERT_TRUE(frames_.AllocFrame(1).has_value());
+
+  // Run well past the original deadline: the stale timer must not fire.
+  sim_.RunUntil(Milliseconds(500));
+  EXPECT_EQ(killed, kNoDomain);
+  EXPECT_EQ(frames_.domains_killed(), 0u);
+  EXPECT_TRUE(frames_.IsClient(1));
+}
+
+TEST_F(FramesTest, VictimRemovalUnblocksNextRevocation) {
+  // Regression: RemoveClient on the in-flight victim used to leave
+  // revocation_active_ set, so every later guaranteed request bounced with
+  // kRevocationPending and no new revocation could ever start.
+  ASSERT_TRUE(frames_.AdmitClient(1, {2, 6}).ok());
+  for (int i = 0; i < 8; ++i) {
+    auto f = frames_.AllocFrame(1);
+    ASSERT_TRUE(f.has_value());
+    ramtab_.SetMapped(*f, 100 + i);
+  }
+  ASSERT_TRUE(frames_.AdmitClient(2, {2, 6}).ok());
+  for (int i = 0; i < 8; ++i) {
+    auto f = frames_.AllocFrame(2);
+    ASSERT_TRUE(f.has_value());
+    ramtab_.SetMapped(*f, 200 + i);
+  }
+  ASSERT_TRUE(frames_.AdmitClient(3, {4, 0}).ok());
+  ASSERT_FALSE(frames_.AllocFrame(3).has_value());
+  ASSERT_TRUE(frames_.revocation_in_progress());
+
+  // The victim (1, largest surplus) disappears mid-flight. Its 8 frames fund
+  // the waiter, and the next guaranteed request may revoke afresh against 2.
+  ASSERT_TRUE(frames_.RemoveClient(1).ok());
+  EXPECT_FALSE(frames_.revocation_in_progress());
+  auto f = frames_.AllocFrame(3);
+  ASSERT_TRUE(f.has_value());
+}
+
+TEST_F(FramesTest, WaiterQueueIsFifoUnderStorm) {
+  // Regression: a freed frame used to go to whichever guaranteed requester
+  // called AllocFrame first after the NotifyAll, so a newcomer arriving at
+  // just the right moment starved an older waiter indefinitely. Freed frames
+  // are now reserved for the waiter queue in FIFO order.
+  ASSERT_TRUE(frames_.AdmitClient(1, {4, 12}).ok());
+  for (int i = 0; i < 16; ++i) {
+    auto f = frames_.AllocFrame(1);
+    ASSERT_TRUE(f.has_value());
+    ramtab_.SetMapped(*f, 100 + i);
+  }
+  ASSERT_TRUE(frames_.AdmitClient(2, {4, 0}).ok());
+  ASSERT_TRUE(frames_.AdmitClient(3, {4, 0}).ok());
+
+  // Domain 2 asks first and is queued behind an intrusive revocation.
+  ASSERT_FALSE(frames_.AllocFrame(2).has_value());
+  ASSERT_TRUE(frames_.revocation_in_progress());
+  EXPECT_EQ(frames_.guaranteed_waiters(), 1u);
+
+  // The victim complies: exactly one frame comes free.
+  FrameStack* stack = frames_.StackOf(1);
+  ramtab_.SetUnused(stack->At(0));
+  frames_.RevocationComplete(1);
+  ASSERT_EQ(frames_.free_frames(), 1u);
+
+  // Newcomer 3 races in before 2 retries: the free frame is reserved for 2,
+  // so 3 must queue (and trigger the next revocation), not steal the frame.
+  auto f3 = frames_.AllocFrame(3);
+  ASSERT_FALSE(f3.has_value());
+  EXPECT_EQ(f3.error(), FramesError::kRevocationPending);
+  EXPECT_EQ(frames_.guaranteed_waiters(), 2u);
+
+  auto f2 = frames_.AllocFrame(2);
+  ASSERT_TRUE(f2.has_value());
+  EXPECT_EQ(frames_.guaranteed_waiters(), 1u);
+}
+
+TEST_F(FramesTest, PickVictimPrefersReclaimableOverNailed) {
+  // Regression: the victim scan took the largest optimistic surplus even when
+  // every frame of that domain was nailed — the revocation could only end in
+  // a kill, while a smaller victim with unused frames was available for a
+  // transparent reclaim.
+  ASSERT_TRUE(frames_.AdmitClient(1, {2, 10}).ok());
+  for (int i = 0; i < 12; ++i) {
+    auto f = frames_.AllocFrame(1);
+    ASSERT_TRUE(f.has_value());
+    ramtab_.SetNailed(*f);  // all-nailed aggressor, surplus 10
+  }
+  ASSERT_TRUE(frames_.AdmitClient(2, {2, 2}).ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(frames_.AllocFrame(2).has_value());  // unused, surplus 2
+  }
+  ASSERT_TRUE(frames_.AdmitClient(3, {2, 0}).ok());
+  auto f = frames_.AllocFrame(3);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(frames_.revocations_transparent(), 1u);
+  EXPECT_EQ(frames_.revocations_intrusive(), 0u);
+  sim_.RunUntil(Milliseconds(500));
+  EXPECT_EQ(frames_.domains_killed(), 0u);
+  EXPECT_EQ(frames_.AllocatedCount(1), 12u);  // the nailed domain kept its frames
+}
+
+TEST_F(FramesTest, AllNailedVictimStillKillableAsLastResort) {
+  // When *every* optimistic holder is fully nailed, the allocator must still
+  // make progress for the guarantee: the nailed domain is picked as the last
+  // resort and the deadline kill path reclaims its frames.
+  ASSERT_TRUE(frames_.AdmitClient(1, {4, 12}).ok());
+  for (int i = 0; i < 16; ++i) {
+    auto f = frames_.AllocFrame(1);
+    ASSERT_TRUE(f.has_value());
+    ramtab_.SetNailed(*f);
+  }
+  frames_.set_force_unmap([](Vpn) {});
+  ASSERT_TRUE(frames_.AdmitClient(2, {4, 0}).ok());
+  ASSERT_FALSE(frames_.AllocFrame(2).has_value());
+  ASSERT_TRUE(frames_.revocation_in_progress());
+  sim_.RunUntil(Milliseconds(500));
+  EXPECT_EQ(frames_.domains_killed(), 1u);
+  EXPECT_TRUE(frames_.AllocFrame(2).has_value());
+}
+
 }  // namespace
 }  // namespace nemesis

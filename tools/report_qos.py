@@ -169,6 +169,7 @@ def build_report(spans, revocations, revoke_counts, names, metrics=None):
             f"  stall overlap: {attributed[(victim, aggressor)]:>9.1f} ms")
     if not any_revocation:
         out("  (none: no revocations in this run)")
+    attributed_ms = sum(attributed.values())
 
     # Pager-pipeline counters (per-app gauges from the metrics snapshot).
     # Every paged app registers them; a pipeline left off reads as zeros.
@@ -186,7 +187,7 @@ def build_report(spans, revocations, revoke_counts, names, metrics=None):
             out(f"  {name:<16} " + " ".join(
                 f"{int(row[g]) if row[g] is not None else '-':>18}"
                 for g in PIPELINE_GAUGES))
-    return "\n".join(lines) + "\n", pct
+    return "\n".join(lines) + "\n", pct, attributed_ms
 
 
 def main():
@@ -197,6 +198,11 @@ def main():
     ap.add_argument("--out", default=None, help="write the report here (default stdout)")
     ap.add_argument("--require-complete", type=float, default=None, metavar="PCT",
                     help="exit 1 if complete-span percentage is below PCT")
+    ap.add_argument("--require-attribution", action="store_true",
+                    help="exit 1 unless at least one intrusive revocation "
+                         "happened AND some victim stall was attributed to an "
+                         "aggressor (guards benches whose whole point is a "
+                         "populated crosstalk table)")
     args = ap.parse_args()
 
     spans, revocations, revoke_counts = load_spans(args.trace_csv)
@@ -204,8 +210,8 @@ def main():
         sys.exit(f"error: no span records in {args.trace_csv} "
                  "(was the bench run with NEMESIS_OBS=1?)")
     names, metrics = load_domain_names(args.metrics)
-    report, complete_pct = build_report(spans, revocations, revoke_counts, names,
-                                        metrics)
+    report, complete_pct, attributed_ms = build_report(
+        spans, revocations, revoke_counts, names, metrics)
 
     if args.out:
         with open(args.out, "w") as f:
@@ -216,6 +222,13 @@ def main():
     if args.require_complete is not None and complete_pct < args.require_complete:
         sys.exit(f"error: only {complete_pct:.2f}% of spans complete "
                  f"(required {args.require_complete}%)")
+    if args.require_attribution:
+        if not revocations:
+            sys.exit("error: --require-attribution but the trace has no "
+                     "completed intrusive revocations (no revoke-end spans)")
+        if attributed_ms <= 0:
+            sys.exit("error: --require-attribution but no victim stall "
+                     "overlapped a revocation window (empty aggressor table)")
 
 
 if __name__ == "__main__":

@@ -54,17 +54,23 @@ BENCH_TARGETS = [
     "bench_ablation_parallel",
     "bench_ablation_streampaging",
     "bench_ablation_pipeline",
+    "bench_ablation_revocation",
 ]
 
 # NEMESIS_OBS=1 reruns that publish the per-domain QoS-crosstalk reports:
-# (bench binary, span-trace CSV it writes, metrics JSON, report file).
+# (bench binary, span-trace CSV it writes, metrics JSON, report file,
+#  extra report_qos.py flags). The revocation ablation exists to produce a
+# populated aggressor table, so its report run also gates on attribution.
 QOS_RUNS = [
     ("bench_fig7_paging_in", "fig7_usd_trace.csv",
-     "fig7_usd_trace_metrics.json", "fig7_qos_report.txt"),
+     "fig7_usd_trace_metrics.json", "fig7_qos_report.txt", []),
     ("bench_fig8_paging_out", "fig8_usd_trace.csv",
-     "fig8_usd_trace_metrics.json", "fig8_qos_report.txt"),
+     "fig8_usd_trace_metrics.json", "fig8_qos_report.txt", []),
     ("bench_fig9_fs_isolation", "fig9_trace.csv",
-     "fig9_metrics.json", "fig9_qos_report.txt"),
+     "fig9_metrics.json", "fig9_qos_report.txt", []),
+    ("bench_ablation_revocation", "revocation_trace.csv",
+     "revocation_metrics.json", "revocation_qos_report.txt",
+     ["--require-attribution"]),
 ]
 
 # Golden byte-compare (--capture-golden / --check-golden): the figure
@@ -199,7 +205,7 @@ def run_qos_reports(build_dir, source_dir):
     report_tool = (source_dir / "tools" / "report_qos.py").resolve()
     env = dict(os.environ, NEMESIS_OBS="1")
     reports = {}
-    for bench, trace_csv, metrics_json, report_txt in QOS_RUNS:
+    for bench, trace_csv, metrics_json, report_txt, extra_flags in QOS_RUNS:
         binary = (build_dir / "bench" / bench).resolve()
         if not binary.exists():
             reports[bench] = {"error": "binary not found"}
@@ -209,7 +215,7 @@ def run_qos_reports(build_dir, source_dir):
         out = subprocess.run(
             [sys.executable, str(report_tool), trace_csv,
              "--metrics", metrics_json, "--out", report_txt,
-             "--require-complete", "99"],
+             "--require-complete", "99"] + extra_flags,
             check=True, capture_output=True, text=True, cwd=build_dir)
         report_path = build_dir / report_txt
         m = re.search(r"complete spans: \d+ \(([\d.]+)%\)",
@@ -349,6 +355,7 @@ def main():
             "ablation_parallel": run_figure(args.build, "bench_ablation_parallel"),
             "ablation_streampaging": run_figure(args.build, "bench_ablation_streampaging"),
             "ablation_pipeline": run_figure(args.build, "bench_ablation_pipeline"),
+            "ablation_revocation": run_figure(args.build, "bench_ablation_revocation"),
         }
         doc["obs"] = run_obs_overhead(args.build)
         if not args.skip_qos:
