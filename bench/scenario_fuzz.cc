@@ -1,9 +1,12 @@
 // Adversarial scenario fuzz driver (see DESIGN.md "Adversarial scenarios").
 //
-//   scenario_fuzz --seed N [--parallel E] [--observe] [--print]
+//   scenario_fuzz --seed N [--parallel E] [--observe] [--print] [--linear]
 //   scenario_fuzz --seeds N            # seeds 1..N, one after another
 //   scenario_fuzz --script FILE       # replay a saved event script
 //   scenario_fuzz --seed N --shrink   # reduce a failing seed to a minimal script
+//   scenario_fuzz --tenants N         # fleet-density preset: N-domain
+//                                     # over-committed tenant storm (seeded by
+//                                     # --seed, default 1)
 //
 // Exit 0 when every run is oracle-clean; on failure the offending seed and
 // its event script are printed so CI logs alone are enough to reproduce. In
@@ -51,6 +54,7 @@ int RunOne(const ScenarioSpec& spec, const ScenarioOptions& options, bool print_
 int main(int argc, char** argv) {
   uint64_t seed = 0;
   uint64_t seeds = 0;
+  int tenants = 0;
   std::string script_path;
   bool shrink = false;
   bool print_spec = false;
@@ -64,10 +68,14 @@ int main(int argc, char** argv) {
       seeds = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--script" && has_value) {
       script_path = argv[++i];
+    } else if (arg == "--tenants" && has_value) {
+      tenants = static_cast<int>(std::strtoull(argv[++i], nullptr, 10));
     } else if (arg == "--parallel" && has_value) {
       options.parallel_sim = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--observe") {
       options.observe = true;
+    } else if (arg == "--linear") {
+      options.linear_structures = true;
     } else if (arg == "--shrink") {
       shrink = true;
     } else if (arg == "--print") {
@@ -92,6 +100,14 @@ int main(int argc, char** argv) {
       return 2;
     }
     return RunOne(spec, options, print_spec);
+  }
+
+  if (tenants > 0) {
+    const uint64_t storm_seed = seed == 0 ? 1 : seed;
+    std::printf("running %d-tenant storm (seed %llu)...\n", tenants,
+                static_cast<unsigned long long>(storm_seed));
+    std::fflush(stdout);
+    return RunOne(GenerateTenantStorm(storm_seed, tenants), options, print_spec);
   }
 
   if (seeds > 0) {

@@ -1,0 +1,199 @@
+// Position-tracked d-ary min-heap keyed by an ordered Key, addressed by dense
+// integer handles (a client's slot index in its owner's append-only vector).
+//
+// This is the indexed structure behind the fleet-density hot paths: the
+// Atropos EDF / extra-time indexes and the frames allocator's victim indexes
+// replace their per-decision linear scans with a top-of-heap read, paying
+// O(log n) only on the events that actually change a key (charge, refresh,
+// state transition, nail/steal). Keys must be totally ordered and unique —
+// callers append a tie-break id (client id / admission sequence) as the last
+// tuple element — so the heap's choice is a pure function of the key set and
+// independent of insertion history, which is what keeps the indexed pick
+// byte-identical to the linear scan it replaces.
+#ifndef SRC_BASE_INDEXED_HEAP_H_
+#define SRC_BASE_INDEXED_HEAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/assert.h"
+
+namespace nemesis {
+
+inline constexpr uint32_t kNoHeapHandle = UINT32_MAX;
+
+template <typename Key>
+class IndexedHeap {
+ public:
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  bool Contains(uint32_t handle) const {
+    return handle < pos_.size() && pos_[handle] != kNoHeapHandle;
+  }
+
+  const Key& KeyOf(uint32_t handle) const {
+    NEM_ASSERT(Contains(handle));
+    return heap_[pos_[handle]].key;
+  }
+
+  // Inserts the handle, or re-keys it in place if already present (the
+  // decrease/increase-key path for Charge/refresh updates).
+  void InsertOrUpdate(uint32_t handle, const Key& key) {
+    if (handle >= pos_.size()) {
+      pos_.resize(handle + 1, kNoHeapHandle);
+    }
+    const uint32_t at = pos_[handle];
+    if (at == kNoHeapHandle) {
+      heap_.push_back(Entry{handle, key});
+      pos_[handle] = static_cast<uint32_t>(heap_.size() - 1);
+      SiftUp(static_cast<uint32_t>(heap_.size() - 1));
+      return;
+    }
+    heap_[at].key = key;
+    if (!SiftUp(at)) {
+      SiftDown(at);
+    }
+  }
+
+  // Removes the handle if present (no-op otherwise, so callers can express
+  // membership declaratively: "erase unless eligible").
+  void Erase(uint32_t handle) {
+    if (!Contains(handle)) {
+      return;
+    }
+    const uint32_t at = pos_[handle];
+    pos_[handle] = kNoHeapHandle;
+    const uint32_t last = static_cast<uint32_t>(heap_.size() - 1);
+    if (at != last) {
+      heap_[at] = heap_[last];
+      pos_[heap_[at].handle] = at;
+      heap_.pop_back();
+      if (!SiftUp(at)) {
+        SiftDown(at);
+      }
+    } else {
+      heap_.pop_back();
+    }
+  }
+
+  // Handle holding the minimum key, or kNoHeapHandle when empty.
+  uint32_t TopHandle() const { return heap_.empty() ? kNoHeapHandle : heap_[0].handle; }
+
+  const Key& TopKey() const {
+    NEM_ASSERT(!heap_.empty());
+    return heap_[0].key;
+  }
+
+  // Minimum-key handle with one handle masked out (the allocator's "skip the
+  // in-flight revocation victim" pick). When the excluded handle is the root,
+  // the runner-up is the least of the root's children — O(d), no mutation.
+  uint32_t TopExcluding(uint32_t excluded) const {
+    if (heap_.empty()) {
+      return kNoHeapHandle;
+    }
+    if (heap_[0].handle != excluded) {
+      return heap_[0].handle;
+    }
+    if (heap_.size() == 1) {
+      return kNoHeapHandle;
+    }
+    size_t best = 1;
+    const size_t last = kArity < heap_.size() - 1 ? kArity : heap_.size() - 1;
+    for (size_t i = 2; i <= last; ++i) {
+      if (heap_[i].key < heap_[best].key) {
+        best = i;
+      }
+    }
+    return heap_[best].handle;
+  }
+
+  // Visits every (handle, key) pair in unspecified order (audit cross-checks).
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    for (const Entry& e : heap_) {
+      fn(e.handle, e.key);
+    }
+  }
+
+  // Audit helper: verifies the heap property and the position map. Returns
+  // false on structural corruption.
+  bool SelfCheck() const {
+    for (uint32_t i = 0; i < heap_.size(); ++i) {
+      if (pos_[heap_[i].handle] != i) {
+        return false;
+      }
+      if (i > 0 && heap_[i].key < heap_[Parent(i)].key) {
+        return false;
+      }
+    }
+    size_t present = 0;
+    for (uint32_t p : pos_) {
+      if (p != kNoHeapHandle) {
+        ++present;
+      }
+    }
+    return present == heap_.size();
+  }
+
+ private:
+  // 4-ary: shallower than binary for the same n, and the d-way child compare
+  // stays in one cache line for small keys.
+  static constexpr uint32_t kArity = 4;
+
+  struct Entry {
+    uint32_t handle;
+    Key key;
+  };
+
+  static uint32_t Parent(uint32_t i) { return (i - 1) / kArity; }
+
+  bool SiftUp(uint32_t i) {
+    bool moved = false;
+    while (i > 0) {
+      const uint32_t parent = Parent(i);
+      if (!(heap_[i].key < heap_[parent].key)) {
+        break;
+      }
+      Swap(i, parent);
+      i = parent;
+      moved = true;
+    }
+    return moved;
+  }
+
+  void SiftDown(uint32_t i) {
+    for (;;) {
+      const uint64_t first = uint64_t{i} * kArity + 1;
+      if (first >= heap_.size()) {
+        return;
+      }
+      uint32_t smallest = static_cast<uint32_t>(first);
+      const uint64_t last =
+          first + kArity - 1 < heap_.size() ? first + kArity - 1 : heap_.size() - 1;
+      for (uint64_t c = first + 1; c <= last; ++c) {
+        if (heap_[c].key < heap_[smallest].key) {
+          smallest = static_cast<uint32_t>(c);
+        }
+      }
+      if (!(heap_[smallest].key < heap_[i].key)) {
+        return;
+      }
+      Swap(i, smallest);
+      i = smallest;
+    }
+  }
+
+  void Swap(uint32_t a, uint32_t b) {
+    std::swap(heap_[a], heap_[b]);
+    pos_[heap_[a].handle] = a;
+    pos_[heap_[b].handle] = b;
+  }
+
+  std::vector<Entry> heap_;
+  std::vector<uint32_t> pos_;  // handle -> heap index, kNoHeapHandle if absent
+};
+
+}  // namespace nemesis
+
+#endif  // SRC_BASE_INDEXED_HEAP_H_

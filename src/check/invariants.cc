@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "src/base/assert.h"
+#include "src/sched/atropos.h"
 #include "src/usd/usd.h"
 
 namespace nemesis {
@@ -65,8 +66,24 @@ AuditReport InvariantAuditor::Audit(Depth depth) {
   CheckShardConfinement(report);
   if (depth == Depth::kFull) {
     CheckPteLiveness(report);
+    CheckIndexedStructures(report);
   }
   return report;
+}
+
+// indexed-structures: the incrementally-maintained indexes behind the
+// O(1)/O(log n) hot paths must agree with a ground-truth rescan of the linear
+// state they summarise. AuditIndexes() walks every client/frame, so the rule
+// runs at full depth (phase boundaries) like pte-liveness.
+void InvariantAuditor::CheckIndexedStructures(AuditReport& report) {
+  if (std::string mismatch = frames_.AuditIndexes(); !mismatch.empty()) {
+    Add(report, "indexed-structures", std::move(mismatch));
+  }
+  for (const AtroposScheduler* sched : schedulers_) {
+    if (std::string mismatch = sched->AuditIndexes(); !mismatch.empty()) {
+      Add(report, "indexed-structures", std::move(mismatch));
+    }
+  }
 }
 
 // shard-confinement: a domain shard mutating a RamTab entry or frame-stack
@@ -145,16 +162,16 @@ void InvariantAuditor::CheckRamTabOwnership(AuditReport& report) {
   frame_flags_.assign(total, 0);
   frame_stack_owner_.assign(total, kNoDomain);
 
-  for (Pfn pfn : frames_.free_list()) {
+  frames_.ForEachFreeFrame([&](Pfn pfn) {
     if (pfn >= total) {
       Add(report, "ramtab-owner", Format("free list holds out-of-range pfn %" PRIu64, pfn));
-      continue;
+      return;
     }
     if ((frame_flags_[pfn] & kOnFreeList) != 0) {
       Add(report, "ramtab-owner", Format("pfn %" PRIu64 " on free list twice", pfn));
     }
     frame_flags_[pfn] |= kOnFreeList;
-  }
+  });
   frames_.ForEachClient([&](const FramesAllocator::ClientView& c) {
     for (Pfn pfn : c.stack->frames()) {
       if (pfn >= total) {

@@ -28,6 +28,12 @@
 //   pte-liveness     (full depth only) every allocated PTE in the page table
 //                    belongs to a live stretch — a whole-table sweep, so it
 //                    runs at phase boundaries rather than per event batch.
+//   indexed-structures (full depth only) the incrementally-maintained indexes
+//                    behind the O(1)/O(log n) hot paths — the allocator's
+//                    reclaimable counters, victim heaps, outstanding-guarantee
+//                    sum and free-frame index, and each registered scheduler's
+//                    EDF/extra-time heaps — must agree with a ground-truth
+//                    rescan of the linear state they summarise.
 //   usd-batch-charge (only when a USD is registered) the time the USD charged
 //                    clients for chained (batched) transactions equals the
 //                    disk busy time those chains produced, exactly — batching
@@ -53,6 +59,7 @@
 
 namespace nemesis {
 
+class AtroposScheduler;
 class Usd;
 
 struct AuditViolation {
@@ -90,6 +97,10 @@ class InvariantAuditor {
   // Each audit drains the log, so a violation is reported exactly once.
   void RegisterAccessChecker(DomainAccessChecker* checker) { checker_ = checker; }
 
+  // Opts a scheduler's EDF/extra-time indexes into the indexed-structures
+  // rule (full depth). May be called once per scheduler instance.
+  void RegisterScheduler(const AtroposScheduler* sched) { schedulers_.push_back(sched); }
+
   // Runs all rules and returns the violations found. Reuses internal scratch
   // space, so a steady-state audit allocates nothing once warmed up.
   AuditReport Audit(Depth depth = Depth::kFast);
@@ -108,6 +119,7 @@ class InvariantAuditor {
   void CheckPdomRights(AuditReport& report);
   void CheckTlb(AuditReport& report);
   void CheckPteLiveness(AuditReport& report);
+  void CheckIndexedStructures(AuditReport& report);
   void CheckUsdBatchCharge(AuditReport& report);
   void CheckShardConfinement(AuditReport& report);
 
@@ -118,6 +130,7 @@ class InvariantAuditor {
   const TranslationSystem& translation_;
   const Usd* usd_ = nullptr;
   DomainAccessChecker* checker_ = nullptr;  // non-const: audits drain its log
+  std::vector<const AtroposScheduler*> schedulers_;
 
   // Scratch, rebuilt per audit (sized to the physical frame count / sid
   // space once, then reused).

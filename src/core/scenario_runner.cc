@@ -40,6 +40,7 @@ ScenarioResult RunScenario(const ScenarioSpec& spec, const ScenarioOptions& opti
   sys_cfg.phys_frames = spec.frames;
   sys_cfg.parallel_sim = options.parallel_sim;
   sys_cfg.observe = options.observe;
+  sys_cfg.indexed_structures = !options.linear_structures;
   if (options.audit >= 0) {
     sys_cfg.audit = options.audit != 0;
   }
@@ -56,7 +57,8 @@ ScenarioResult RunScenario(const ScenarioSpec& spec, const ScenarioOptions& opti
   // keeps generated specs runnable by construction).
   std::map<int, AppDomain*> apps;         // scenario id -> domain (once admitted)
   std::map<int, ScenarioDomainSpec> doms; // scenario id -> spec (pages resolved)
-  const auto admit = [&system, &sys_cfg, &apps, &doms](const ScenarioDomainSpec& d) {
+  const size_t ndomains = spec.domains.size();
+  const auto admit = [&system, &sys_cfg, &apps, &doms, ndomains](const ScenarioDomainSpec& d) {
     AppConfig cfg;
     cfg.name = "dom" + std::to_string(d.id);
     cfg.contract = {d.guaranteed, d.optimistic};
@@ -72,6 +74,16 @@ ScenarioResult RunScenario(const ScenarioSpec& spec, const ScenarioOptions& opti
       cfg.driver = AppConfig::DriverKind::kPaged;
       cfg.driver_max_frames = d.guaranteed + d.optimistic;  // use the full quota
       cfg.swap_bytes = std::max<uint64_t>(pages * sys_cfg.page_size, 1 * kMiB);
+      if (ndomains > 10) {
+        // Tenant-density specs: the default per-client disk QoS (25ms of
+        // every 250ms) over-commits the USD's Atropos admission beyond 10
+        // paged clients, and the 1 MiB swap floor overflows the swap
+        // partition beyond ~500. Shrink each slice so the mix claims half
+        // the disk in total and size swap files exactly; smaller specs keep
+        // the defaults (and their goldens).
+        cfg.disk_qos.slice = cfg.disk_qos.period / (2 * static_cast<int64_t>(ndomains));
+        cfg.swap_bytes = pages * sys_cfg.page_size;
+      }
     }
     cfg.stretch_bytes = pages * sys_cfg.page_size;
     ScenarioDomainSpec resolved = d;

@@ -13,6 +13,8 @@
 #define SRC_KERNEL_RAMTAB_H_
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "src/base/assert.h"
@@ -61,20 +63,42 @@ class RamTab {
 
   void SetMapped(Pfn pfn, Vpn vpn) NEM_REQUIRES(g_system_domain) {
     NEM_ASSERT_LT(pfn, entries_.size());
+    const bool was_nailed = entries_[pfn].state == FrameState::kNailed;
     entries_[pfn].state = FrameState::kMapped;
     entries_[pfn].mapped_vpn = vpn;
+    if (was_nailed && nail_observer_) {
+      nail_observer_(pfn, entries_[pfn].owner, /*nailed=*/false);
+    }
   }
 
   void SetUnused(Pfn pfn) NEM_REQUIRES(g_system_domain) {
     NEM_ASSERT_LT(pfn, entries_.size());
+    const bool was_nailed = entries_[pfn].state == FrameState::kNailed;
     entries_[pfn].state = FrameState::kUnused;
     entries_[pfn].mapped_vpn = 0;
+    if (was_nailed && nail_observer_) {
+      nail_observer_(pfn, entries_[pfn].owner, /*nailed=*/false);
+    }
   }
 
   void SetNailed(Pfn pfn) NEM_REQUIRES(g_system_domain) {
     NEM_ASSERT_LT(pfn, entries_.size());
+    const bool was_nailed = entries_[pfn].state == FrameState::kNailed;
     entries_[pfn].state = FrameState::kNailed;
+    if (!was_nailed && nail_observer_) {
+      nail_observer_(pfn, entries_[pfn].owner, /*nailed=*/true);
+    }
   }
+
+  // Nail-transition observer: fired whenever a frame enters or leaves
+  // kNailed, with the owner at transition time. The frames allocator uses it
+  // to maintain per-client reclaimable-frame counters (O(1)
+  // HasReclaimableFrame) without putting the allocator on the map/unmap hot
+  // path: kUnused <-> kMapped transitions cost one predicted branch. Not a
+  // mutation authority — the observer only mirrors state the RamTab already
+  // committed.
+  using NailObserver = std::function<void(Pfn pfn, DomainId owner, bool nailed)>;
+  void set_nail_observer(NailObserver observer) { nail_observer_ = std::move(observer); }
 
   uint64_t CountOwnedBy(DomainId owner) const {
     uint64_t n = 0;
@@ -94,6 +118,7 @@ class RamTab {
   // (NEM_REQUIRES(g_system_domain)) and enforced by tools/analyze.py's
   // authority-confinement rule plus the runtime DomainAccessChecker.
   std::vector<RamTabEntry> entries_;
+  NailObserver nail_observer_;
 };
 
 }  // namespace nemesis

@@ -11,29 +11,79 @@ namespace nemesis {
 FramesAllocator::FramesAllocator(Simulator& sim, RamTab& ramtab, uint64_t total_frames,
                                  TraceRecorder* trace)
     : sim_(sim), ramtab_(ramtab), trace_(trace), total_frames_(total_frames),
-      frames_available_(sim) {
+      free_pool_(total_frames), frames_available_(sim) {
   g_system_domain.AssertHeld();  // serialized system section (see thread_annotations.h)
   NEM_ASSERT_LE(total_frames, ramtab.size());
-  free_list_.reserve(total_frames);
-  // Keep the free list so that low PFNs are handed out first.
+  // Keep the free pool so that low PFNs are handed out first (the LIFO take
+  // path pops the back).
   for (uint64_t pfn = total_frames; pfn > 0; --pfn) {
-    free_list_.push_back(pfn - 1);
+    free_pool_.PushBack(pfn - 1);
   }
+  ramtab_.set_nail_observer([this](Pfn pfn, DomainId owner, bool nailed) {
+    OnNailChanged(pfn, owner, nailed);
+  });
+}
+
+FramesAllocator::~FramesAllocator() { ramtab_.set_nail_observer(nullptr); }
+
+void FramesAllocator::set_indexed(bool enabled) {
+  NEM_ASSERT_MSG(clients_.empty(), "set_indexed must precede the first AdmitClient");
+  indexed_ = enabled;
 }
 
 FramesAllocator::Client* FramesAllocator::Find(DomainId domain) {
   g_system_domain.AssertHeld();  // serialized system section (see thread_annotations.h)
-  for (auto& c : clients_) {
-    if (c->domain == domain && c->alive) {
-      return c.get();
-    }
+  if (domain >= domain_to_index_.size() || domain_to_index_[domain] == kNoHeapHandle) {
+    return nullptr;
   }
-  return nullptr;
+  Client* c = clients_[domain_to_index_[domain]].get();
+  return c->alive ? c : nullptr;
 }
 
 const FramesAllocator::Client* FramesAllocator::Find(DomainId domain) const {
   g_system_domain.AssertHeld();  // serialized system section (see thread_annotations.h)
   return const_cast<FramesAllocator*>(this)->Find(domain);
+}
+
+void FramesAllocator::RefreshAccounting(Client& c) {
+  const uint64_t want = (c.alive && c.allocated < c.contract.guaranteed)
+                            ? c.contract.guaranteed - c.allocated
+                            : 0;
+  guaranteed_outstanding_ = guaranteed_outstanding_ - c.outstanding + want;
+  c.outstanding = want;
+  if (!indexed_) {
+    return;
+  }
+  const bool candidate = c.alive && c.allocated > c.contract.guaranteed;
+  if (!candidate) {
+    victims_reclaimable_.Erase(c.index);
+    victims_nailed_.Erase(c.index);
+    return;
+  }
+  const uint64_t surplus = c.allocated - c.contract.guaranteed;
+  const VictimKey key{~surplus, c.index};
+  if (c.reclaimable > 0) {
+    victims_reclaimable_.InsertOrUpdate(c.index, key);
+    victims_nailed_.Erase(c.index);
+  } else {
+    victims_nailed_.InsertOrUpdate(c.index, key);
+    victims_reclaimable_.Erase(c.index);
+  }
+}
+
+void FramesAllocator::OnNailChanged(Pfn pfn, DomainId owner, bool nailed) {
+  (void)pfn;
+  Client* c = Find(owner);
+  if (c == nullptr) {
+    return;
+  }
+  if (nailed) {
+    NEM_ASSERT(c->reclaimable > 0);
+    --c->reclaimable;
+  } else {
+    ++c->reclaimable;
+  }
+  RefreshAccounting(*c);
 }
 
 Status<FramesError> FramesAllocator::AdmitClient(DomainId domain, FramesContract contract) {
@@ -51,8 +101,14 @@ Status<FramesError> FramesAllocator::AdmitClient(DomainId domain, FramesContract
   auto client = std::make_unique<Client>();
   client->domain = domain;
   client->contract = contract;
+  client->index = static_cast<uint32_t>(clients_.size());
   client->stack.BindChecker(access_checker_, domain);
+  if (domain >= domain_to_index_.size()) {
+    domain_to_index_.resize(domain + 1, kNoHeapHandle);
+  }
+  domain_to_index_[domain] = client->index;
   clients_.push_back(std::move(client));
+  RefreshAccounting(*clients_.back());
   if (trace_ != nullptr) {
     trace_->Record(sim_.Now(), "frames", static_cast<int>(domain), "admit",
                    static_cast<double>(contract.guaranteed),
@@ -83,13 +139,14 @@ void FramesAllocator::set_access_checker(DomainAccessChecker* checker) {
 
 Pfn FramesAllocator::TakeFreeFrame(Client& client) {
   g_system_domain.AssertHeld();  // serialized system section (see thread_annotations.h)
-  NEM_ASSERT(!free_list_.empty());
-  const Pfn pfn = free_list_.back();
-  free_list_.pop_back();
+  NEM_ASSERT(!free_pool_.empty());
+  const Pfn pfn = free_pool_.PopBack();
   ramtab_.SetOwner(pfn, client.domain);
   ramtab_.SetUnused(pfn);
   ++client.allocated;
+  ++client.reclaimable;  // a fresh grant is kUnused, hence reclaimable
   client.stack.PushTop(pfn);
+  RefreshAccounting(client);
   return pfn;
 }
 
@@ -100,16 +157,20 @@ std::optional<FramesError> FramesAllocator::CheckAllocation(const Client& client
     return FramesError::kQuotaExceeded;
   }
   *guaranteed_request = client.allocated < client.contract.guaranteed;
-  if (!*guaranteed_request && !free_list_.empty()) {
+  if (!*guaranteed_request && !free_pool_.empty()) {
     // Optimistic allocations are granted only from genuinely spare memory:
     // never dip into the pool needed to cover outstanding guarantees.
     uint64_t guaranteed_outstanding = 0;
-    for (const auto& cl : clients_) {
-      if (cl->alive && cl->allocated < cl->contract.guaranteed) {
-        guaranteed_outstanding += cl->contract.guaranteed - cl->allocated;
+    if (indexed_) {
+      guaranteed_outstanding = guaranteed_outstanding_;
+    } else {
+      for (const auto& cl : clients_) {
+        if (cl->alive && cl->allocated < cl->contract.guaranteed) {
+          guaranteed_outstanding += cl->contract.guaranteed - cl->allocated;
+        }
       }
     }
-    if (free_list_.size() <= guaranteed_outstanding) {
+    if (free_pool_.size() <= guaranteed_outstanding) {
       return FramesError::kNoMemory;
     }
   }
@@ -118,15 +179,25 @@ std::optional<FramesError> FramesAllocator::CheckAllocation(const Client& client
 
 Expected<Pfn, FramesError> FramesAllocator::GrantSpecific(Client& client, Pfn pfn) {
   g_system_domain.AssertHeld();  // serialized system section (see thread_annotations.h)
-  auto it = std::find(free_list_.begin(), free_list_.end(), pfn);
-  if (it == free_list_.end()) {
-    return MakeUnexpected(FramesError::kNoMemory);
+  if (indexed_) {
+    if (!free_pool_.Erase(pfn)) {
+      return MakeUnexpected(FramesError::kNoMemory);
+    }
+  } else {
+    // Retained linear baseline: the historical std::find over the free list.
+    bool found = false;
+    free_pool_.ForEach([&found, pfn](Pfn p) { found = found || p == pfn; });
+    if (!found) {
+      return MakeUnexpected(FramesError::kNoMemory);
+    }
+    free_pool_.Erase(pfn);
   }
-  free_list_.erase(it);
   ramtab_.SetOwner(pfn, client.domain);
   ramtab_.SetUnused(pfn);
   ++client.allocated;
+  ++client.reclaimable;
   client.stack.PushTop(pfn);
+  RefreshAccounting(client);
   return pfn;
 }
 
@@ -159,12 +230,12 @@ Expected<Pfn, FramesError> FramesAllocator::AllocFrameInRegion(DomainId domain, 
   if (auto err = CheckAllocation(*c, &guaranteed_request); err.has_value()) {
     return MakeUnexpected(*err);
   }
-  for (Pfn pfn : free_list_) {
-    if (pfn >= region_base && pfn < region_base + region_len) {
-      return GrantSpecific(*c, pfn);
-    }
+  const Pfn pfn = indexed_ ? free_pool_.FirstInRegion(region_base, region_len)
+                           : free_pool_.LinearFirstInRegion(region_base, region_len);
+  if (pfn == kNoFreePfn) {
+    return MakeUnexpected(FramesError::kNoMemory);
   }
-  return MakeUnexpected(FramesError::kNoMemory);
+  return GrantSpecific(*c, pfn);
 }
 
 Expected<Pfn, FramesError> FramesAllocator::AllocFrameWithColour(DomainId domain, uint64_t colour,
@@ -180,12 +251,12 @@ Expected<Pfn, FramesError> FramesAllocator::AllocFrameWithColour(DomainId domain
   if (auto err = CheckAllocation(*c, &guaranteed_request); err.has_value()) {
     return MakeUnexpected(*err);
   }
-  for (Pfn pfn : free_list_) {
-    if (pfn % num_colours == colour) {
-      return GrantSpecific(*c, pfn);
-    }
+  const Pfn pfn = indexed_ ? free_pool_.FirstWithColour(colour, num_colours)
+                           : free_pool_.LinearFirstWithColour(colour, num_colours);
+  if (pfn == kNoFreePfn) {
+    return MakeUnexpected(FramesError::kNoMemory);
   }
-  return MakeUnexpected(FramesError::kNoMemory);
+  return GrantSpecific(*c, pfn);
 }
 
 Expected<Pfn, FramesError> FramesAllocator::AllocFrame(DomainId domain) {
@@ -203,7 +274,7 @@ Expected<Pfn, FramesError> FramesAllocator::AllocFrame(DomainId domain) {
   if (guaranteed_request) {
     return AllocGuaranteed(*c);
   }
-  if (!free_list_.empty()) {
+  if (!free_pool_.empty()) {
     // CheckAllocation already verified the spare pool covers every
     // outstanding guarantee (and hence every queued waiter's claim).
     return TakeFreeFrame(*c);
@@ -224,13 +295,13 @@ Expected<Pfn, FramesError> FramesAllocator::AllocGuaranteed(Client& client) {
   if (WaiterPos(client.domain) == kNoPos) {
     guaranteed_waiters_.push_back(client.domain);
   }
-  if (!revocation_active_ && free_list_.size() < guaranteed_waiters_.size()) {
+  if (!revocation_active_ && free_pool_.size() < guaranteed_waiters_.size()) {
     Client* victim = PickVictim();
     if (victim == nullptr) {
       // Admission control guarantees an optimistic surplus whenever a
       // guarantee is unmet with an empty pool; with frames still free the
       // reserved prefix is simply draining towards us.
-      NEM_ASSERT_MSG(!free_list_.empty(),
+      NEM_ASSERT_MSG(!free_pool_.empty(),
                      "admission control violated: guarantee unmet with no optimistic frames in use");
       return MakeUnexpected(FramesError::kRevocationPending);
     }
@@ -282,14 +353,14 @@ void FramesAllocator::PruneWaiters() {
 }
 
 bool FramesAllocator::MayTakeFrame(DomainId domain) const {
-  if (free_list_.empty()) {
+  if (free_pool_.empty()) {
     return false;
   }
   const size_t pos = WaiterPos(domain);
   if (pos == kNoPos) {
-    return free_list_.size() > guaranteed_waiters_.size();
+    return free_pool_.size() > guaranteed_waiters_.size();
   }
-  return pos < free_list_.size();
+  return pos < free_pool_.size();
 }
 
 Status<FramesError> FramesAllocator::FreeFrame(DomainId domain, Pfn pfn) {
@@ -307,8 +378,11 @@ Status<FramesError> FramesAllocator::FreeFrame(DomainId domain, Pfn pfn) {
   }
   c->stack.Remove(pfn);
   --c->allocated;
+  NEM_ASSERT(c->reclaimable > 0);
+  --c->reclaimable;  // the freed frame was kUnused
   ramtab_.SetOwner(pfn, kNoDomain);
-  free_list_.push_back(pfn);
+  free_pool_.PushBack(pfn);
+  RefreshAccounting(*c);
   frames_available_.NotifyAll();
   return Status<FramesError>::Ok();
 }
@@ -328,9 +402,14 @@ uint64_t FramesAllocator::ReclaimUnusedTop(Client& victim, uint64_t k) {
     }
     victim.stack.PopTop();
     --victim.allocated;
+    NEM_ASSERT(victim.reclaimable > 0);
+    --victim.reclaimable;  // the stolen frame was kUnused
     ramtab_.SetOwner(top, kNoDomain);
-    free_list_.push_back(top);
+    free_pool_.PushBack(top);
     ++reclaimed;
+  }
+  if (reclaimed > 0) {
+    RefreshAccounting(victim);
   }
   return reclaimed;
 }
@@ -343,6 +422,17 @@ FramesAllocator::Client* FramesAllocator::PickVictim() {
   // (re-picking it would either assert or stall behind its own deadline), and
   // a candidate whose frames are all nailed can only yield frames via the
   // kill path, so it loses to any candidate with a reclaimable frame.
+  if (indexed_) {
+    uint32_t excluded = kNoHeapHandle;
+    if (revocation_active_ && revocation_victim_ < domain_to_index_.size()) {
+      excluded = domain_to_index_[revocation_victim_];
+    }
+    uint32_t pick = victims_reclaimable_.TopExcluding(excluded);
+    if (pick == kNoHeapHandle) {
+      pick = victims_nailed_.TopExcluding(excluded);
+    }
+    return pick == kNoHeapHandle ? nullptr : clients_[pick].get();
+  }
   Client* best = nullptr;
   uint64_t best_surplus = 0;
   Client* fallback = nullptr;  // largest surplus, fully nailed
@@ -368,8 +458,17 @@ FramesAllocator::Client* FramesAllocator::PickVictim() {
   return best != nullptr ? best : fallback;
 }
 
+DomainId FramesAllocator::PeekVictim() {
+  Client* victim = PickVictim();
+  return victim != nullptr ? victim->domain : kNoDomain;
+}
+
 bool FramesAllocator::HasReclaimableFrame(const Client& c) const {
   g_system_domain.AssertHeld();  // serialized system section (see thread_annotations.h)
+  if (indexed_) {
+    return c.reclaimable > 0;
+  }
+  // Retained linear baseline: the historical per-frame stack scan.
   for (const Pfn pfn : c.stack.frames()) {
     if (ramtab_.StateOf(pfn) != FrameState::kNailed) {
       return true;
@@ -511,11 +610,14 @@ void FramesAllocator::KillAndReclaim(Client& victim) {
     }
     ramtab_.SetUnused(pfn);
     ramtab_.SetOwner(pfn, kNoDomain);
-    free_list_.push_back(pfn);
+    free_pool_.PushBack(pfn);
   }
   victim.allocated = 0;
+  victim.reclaimable = 0;
   guaranteed_total_ -= victim.contract.guaranteed;
   victim.alive = false;
+  domain_to_index_[victim.domain] = kNoHeapHandle;
+  RefreshAccounting(victim);
   frames_available_.NotifyAll();
 }
 
@@ -545,6 +647,78 @@ FramesContract FramesAllocator::ContractOf(DomainId domain) const {
   g_system_domain.AssertHeld();  // serialized system section (see thread_annotations.h)
   const Client* c = Find(domain);
   return c != nullptr ? c->contract : FramesContract{};
+}
+
+void FramesAllocator::TestOnlyCorruptReclaimable(DomainId domain, int64_t delta) {
+  Client* c = Find(domain);
+  if (c != nullptr) {
+    c->reclaimable = static_cast<uint64_t>(static_cast<int64_t>(c->reclaimable) + delta);
+  }
+}
+
+std::string FramesAllocator::AuditIndexes() const {
+  g_system_domain.AssertHeld();  // serialized system section (see thread_annotations.h)
+  uint64_t outstanding = 0;
+  size_t reclaimable_victims = 0;
+  size_t nailed_victims = 0;
+  for (const auto& c : clients_) {
+    if (!c->alive) {
+      continue;
+    }
+    const std::string who = "frames client " + std::to_string(c->domain) + ": ";
+    if (c->domain >= domain_to_index_.size() || domain_to_index_[c->domain] != c->index) {
+      return who + "domain->index map does not point at the live client";
+    }
+    uint64_t ground_truth = 0;
+    for (const Pfn pfn : c->stack.frames()) {
+      if (ramtab_.StateOf(pfn) != FrameState::kNailed) {
+        ++ground_truth;
+      }
+    }
+    if (ground_truth != c->reclaimable) {
+      return who + "reclaimable counter " + std::to_string(c->reclaimable) +
+             " != RamTab/FrameStack rescan " + std::to_string(ground_truth);
+    }
+    const uint64_t want =
+        c->allocated < c->contract.guaranteed ? c->contract.guaranteed - c->allocated : 0;
+    if (want != c->outstanding) {
+      return who + "cached outstanding-guarantee contribution is stale";
+    }
+    outstanding += want;
+    if (indexed_) {
+      const bool candidate = c->allocated > c->contract.guaranteed;
+      const bool in_reclaimable = victims_reclaimable_.Contains(c->index);
+      const bool in_nailed = victims_nailed_.Contains(c->index);
+      const bool expect_reclaimable = candidate && c->reclaimable > 0;
+      const bool expect_nailed = candidate && c->reclaimable == 0;
+      if (in_reclaimable != expect_reclaimable || in_nailed != expect_nailed) {
+        return who + "victim-index membership disagrees with surplus/reclaimable state";
+      }
+      const VictimKey key{~(c->allocated - c->contract.guaranteed), c->index};
+      if (expect_reclaimable && victims_reclaimable_.KeyOf(c->index) != key) {
+        return who + "victim-index key disagrees with (~surplus, admission index)";
+      }
+      if (expect_nailed && victims_nailed_.KeyOf(c->index) != key) {
+        return who + "victim-index key disagrees with (~surplus, admission index)";
+      }
+      reclaimable_victims += expect_reclaimable ? 1 : 0;
+      nailed_victims += expect_nailed ? 1 : 0;
+    }
+  }
+  if (outstanding != guaranteed_outstanding_) {
+    return "outstanding-guarantee sum " + std::to_string(guaranteed_outstanding_) +
+           " != per-client rescan " + std::to_string(outstanding);
+  }
+  if (indexed_) {
+    if (!victims_reclaimable_.SelfCheck() || !victims_nailed_.SelfCheck()) {
+      return "victim-heap structure corrupt";
+    }
+    if (victims_reclaimable_.size() != reclaimable_victims ||
+        victims_nailed_.size() != nailed_victims) {
+      return "a victim index holds entries for dead or surplus-free clients";
+    }
+  }
+  return free_pool_.SelfCheck();
 }
 
 }  // namespace nemesis

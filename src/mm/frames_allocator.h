@@ -11,6 +11,27 @@
 //   must arrange for the top k frames of its stack to be unused (possibly
 //   cleaning dirty pages first) by a deadline T (default 100 ms); a victim
 //   that fails to comply is killed and all its frames reclaimed.
+//
+// Indexed mode (default) keeps the central decisions O(1)/O(log n) at fleet
+// density instead of rescanning every client and frame:
+//
+// * per-client reclaimable (non-nailed) frame counters, maintained by the
+//   allocator's own grant/free/steal paths plus the RamTab's nail-transition
+//   observer, make HasReclaimableFrame a counter check;
+// * two victim heaps keyed (~surplus, admission index) — candidates with a
+//   reclaimable frame, and fully-nailed candidates (the kill-path fallback) —
+//   make PickVictim a top-of-heap read that skips the in-flight revocation
+//   victim;
+// * an incrementally-maintained sum of unmet guarantees makes the optimistic
+//   admission check O(1);
+// * the free list is a FreeFrameIndex (push-ordered list + segment tree +
+//   colour buckets), so the placement allocators stop scanning it.
+//
+// All picks are byte-identical to the linear versions: the linear victim scan
+// takes the first strictly-larger surplus over the admission-ordered client
+// vector, which is exactly the heaps' (~surplus, admission index) order.
+// set_indexed(false) retains the O(n)/O(n·f) scans as a selectable baseline
+// for the tenant-density ablation bench and the equivalence suite.
 #ifndef SRC_MM_FRAMES_ALLOCATOR_H_
 #define SRC_MM_FRAMES_ALLOCATOR_H_
 
@@ -19,13 +40,17 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "src/base/expected.h"
+#include "src/base/indexed_heap.h"
 #include "src/base/thread_annotations.h"
 #include "src/check/domain_access.h"
 #include "src/kernel/ramtab.h"
 #include "src/mm/frame_stack.h"
+#include "src/mm/free_frame_index.h"
 #include "src/obs/counter.h"
 #include "src/sim/sync.h"
 #include "src/sim/trace.h"
@@ -57,6 +82,13 @@ class FramesAllocator {
  public:
   FramesAllocator(Simulator& sim, RamTab& ramtab, uint64_t total_frames,
                   TraceRecorder* trace = nullptr);
+  ~FramesAllocator();
+
+  // Selects the indexed (default) or linear pick/scan implementations. Must
+  // be set before the first AdmitClient: the indexes are maintained from
+  // admission on.
+  void set_indexed(bool enabled);
+  bool indexed() const { return indexed_; }
 
   // --- Client management ---------------------------------------------------
 
@@ -136,8 +168,13 @@ class FramesAllocator {
   FrameStack* StackOf(DomainId domain);
   uint64_t AllocatedCount(DomainId domain) const;  // n
   FramesContract ContractOf(DomainId domain) const;
-  const std::vector<Pfn>& free_list() const { return free_list_; }
-  uint64_t free_frames() const { return free_list_.size(); }
+  // Visits every free frame in list (push) order — what iterating the old
+  // free-list vector front-to-back yielded.
+  template <typename Fn>
+  void ForEachFreeFrame(Fn fn) const {
+    free_pool_.ForEach(fn);
+  }
+  uint64_t free_frames() const { return free_pool_.size(); }
   uint64_t total_frames() const { return total_frames_; }
   uint64_t guaranteed_total() const { return guaranteed_total_; }
   uint64_t revocations_transparent() const { return revocations_transparent_.value(); }
@@ -148,6 +185,11 @@ class FramesAllocator {
   // Guaranteed requesters currently queued for a reserved frame (tests).
   size_t guaranteed_waiters() const { return guaranteed_waiters_.size(); }
 
+  // The domain PickVictim would choose right now (kNoDomain when none).
+  // Read-only: the tenant-density bench and the equivalence suite use it to
+  // compare victim choices without running a revocation.
+  NEM_RUNS_ON(system) DomainId PeekVictim();
+
   // Observability hook; revoke-* spans (victim as client, aggressor in
   // value_b) are emitted only while obs->enabled().
   void set_obs(Obs* obs) { obs_ = obs; }
@@ -157,10 +199,21 @@ class FramesAllocator {
   // owned writes for the shard-confinement rule.
   void set_access_checker(DomainAccessChecker* checker);
 
+  // Audit cross-check (the invariant auditor's indexed-structures rule):
+  // reclaimable counters, victim heaps, the outstanding-guarantee sum and
+  // the free-frame index must agree with a ground-truth RamTab/FrameStack
+  // rescan. Returns "" when clean, else the first mismatch.
+  std::string AuditIndexes() const;
+
   // Corrupts the guarantee accounting. The contract-sum invariant is
   // unreachable through the public API (admission control rejects the
   // overcommit), so the auditor's unit test needs this back door.
   void TestOnlySetGuaranteedTotal(uint64_t total) { guaranteed_total_ = total; }
+
+  // Corrupts a client's reclaimable counter (same rationale: counter drift is
+  // unreachable through the public API; the indexed-structures audit rule's
+  // unit test needs a back door).
+  void TestOnlyCorruptReclaimable(DomainId domain, int64_t delta);
 
  private:
   struct Client {
@@ -169,7 +222,16 @@ class FramesAllocator {
     uint64_t allocated = 0;  // n
     FrameStack stack;
     bool alive = true;
+    // Indexed-accounting state.
+    uint32_t index = 0;        // slot in clients_ == admission order
+    uint64_t reclaimable = 0;  // owned frames not currently kNailed
+    uint64_t outstanding = 0;  // cached max(0, g - allocated) contribution
   };
+
+  // Victim-heap key: smallest-first order realising "largest optimistic
+  // surplus, ties to the earliest-admitted client" — the linear scan's
+  // first-strictly-larger-surplus rule over the append-only client vector.
+  using VictimKey = std::pair<uint64_t, uint64_t>;  // (~surplus, admission index)
 
   Client* Find(DomainId domain);
   const Client* Find(DomainId domain) const;
@@ -177,7 +239,7 @@ class FramesAllocator {
   // Quota/guarantee admission shared by all allocation flavours. Sets
   // *guaranteed_request and returns an error when the request may not proceed.
   std::optional<FramesError> CheckAllocation(const Client& client, bool* guaranteed_request) const;
-  // Removes a specific frame from the free list and grants it.
+  // Removes a specific frame from the free pool and grants it.
   Expected<Pfn, FramesError> GrantSpecific(Client& client, Pfn pfn);
   // Reclaims up to `k` unused frames from the top of the victim's stack.
   NEM_RUNS_ON(system) uint64_t ReclaimUnusedTop(Client& victim, uint64_t k);
@@ -187,6 +249,13 @@ class FramesAllocator {
   // as a last resort (the kill path), never picked over a compliant victim.
   Client* PickVictim();
   bool HasReclaimableFrame(const Client& c) const;
+  // Recomputes the client's contribution to the outstanding-guarantee sum
+  // and its victim-heap membership/keys. The single maintenance point: every
+  // path that changes allocated/reclaimable/alive ends with a call.
+  void RefreshAccounting(Client& c);
+  // RamTab nail-transition observer: mirrors kNailed entries/exits into the
+  // owning client's reclaimable counter.
+  void OnNailChanged(Pfn pfn, DomainId owner, bool nailed);
   // FIFO waiter-queue helpers (guaranteed-progress reservations).
   static constexpr size_t kNoPos = SIZE_MAX;
   size_t WaiterPos(DomainId domain) const;
@@ -215,12 +284,23 @@ class FramesAllocator {
   Obs* obs_ = nullptr;
   DomainAccessChecker* access_checker_ = nullptr;
   uint64_t total_frames_;
+  bool indexed_ = true;
   // Contract accounting and the frame stacks are the allocator's shared core:
   // under the threaded design they are only written inside the system
   // domain's serialized section (or its cross-domain revocation interface).
   uint64_t guaranteed_total_ NEM_GUARDED_BY(g_system_domain) = 0;
-  std::vector<Pfn> free_list_ NEM_GUARDED_BY(g_system_domain);
+  // Sum of max(0, g - allocated) over live clients: the O(1) form of the
+  // optimistic-admission scan. Maintained in both modes (the audit
+  // cross-checks it); only the indexed CheckAllocation reads it.
+  uint64_t guaranteed_outstanding_ NEM_GUARDED_BY(g_system_domain) = 0;
+  FreeFrameIndex free_pool_ NEM_GUARDED_BY(g_system_domain);
   std::vector<std::unique_ptr<Client>> clients_ NEM_GUARDED_BY(g_system_domain);
+  // domain id -> clients_ index (kNoHeapHandle when not a live client).
+  std::vector<uint32_t> domain_to_index_ NEM_GUARDED_BY(g_system_domain);
+  // Victim indexes over live clients with an optimistic surplus, split by
+  // whether any owned frame is reclaimable (see PickVictim).
+  IndexedHeap<VictimKey> victims_reclaimable_ NEM_GUARDED_BY(g_system_domain);
+  IndexedHeap<VictimKey> victims_nailed_ NEM_GUARDED_BY(g_system_domain);
   Condition frames_available_;
 
   // Guaranteed requesters waiting for a frame, oldest first. While the queue

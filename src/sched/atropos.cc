@@ -1,6 +1,7 @@
 #include "src/sched/atropos.h"
 
 #include <algorithm>
+#include <string>
 
 #include "src/base/assert.h"
 #include "src/base/log.h"
@@ -19,17 +20,50 @@ AtroposScheduler::~AtroposScheduler() {
   }
 }
 
+void AtroposScheduler::set_indexed(bool enabled) {
+  NEM_ASSERT_MSG(clients_.empty(), "set_indexed must precede the first Admit");
+  indexed_ = enabled;
+}
+
 AtroposScheduler::Client* AtroposScheduler::Find(SchedClientId id) {
-  for (auto& c : clients_) {
-    if (c.id == id && c.alive) {
-      return &c;
-    }
+  if (id >= id_to_index_.size() || id_to_index_[id] == kNoHeapHandle) {
+    return nullptr;
   }
-  return nullptr;
+  Client& c = clients_[id_to_index_[id]];
+  return c.alive ? &c : nullptr;
 }
 
 const AtroposScheduler::Client* AtroposScheduler::Find(SchedClientId id) const {
   return const_cast<AtroposScheduler*>(this)->Find(id);
+}
+
+void AtroposScheduler::Reindex(uint32_t i) {
+  if (!indexed_) {
+    return;
+  }
+  const Client& c = clients_[i];
+  const bool runnable = c.alive && c.state == SchedClientState::kRunnable;
+  const bool active = runnable && c.remain > 0;
+  if (active) {
+    edf_.InsertOrUpdate(i, EdfKey{c.deadline, c.id});
+  } else {
+    edf_.Erase(i);
+  }
+  if (runnable && c.remain <= 0) {
+    deficit_pending_.insert(i);
+  } else {
+    deficit_pending_.erase(i);
+  }
+  if (active && c.queued == 0 && c.spec.laxity - c.lax_used <= 0) {
+    idle_pending_.insert(i);
+  } else {
+    idle_pending_.erase(i);
+  }
+  if (c.alive && c.spec.extra && c.queued > 0) {
+    extra_.InsertOrUpdate(i, EdfKey{c.deadline, c.id});
+  } else {
+    extra_.Erase(i);
+  }
 }
 
 Expected<SchedClientId, AdmitError> AtroposScheduler::Admit(std::string name, QosSpec spec) {
@@ -50,6 +84,9 @@ Expected<SchedClientId, AdmitError> AtroposScheduler::Admit(std::string name, Qo
   c.remain = spec.slice;
   c.deadline = sim_.Now() + spec.period;
   clients_.push_back(std::move(c));
+  id_to_index_.resize(next_id_, kNoHeapHandle);
+  id_to_index_[clients_.back().id] = static_cast<uint32_t>(clients_.size() - 1);
+  Reindex(static_cast<uint32_t>(clients_.size() - 1));
   ScheduleRefresh(clients_.back());
   if (trace_ != nullptr) {
     trace_->Record(sim_.Now(), trace_category_, static_cast<int>(clients_.back().id), "admit",
@@ -66,6 +103,8 @@ void AtroposScheduler::Remove(SchedClientId id) {
   sim_.Cancel(c->refresh_timer);
   reserved_fraction_ -= c->spec.Fraction();
   c->alive = false;
+  Reindex(id_to_index_[id]);
+  id_to_index_[id] = kNoHeapHandle;
 }
 
 void AtroposScheduler::ScheduleRefresh(Client& c) {
@@ -86,6 +125,7 @@ void AtroposScheduler::Refresh(SchedClientId id) {
   c->lax_used = 0;
   // Returning from wait/idle: the new allocation makes the client runnable.
   c->state = SchedClientState::kRunnable;
+  Reindex(id_to_index_[id]);
   ScheduleRefresh(*c);
   if (trace_ != nullptr) {
     trace_->Record(sim_.Now(), trace_category_, static_cast<int>(id), "alloc",
@@ -101,6 +141,7 @@ void AtroposScheduler::SetQueued(SchedClientId id, uint32_t queued) {
   }
   const bool had_work = c->queued > 0;
   c->queued = queued;
+  Reindex(id_to_index_[id]);
   if (!had_work && queued > 0 && c->state == SchedClientState::kRunnable) {
     Wakeup();
   }
@@ -109,33 +150,81 @@ void AtroposScheduler::SetQueued(SchedClientId id, uint32_t queued) {
   // laxity parameter exists precisely to widen the window before idling).
 }
 
-std::optional<AtroposScheduler::Pick> AtroposScheduler::PickNext() {
-  Client* best = nullptr;
-  for (auto& c : clients_) {
-    if (!c.alive || c.state != SchedClientState::kRunnable) {
-      continue;
+void AtroposScheduler::DrainPendingTransitions() {
+  // Exhausted but not yet moved (a refresh landed with a carried deficit):
+  // treat as waiting until the refresh timer fires. Silent, like the scan.
+  for (const uint32_t i : deficit_pending_) {
+    clients_[i].state = SchedClientState::kWaiting;
+  }
+  deficit_pending_.clear();
+  // The paper's idle transition: no pending transactions and no laxity
+  // budget left — ignored until the next periodic allocation. Drained in
+  // client-index order == id order == the linear scan's vector order, so the
+  // "idle" trace records land in the same order as the scan emitted them.
+  for (const uint32_t i : idle_pending_) {
+    Client& c = clients_[i];
+    c.state = SchedClientState::kIdle;
+    edf_.Erase(i);
+    if (trace_ != nullptr) {
+      trace_->Record(sim_.Now(), trace_category_, static_cast<int>(c.id), "idle",
+                     ToMilliseconds(c.remain), 0.0);
     }
-    if (c.remain <= 0) {
-      // Exhausted but not yet moved (executor charged somebody else last):
-      // treat as waiting until the refresh timer fires.
-      c.state = SchedClientState::kWaiting;
-      continue;
-    }
-    const bool has_work = c.queued > 0;
-    const SimDuration lax_left = c.spec.laxity - c.lax_used;
-    if (!has_work && lax_left <= 0) {
-      // The paper's idle transition: no pending transactions and no laxity
-      // budget left — ignored until the next periodic allocation.
-      c.state = SchedClientState::kIdle;
-      if (trace_ != nullptr) {
-        trace_->Record(sim_.Now(), trace_category_, static_cast<int>(c.id), "idle",
-                       ToMilliseconds(c.remain), 0.0);
-      }
+  }
+  idle_pending_.clear();
+}
+
+template <typename Pred>
+const AtroposScheduler::Client* AtroposScheduler::ScanMinDeadline(Pred eligible) const {
+  // Retained linear baseline. First strictly smaller deadline wins: with the
+  // append-only, admission-ordered vector this is the (deadline, id)
+  // tie-break the indexed heaps key on (see the header comment).
+  const Client* best = nullptr;
+  for (const auto& c : clients_) {
+    if (!eligible(c)) {
       continue;
     }
     if (best == nullptr || c.deadline < best->deadline) {
       best = &c;
     }
+  }
+  return best;
+}
+
+std::optional<AtroposScheduler::Pick> AtroposScheduler::PickNext() {
+  Client* best = nullptr;
+  if (indexed_) {
+    DrainPendingTransitions();
+    if (!edf_.empty()) {
+      best = &clients_[edf_.TopHandle()];
+    }
+  } else {
+    // Linear baseline: apply the lazy transitions in one pass over the
+    // vector (exactly the indexed mode's drain, fused into the walk), then
+    // select. The transition conditions are per-client, so applying them all
+    // before selecting is equivalent to the historical interleaved scan.
+    for (auto& c : clients_) {
+      if (!c.alive || c.state != SchedClientState::kRunnable) {
+        continue;
+      }
+      if (c.remain <= 0) {
+        // Exhausted but not yet moved (executor charged somebody else last):
+        // treat as waiting until the refresh timer fires.
+        c.state = SchedClientState::kWaiting;
+        continue;
+      }
+      if (c.queued == 0 && c.spec.laxity - c.lax_used <= 0) {
+        // The paper's idle transition: no pending transactions and no laxity
+        // budget left — ignored until the next periodic allocation.
+        c.state = SchedClientState::kIdle;
+        if (trace_ != nullptr) {
+          trace_->Record(sim_.Now(), trace_category_, static_cast<int>(c.id), "idle",
+                         ToMilliseconds(c.remain), 0.0);
+        }
+      }
+    }
+    best = const_cast<Client*>(ScanMinDeadline([](const Client& c) {
+      return c.alive && c.state == SchedClientState::kRunnable && c.remain > 0;
+    }));
   }
   if (best == nullptr) {
     return std::nullopt;
@@ -149,15 +238,14 @@ std::optional<AtroposScheduler::Pick> AtroposScheduler::PickNext() {
 }
 
 std::optional<SchedClientId> AtroposScheduler::PickSlack() const {
-  const Client* best = nullptr;
-  for (const auto& c : clients_) {
-    if (!c.alive || !c.spec.extra || c.queued == 0) {
-      continue;
+  if (indexed_) {
+    if (extra_.empty()) {
+      return std::nullopt;
     }
-    if (best == nullptr || c.deadline < best->deadline) {
-      best = &c;
-    }
+    return clients_[extra_.TopHandle()].id;
   }
+  const Client* best = ScanMinDeadline(
+      [](const Client& c) { return c.alive && c.spec.extra && c.queued > 0; });
   if (best == nullptr) {
     return std::nullopt;
   }
@@ -190,6 +278,7 @@ void AtroposScheduler::Charge(SchedClientId id, SimDuration used, bool was_lax) 
                      ToMilliseconds(c->remain), 0.0);
     }
   }
+  Reindex(id_to_index_[id]);
 }
 
 void AtroposScheduler::Wakeup() {
@@ -250,6 +339,74 @@ size_t AtroposScheduler::client_count() const {
     }
   }
   return n;
+}
+
+std::string AtroposScheduler::AuditIndexes() const {
+  if (!indexed_) {
+    return "";
+  }
+  if (!edf_.SelfCheck() || !extra_.SelfCheck()) {
+    return "atropos(" + trace_category_ + "): heap structure corrupt";
+  }
+  size_t edf_expected = 0;
+  size_t extra_expected = 0;
+  size_t idle_expected = 0;
+  size_t deficit_expected = 0;
+  for (uint32_t i = 0; i < clients_.size(); ++i) {
+    const Client& c = clients_[i];
+    const std::string who =
+        "atropos(" + trace_category_ + ") client " + std::to_string(c.id) + ": ";
+    if (c.alive &&
+        (c.id >= id_to_index_.size() || id_to_index_[c.id] != i)) {
+      return who + "id->index map does not point at the live client";
+    }
+    const bool runnable = c.alive && c.state == SchedClientState::kRunnable;
+    const bool active = runnable && c.remain > 0;
+    if (active != edf_.Contains(i)) {
+      return who + (active ? "missing from the EDF index" : "stale in the EDF index");
+    }
+    if (active) {
+      ++edf_expected;
+      if (edf_.KeyOf(i) != EdfKey{c.deadline, c.id}) {
+        return who + "EDF key disagrees with (deadline, id)";
+      }
+    }
+    const bool deficit = runnable && c.remain <= 0;
+    if (deficit != (deficit_pending_.count(i) != 0)) {
+      return who + (deficit ? "missing from" : "stale in") +
+             std::string(" the deficit-pending set");
+    }
+    deficit_expected += deficit ? 1 : 0;
+    const bool idle_due = active && c.queued == 0 && c.spec.laxity - c.lax_used <= 0;
+    if (idle_due != (idle_pending_.count(i) != 0)) {
+      return who + (idle_due ? "missing from" : "stale in") +
+             std::string(" the idle-pending set");
+    }
+    idle_expected += idle_due ? 1 : 0;
+    const bool slack = c.alive && c.spec.extra && c.queued > 0;
+    if (slack != extra_.Contains(i)) {
+      return who + (slack ? "missing from the extra-time index" : "stale in the extra-time index");
+    }
+    if (slack) {
+      ++extra_expected;
+      if (extra_.KeyOf(i) != EdfKey{c.deadline, c.id}) {
+        return who + "extra-time key disagrees with (deadline, id)";
+      }
+    }
+  }
+  if (edf_.size() != edf_expected || extra_.size() != extra_expected ||
+      idle_pending_.size() != idle_expected || deficit_pending_.size() != deficit_expected) {
+    return "atropos(" + trace_category_ + "): an index holds entries for unknown clients";
+  }
+  return "";
+}
+
+void AtroposScheduler::TestOnlyCorruptEdfKey() {
+  if (!indexed_ || edf_.empty()) {
+    return;
+  }
+  const uint32_t top = edf_.TopHandle();
+  edf_.InsertOrUpdate(top, EdfKey{clients_[top].deadline + 1, clients_[top].id});
 }
 
 }  // namespace nemesis

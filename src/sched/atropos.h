@@ -16,16 +16,39 @@
 // idles on its behalf is charged exactly as if it were transaction time.
 // Once its laxity is used up the client is marked idle and — as in the paper
 // — ignored until its next periodic allocation.
+//
+// Indexed mode (default): picks read the top of incrementally-maintained
+// heaps instead of scanning every client. The EDF index holds the runnable
+// clients with time remaining, keyed (deadline, id); the extra-time index
+// holds the slack-eligible clients (x=true with queued work), same key; both
+// are updated on the events that change a key — Admit/Remove, Charge,
+// periodic refresh, work arrival — so a pick is O(1) and an update O(log n).
+// The exhausted/idle transitions the linear scan applied mid-walk are
+// tracked event-driven in two pending sets and drained at PickNext entry in
+// client-id order, which is exactly the append-only vector's scan order, so
+// state changes and "idle" trace records happen at the same simulated time,
+// in the same order, as the linear walk. set_indexed(false) retains the
+// original O(n) scans as a selectable baseline (the LinearScanTlb precedent)
+// for the tenant-density ablation bench and the equivalence suite.
+//
+// Tie-break rule (both modes): earliest deadline wins; equal deadlines go to
+// the smaller client id. Ids are handed out in admission order and clients_
+// is append-only, so the linear scan's "first strictly smaller deadline wins"
+// over the vector realises the same total order as the heaps' (deadline, id)
+// key — this is what keeps indexed picks byte-identical to the scan.
 #ifndef SRC_SCHED_ATROPOS_H_
 #define SRC_SCHED_ATROPOS_H_
 
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/base/expected.h"
+#include "src/base/indexed_heap.h"
 #include "src/sched/qos.h"
 #include "src/sim/simulator.h"
 #include "src/sim/time.h"
@@ -62,6 +85,11 @@ class AtroposScheduler {
   // Enables/disables roll-over accounting (Ablation D). Default on, as in the
   // paper.
   void set_rollover(bool enabled) { rollover_ = enabled; }
+
+  // Selects the indexed (default) or linear pick implementation. Must be set
+  // before the first Admit: the indexes are maintained from admission on.
+  void set_indexed(bool enabled);
+  bool indexed() const { return indexed_; }
 
   // Admission control: rejects the client if the sum of reserved fractions
   // would exceed 1. The first allocation is granted immediately.
@@ -110,6 +138,16 @@ class AtroposScheduler {
   double ReservedFraction() const;
   size_t client_count() const;
 
+  // Audit cross-check (the invariant auditor's indexed-structures rule):
+  // every index must agree with a ground-truth recomputation from client
+  // state. Returns "" when clean, else a description of the first mismatch.
+  std::string AuditIndexes() const;
+
+  // Corrupts the EDF index key of an arbitrary member. Index corruption is
+  // unreachable through the public API, so the auditor rule's unit test
+  // needs this back door. No-op in linear mode or with an empty index.
+  void TestOnlyCorruptEdfKey();
+
  private:
   struct Client {
     SchedClientId id;
@@ -126,20 +164,44 @@ class AtroposScheduler {
     bool alive = true;
   };
 
+  // Heap key realising the documented tie-break: (deadline, client id).
+  using EdfKey = std::pair<SimTime, SchedClientId>;
+
   Client* Find(SchedClientId id);
   const Client* Find(SchedClientId id) const;
   void ScheduleRefresh(Client& c);
   void Refresh(SchedClientId id);
   void Wakeup();
+  // Re-evaluates every index membership/key for clients_[i] from its state.
+  // The single maintenance point: every mutation path ends with a Reindex.
+  void Reindex(uint32_t i);
+  // Applies the lazy exhausted/idle transitions at PickNext entry (indexed
+  // mode): pending sets are drained in client-index order == id order ==
+  // the linear scan's order.
+  void DrainPendingTransitions();
+  // Linear min-deadline selection shared by PickNext and PickSlack (the
+  // retained baseline): first strictly smaller deadline wins, realising the
+  // (deadline, id) tie-break over the append-only, id-ordered vector.
+  template <typename Pred>
+  const Client* ScanMinDeadline(Pred eligible) const;
 
   Simulator& sim_;
   TraceRecorder* trace_;
   std::string trace_category_;
   std::function<void()> wakeup_;
   bool rollover_ = true;
+  bool indexed_ = true;
   double reserved_fraction_ = 0.0;
   SchedClientId next_id_ = 1;
   std::vector<Client> clients_;
+  // id -> index into clients_ (kNoHeapHandle when dead/unknown): O(1) Find.
+  std::vector<uint32_t> id_to_index_;
+
+  // Indexed-mode structures; handles are clients_ indexes.
+  IndexedHeap<EdfKey> edf_;           // alive, runnable, remain > 0
+  IndexedHeap<EdfKey> extra_;         // alive, x=true, queued > 0
+  std::set<uint32_t> idle_pending_;   // EDF members due the idle transition
+  std::set<uint32_t> deficit_pending_;  // runnable with remain <= 0 (refresh deficit)
 };
 
 }  // namespace nemesis

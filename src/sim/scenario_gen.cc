@@ -236,6 +236,89 @@ ScenarioSpec GenerateScenario(uint64_t seed, const GeneratorConfig& config) {
   return spec;
 }
 
+ScenarioSpec GenerateTenantStorm(uint64_t seed, int tenants, SimDuration horizon) {
+  NEM_ASSERT(tenants >= 1);
+  Random rng(seed);
+  ScenarioSpec spec;
+  spec.seed = seed;
+  // ~3 frames per tenant: guarantees (avg 1.5/tenant) stay admissible while
+  // the full contracts (avg 5.5/tenant) over-commit the machine badly.
+  spec.frames = std::max<uint64_t>(32, static_cast<uint64_t>(tenants) * 3);
+
+  // Admission waves: a quarter of the fleet is up from t=0, the rest arrive
+  // in 8 clumped storms across the first half of the horizon.
+  const int waves = 8;
+  for (int i = 0; i < tenants; ++i) {
+    ScenarioDomainSpec d;
+    d.id = i + 1;
+    d.guaranteed = 1 + rng.NextBelow(2);            // {1, 2}
+    d.optimistic = 2 + rng.NextBelow(5);            // {2, ..., 6}
+    d.nailed = false;                               // paged fleet
+    d.zipf_s = 0.2 + 0.8 * rng.NextDouble();        // skew in [0.2, 1.0)
+    d.pages = d.guaranteed + d.optimistic;
+    if (i >= tenants / 4) {
+      const int wave = static_cast<int>(rng.NextBelow(waves));
+      d.admit_at = static_cast<SimTime>((horizon / 2) * (wave + 1) / (waves + 1)) +
+                   static_cast<SimTime>(rng.NextBelow(static_cast<uint64_t>(
+                       std::max<SimDuration>(1, horizon / (4 * waves)))));
+    }
+    spec.domains.push_back(d);
+
+    // Warmup burst right after admission: every tenant promptly faults its
+    // working set, so met guarantees drain the allocator's outstanding
+    // reserve and each later admission wave lands on a genuinely full
+    // machine — that is what turns the wave's guaranteed faults into a
+    // revocation storm instead of a quiet draw from reserved free frames.
+    ScenarioEvent warm;
+    warm.kind = ScenarioEventKind::kBurst;
+    warm.domain = d.id;
+    warm.at = d.admit_at + Milliseconds(1);
+    warm.ops = 3 * d.pages;
+    warm.write = false;
+    spec.events.push_back(warm);
+  }
+
+  // Burst traffic: ~2 bursts per tenant, small op counts (fleet pressure
+  // comes from density, not per-tenant volume).
+  const int nbursts = 2 * tenants;
+  for (int i = 0; i < nbursts; ++i) {
+    ScenarioEvent e;
+    e.kind = ScenarioEventKind::kBurst;
+    e.domain = 1 + static_cast<int>(rng.NextBelow(static_cast<uint64_t>(tenants)));
+    const SimTime earliest = spec.domains[e.domain - 1].admit_at + Milliseconds(1);
+    e.at = earliest + static_cast<SimTime>(rng.NextBelow(static_cast<uint64_t>(
+                          std::max<SimDuration>(1, horizon - earliest))));
+    e.ops = 1 + rng.NextBelow(16);
+    e.write = rng.NextDouble() < 0.5;
+    spec.events.push_back(e);
+  }
+
+  // Teardown storms: an eighth of the fleet shuts down, clumped into two
+  // storms in the back half; a few tenants hang instead, so revocations
+  // against them blow the deadline and exercise the kill path.
+  for (const auto& d : spec.domains) {
+    const double roll = rng.NextDouble();
+    if (roll < 1.0 / 32.0) {
+      ScenarioEvent e;
+      e.kind = ScenarioEventKind::kHang;
+      e.at = static_cast<SimTime>(horizon / 2 +
+                                  rng.NextBelow(static_cast<uint64_t>(horizon / 2)));
+      e.domain = d.id;
+      spec.events.push_back(e);
+    } else if (roll < 1.0 / 32.0 + 1.0 / 8.0) {
+      ScenarioEvent e;
+      e.kind = ScenarioEventKind::kShutdown;
+      const SimTime storm = rng.NextBelow(2) == 0 ? horizon * 5 / 8 : horizon * 7 / 8;
+      e.at = storm + static_cast<SimTime>(rng.NextBelow(static_cast<uint64_t>(
+                         std::max<SimDuration>(1, horizon / 16))));
+      e.domain = d.id;
+      spec.events.push_back(e);
+    }
+  }
+  SortEvents(&spec);
+  return spec;
+}
+
 ScenarioSpec Shrink(const ScenarioSpec& spec,
                     const std::function<bool(const ScenarioSpec&)>& still_fails) {
   ScenarioSpec best = spec;

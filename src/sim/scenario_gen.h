@@ -84,6 +84,17 @@ struct GeneratorConfig {
 // overall (sum g+x > frames), so guaranteed allocations must revoke.
 ScenarioSpec GenerateScenario(uint64_t seed, const GeneratorConfig& config = {});
 
+// Fleet-density spec: `tenants` paged domains with small heterogeneous
+// contracts (g in {1,2}, x in {2,...,6}) over ~3·tenants frames, so the mix
+// over-commits physical memory while every guarantee stays admissible.
+// Admissions arrive in staggered waves (create storms), a slice of the fleet
+// is torn down in shutdown storms in the back half of the horizon, a few
+// tenants hang (exercising the revocation kill path), and every survivor gets
+// Zipf-skewed burst traffic. Deterministic in (seed, tenants); shared by the
+// tenant-density ablation bench and scenario_fuzz --tenants.
+ScenarioSpec GenerateTenantStorm(uint64_t seed, int tenants,
+                                 SimDuration horizon = Milliseconds(400));
+
 // Greedy event-script shrinker. `still_fails` must return true while the
 // candidate spec still reproduces the failure; Shrink returns the smallest
 // spec found (event removal to fixpoint, then burst-halving, then removal of

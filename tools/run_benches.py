@@ -55,6 +55,7 @@ BENCH_TARGETS = [
     "bench_ablation_streampaging",
     "bench_ablation_pipeline",
     "bench_ablation_revocation",
+    "bench_ablation_tenants",
 ]
 
 # NEMESIS_OBS=1 reruns that publish the per-domain QoS-crosstalk reports:
@@ -356,6 +357,7 @@ def main():
             "ablation_streampaging": run_figure(args.build, "bench_ablation_streampaging"),
             "ablation_pipeline": run_figure(args.build, "bench_ablation_pipeline"),
             "ablation_revocation": run_figure(args.build, "bench_ablation_revocation"),
+            "ablation_tenants": run_figure(args.build, "bench_ablation_tenants"),
         }
         doc["obs"] = run_obs_overhead(args.build)
         if not args.skip_qos:
