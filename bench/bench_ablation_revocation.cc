@@ -16,6 +16,7 @@
 
 #include "src/core/system.h"
 #include "src/core/workloads.h"
+#include "src/obs/trace_export.h"
 
 using namespace nemesis;
 
@@ -93,6 +94,9 @@ int main() {
               static_cast<unsigned long long>(
                   aggressor != nullptr ? frames.AllocatedCount(aggressor->id()) : 0));
 
+  if (sys_cfg.observe) {
+    system.obs().conformance().Flush(system.sim().Now());
+  }
   const std::string trace_path = "revocation_trace.csv";
   if (system.trace().WriteCsv(trace_path)) {
     std::printf("  trace written to %s\n", trace_path.c_str());
@@ -100,6 +104,9 @@ int main() {
   if (sys_cfg.observe) {
     if (system.obs().registry().WriteJson("revocation_metrics.json")) {
       std::printf("  metrics snapshot written to revocation_metrics.json\n");
+    }
+    if (WritePerfettoJson(system.trace(), "trace_revocation.json")) {
+      std::printf("  Perfetto trace written to trace_revocation.json\n");
     }
   }
 

@@ -10,6 +10,7 @@
 
 #include "src/core/system.h"
 #include "src/core/workloads.h"
+#include "src/obs/trace_export.h"
 
 namespace nemesis {
 namespace {
@@ -79,11 +80,15 @@ double RunFs(bool with_pagers, SimDuration measure) {
   if (syscfg.observe && with_pagers) {
     // The contended run is the interesting one for crosstalk: publish its
     // fault spans and metrics for tools/report_qos.py.
+    system.obs().conformance().Flush(system.sim().Now());
     if (system.trace().WriteCsv("fig9_trace.csv")) {
       std::printf("    trace written to fig9_trace.csv\n");
     }
     if (system.obs().registry().WriteJson("fig9_metrics.json")) {
       std::printf("    metrics snapshot written to fig9_metrics.json\n");
+    }
+    if (WritePerfettoJson(system.trace(), "trace_fig9.json")) {
+      std::printf("    Perfetto trace written to trace_fig9.json\n");
     }
   }
   return avg;

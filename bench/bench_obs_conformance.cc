@@ -1,0 +1,291 @@
+// Contract-conformance monitor harness (DESIGN.md "Observability").
+//
+// Three phases, each a claim the monitor must support:
+//
+//   1. Uncontended fig7-shaped run: three self-paging apps, no over-commit,
+//      no revocation — every (domain, resource, period) verdict inside the
+//      measurement window must be `met`. Anything else is a monitor bug (or
+//      a real QoS regression, which is exactly why the gate exists).
+//   2. Revocation storm (the bench_ablation_revocation shape): a hog's
+//      optimistic frames are revoked one by one to honour an aggressor's
+//      guarantee. The hog's non-met memory periods must carry the aggressor's
+//      domain id as attribution — the monitor names the culprit, not just the
+//      symptom.
+//   3. Overhead: the phase-1 workload with observation off vs on, interleaved
+//      reps, reported in the bench_obs_overhead key format
+//      (obs_disabled_ms / obs_enabled_ms / obs_overhead_pct) so
+//      run_benches.py publishes both probes' deltas the same way. The obs-off
+//      run must also emit zero verdict records (hooks fully dormant).
+//
+// Usage: bench_obs_conformance [--smoke]
+//   --smoke  shorter measurement window and a single overhead rep (CI).
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/core/system.h"
+#include "src/core/workloads.h"
+#include "src/obs/trace_export.h"
+
+namespace nemesis {
+namespace {
+
+using Res = ConformanceMonitor::Resource;
+using Ver = ConformanceMonitor::Verdict;
+
+struct Delta {
+  uint64_t met = 0;
+  uint64_t degraded = 0;
+  uint64_t violated = 0;
+  uint64_t periods() const { return met + degraded + violated; }
+};
+
+Delta Diff(const ConformanceMonitor::Summary& before, const ConformanceMonitor::Summary& after) {
+  return Delta{after.met - before.met, after.degraded - before.degraded,
+               after.violated - before.violated};
+}
+
+struct UncontendedResult {
+  double wall_ms = 0.0;
+  uint64_t met = 0;
+  uint64_t degraded = 0;
+  uint64_t violated = 0;
+  size_t verdict_records = 0;
+  bool perfetto_written = false;
+  bool ok = false;
+};
+
+// Phase 1/3 workload: the fig7 shape at reduced scale (three apps, 2 frames,
+// 1 MiB stretch), long enough to close many 250 ms periods per app.
+UncontendedResult RunUncontended(bool observe, SimDuration measure, bool export_trace) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  SystemConfig syscfg;
+  syscfg.observe = observe;
+  System system(syscfg);
+  const int64_t slices[] = {25, 50, 100};
+  std::vector<AppDomain*> apps;
+  for (size_t i = 0; i < 3; ++i) {
+    AppConfig cfg;
+    cfg.name = "app-" + std::to_string(i);
+    cfg.contract = {2, 0};
+    cfg.driver_max_frames = 2;
+    cfg.stretch_bytes = 1 * kMiB;
+    cfg.swap_bytes = 4 * kMiB;
+    cfg.disk_qos = QosSpec{Milliseconds(250), Milliseconds(slices[i]), false, Milliseconds(10)};
+    apps.push_back(system.CreateApp(cfg));
+  }
+
+  std::vector<char> primed(apps.size(), 0);
+  for (size_t i = 0; i < apps.size(); ++i) {
+    apps[i]->SpawnWorkload(
+        SequentialPass(*apps[i], AccessType::kWrite, reinterpret_cast<bool*>(&primed[i])),
+        "prime");
+  }
+  system.sim().RunUntil(Seconds(120));
+
+  // Snapshot the cumulative summaries so priming-phase periods (partial
+  // backlog ramp-up) stay out of the measured window's 100%-met gate.
+  ConformanceMonitor& mon = system.obs().conformance();
+  mon.Flush(system.sim().Now());
+  std::vector<ConformanceMonitor::Summary> disk_before(apps.size());
+  std::vector<ConformanceMonitor::Summary> mem_before(apps.size());
+  for (size_t i = 0; i < apps.size(); ++i) {
+    disk_before[i] = mon.SummaryOf(apps[i]->id(), Res::kDisk);
+    mem_before[i] = mon.SummaryOf(apps[i]->id(), Res::kMemory);
+  }
+
+  std::vector<uint64_t> bytes(apps.size(), 0);
+  std::vector<char> ok(apps.size(), 0);
+  const SimTime until = system.sim().Now() + measure;
+  for (size_t i = 0; i < apps.size(); ++i) {
+    apps[i]->SpawnWorkload(SequentialAccessLoop(*apps[i], AccessType::kRead, until, &bytes[i],
+                                                reinterpret_cast<bool*>(&ok[i])),
+                           "loop");
+  }
+  system.sim().RunUntil(until);
+  mon.Flush(system.sim().Now());
+
+  UncontendedResult result;
+  result.wall_ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                             wall_start)
+                       .count();
+  bool all_ran = true;
+  for (size_t i = 0; i < apps.size(); ++i) {
+    // `ok[i]` only latches after the final in-flight pass drains, which is
+    // past `until`; progress during the window is the meaningful gate.
+    all_ran = all_ran && primed[i] != 0 && bytes[i] > 0;
+    const Delta disk = Diff(disk_before[i], mon.SummaryOf(apps[i]->id(), Res::kDisk));
+    const Delta mem = Diff(mem_before[i], mon.SummaryOf(apps[i]->id(), Res::kMemory));
+    if (observe) {
+      std::printf("    %s: disk %" PRIu64 "/%" PRIu64 " met, mem %" PRIu64 "/%" PRIu64
+                  " met\n",
+                  apps[i]->name().c_str(), disk.met, disk.periods(), mem.met, mem.periods());
+    }
+    result.met += disk.met + mem.met;
+    result.degraded += disk.degraded + mem.degraded;
+    result.violated += disk.violated + mem.violated;
+    // Every app must have closed periods in the window; otherwise the feed
+    // is dead and "no violations" would be vacuous.
+    if (observe && (disk.periods() == 0 || mem.periods() == 0)) {
+      all_ran = false;
+    }
+  }
+  result.verdict_records = system.trace().Filter("verdict").size();
+  if (observe && export_trace) {
+    result.perfetto_written = WritePerfettoJson(system.trace(), "trace_conformance.json");
+  }
+  result.ok = all_ran && (!observe || (result.degraded == 0 && result.violated == 0 &&
+                                       result.met > 0 && result.verdict_records > 0));
+  return result;
+}
+
+struct StormResult {
+  uint64_t hog_mem_periods = 0;
+  uint64_t hog_non_met = 0;          // degraded or violated memory periods
+  uint64_t hog_attributed = 0;       // ... carrying a nonzero aggressor id
+  uint64_t hog_attributed_to_aggressor = 0;
+  uint64_t intrusive_revocations = 0;
+  uint64_t kills = 0;
+  bool ok = false;
+};
+
+// Phase 2: the bench_ablation_revocation shape with observation forced on.
+StormResult RunStorm() {
+  SystemConfig sys_cfg;
+  sys_cfg.phys_frames = 48;
+  sys_cfg.observe = true;
+  System system(sys_cfg);
+
+  AppConfig hog_cfg;
+  hog_cfg.name = "hog";
+  hog_cfg.contract = {4, 40};
+  hog_cfg.driver_max_frames = 44;
+  hog_cfg.stretch_bytes = 44 * sys_cfg.page_size;
+  hog_cfg.swap_bytes = 1 * kMiB;
+  hog_cfg.mm_workers = 2;
+  hog_cfg.disk_qos = QosSpec{Milliseconds(250), Milliseconds(100), false, Milliseconds(10)};
+  AppDomain* hog = system.CreateApp(hog_cfg);
+  system.frames().set_revocation_timeout(Milliseconds(300));
+
+  bool hog_primed = false;
+  hog->SpawnWorkload(SequentialPass(*hog, AccessType::kWrite, &hog_primed), "prime");
+  uint64_t hog_bytes = 0;
+  bool hog_ok = false;
+  system.sim().CallAt(Milliseconds(500), [&] {
+    hog->SpawnWorkload(
+        SequentialAccessLoop(*hog, AccessType::kWrite, Seconds(4), &hog_bytes, &hog_ok), "loop");
+  });
+
+  bool aggressor_ok = false;
+  AppDomain* aggressor = nullptr;
+  system.sim().CallAt(Seconds(1), [&] {
+    AppConfig cfg;
+    cfg.name = "aggressor";
+    cfg.contract = {24, 0};
+    cfg.driver_max_frames = 24;
+    cfg.stretch_bytes = 24 * sys_cfg.page_size;
+    cfg.swap_bytes = 1 * kMiB;
+    aggressor = system.CreateApp(cfg);
+    aggressor->SpawnWorkload(SequentialPass(*aggressor, AccessType::kWrite, &aggressor_ok),
+                             "claim");
+  });
+  system.sim().RunUntil(Seconds(6));
+
+  ConformanceMonitor& mon = system.obs().conformance();
+  mon.Flush(system.sim().Now());
+
+  StormResult result;
+  result.intrusive_revocations = system.frames().revocations_intrusive();
+  result.kills = system.frames().domains_killed();
+  for (const auto& v : mon.recent()) {
+    if (v.domain != hog->id() || v.resource != Res::kMemory) {
+      continue;
+    }
+    ++result.hog_mem_periods;
+    if (v.verdict == Ver::kMet) {
+      continue;
+    }
+    ++result.hog_non_met;
+    if (v.other != 0) {
+      ++result.hog_attributed;
+      if (aggressor != nullptr && v.other == aggressor->id()) {
+        ++result.hog_attributed_to_aggressor;
+      }
+    }
+  }
+  result.ok = hog_primed && hog_ok && aggressor_ok && result.intrusive_revocations >= 1 &&
+              result.kills == 0 && result.hog_non_met >= 1 &&
+              result.hog_attributed == result.hog_non_met &&
+              result.hog_attributed_to_aggressor >= 1;
+  return result;
+}
+
+}  // namespace
+}  // namespace nemesis
+
+int main(int argc, char** argv) {
+  using namespace nemesis;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+  const SimDuration measure = smoke ? Seconds(5) : Seconds(30);
+  const int reps = smoke ? 1 : 3;
+
+  std::printf("=== Contract conformance (per-period QoS verdicts) ===\n");
+
+  std::printf("\n  [1/3] uncontended fig7 shape (every period must be met):\n");
+  const UncontendedResult uncontended = RunUncontended(/*observe=*/true, measure,
+                                                       /*export_trace=*/true);
+  std::printf("    verdicts: %" PRIu64 " met, %" PRIu64 " degraded, %" PRIu64
+              " violated (%zu trace records)\n",
+              uncontended.met, uncontended.degraded, uncontended.violated,
+              uncontended.verdict_records);
+  if (uncontended.perfetto_written) {
+    std::printf("    Perfetto trace written to trace_conformance.json\n");
+  }
+  std::printf("    conformance_met %" PRIu64 "\n", uncontended.met);
+  std::printf("    conformance_degraded %" PRIu64 "\n", uncontended.degraded);
+  std::printf("    conformance_violated %" PRIu64 "\n", uncontended.violated);
+  std::printf("    uncontended check (100%% met): %s\n", uncontended.ok ? "PASS" : "FAIL");
+
+  std::printf("\n  [2/3] revocation storm (non-met hog periods name the aggressor):\n");
+  const StormResult storm = RunStorm();
+  std::printf("    intrusive revocations: %" PRIu64 ", kills: %" PRIu64 "\n",
+              storm.intrusive_revocations, storm.kills);
+  std::printf("    hog memory periods: %" PRIu64 " (%" PRIu64 " non-met, %" PRIu64
+              " attributed, %" PRIu64 " to the aggressor)\n",
+              storm.hog_mem_periods, storm.hog_non_met, storm.hog_attributed,
+              storm.hog_attributed_to_aggressor);
+  std::printf("    conformance_storm_attributed %" PRIu64 "\n",
+              storm.hog_attributed_to_aggressor);
+  std::printf("    attribution check: %s\n", storm.ok ? "PASS" : "FAIL");
+
+  std::printf("\n  [3/3] overhead (conformance hooks, off vs on):\n");
+  double disabled_ms = 0.0;
+  double enabled_ms = 0.0;
+  bool off_silent = true;
+  for (int r = 0; r < reps; ++r) {
+    const UncontendedResult off = RunUncontended(false, measure, false);
+    const UncontendedResult on = RunUncontended(true, measure, false);
+    off_silent = off_silent && off.verdict_records == 0 && off.ok;
+    disabled_ms = r == 0 ? off.wall_ms : std::min(disabled_ms, off.wall_ms);
+    enabled_ms = r == 0 ? on.wall_ms : std::min(enabled_ms, on.wall_ms);
+    std::printf("    rep %d: disabled %.1f ms, enabled %.1f ms\n", r, off.wall_ms, on.wall_ms);
+  }
+  std::printf("\n  obs_disabled_ms %.2f\n", disabled_ms);
+  std::printf("  obs_enabled_ms %.2f\n", enabled_ms);
+  std::printf("  obs_overhead_pct %.2f\n", (enabled_ms - disabled_ms) / disabled_ms * 100.0);
+  std::printf("  obs-off silence check (0 verdict records): %s\n", off_silent ? "PASS" : "FAIL");
+
+  const bool ok = uncontended.ok && storm.ok && off_silent && uncontended.perfetto_written;
+  std::printf("\n  shape check: %s (uncontended 100%% met; storm verdicts carry aggressor "
+              "attribution; hooks dormant while disabled)\n",
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -13,6 +13,7 @@
 
 #include "src/core/system.h"
 #include "src/core/workloads.h"
+#include "src/obs/trace_export.h"
 
 namespace nemesis {
 
@@ -138,6 +139,11 @@ inline PagingExperimentResult RunPagingExperiment(const PagingExperimentConfig& 
   std::printf("\n");
 
   if (!config.trace_csv.empty()) {
+    if (syscfg.observe) {
+      // Close the in-flight memory accounting periods so the conformance
+      // verdict stream covers the whole measured window before the dump.
+      system.obs().conformance().Flush(system.sim().Now());
+    }
     if (system.trace().WriteCsv(config.trace_csv)) {
       std::printf("  USD scheduler trace written to %s\n", config.trace_csv.c_str());
     }
@@ -152,6 +158,17 @@ inline PagingExperimentResult RunPagingExperiment(const PagingExperimentConfig& 
       metrics_path += "_metrics.json";
       if (system.obs().registry().WriteJson(metrics_path)) {
         std::printf("  Metrics snapshot written to %s\n", metrics_path.c_str());
+      }
+      // Shared-timeline trace for ui.perfetto.dev: fault spans, disk slices,
+      // bg I/O and conformance verdicts in one catapult JSON.
+      std::string stem = config.trace_csv;
+      const size_t cut = stem.find_first_of("_.");
+      if (cut != std::string::npos) {
+        stem.resize(cut);
+      }
+      const std::string perfetto_path = "trace_" + stem + ".json";
+      if (WritePerfettoJson(system.trace(), perfetto_path)) {
+        std::printf("  Perfetto trace written to %s\n", perfetto_path.c_str());
       }
     }
   }

@@ -281,6 +281,8 @@ Task PagedStretchDriver::PumpReplies() {
   }
 }
 
+uint64_t PagedStretchDriver::NextBgId() { return MakeBgTraceId(env_.domain, next_bg_seq_++); }
+
 Task PagedStretchDriver::SwapWrite(uint64_t blok, Pfn pfn, bool* ok, uint64_t fid) {
   const SimTime start = env_.sim->Now();  // span covers the slot wait too
   *ok = false;
@@ -338,9 +340,15 @@ Task PagedStretchDriver::SwapWrite(uint64_t blok, Pfn pfn, bool* ok, uint64_t fi
   }
   if (Obs* obs = env_.obs; fid != 0 && obs != nullptr && obs->enabled()) {
     const SimDuration took = env_.sim->Now() - start;
-    obs->Span(start, env_.domain, "usd-write", ToMilliseconds(took), fid);
-    if (Obs::DomainProbe* p = obs->probe(env_.domain)) {
-      p->usd_wait->Record(took);
+    if (IsBgTraceId(fid)) {
+      // Speculative writeback: its own category, and it stays out of the
+      // demand-path usd_wait histogram.
+      obs->BgSpan(start, env_.domain, "bg-write", ToMilliseconds(took), fid);
+    } else {
+      obs->Span(start, env_.domain, "usd-write", ToMilliseconds(took), fid);
+      if (Obs::DomainProbe* p = obs->probe(env_.domain)) {
+        p->usd_wait->Record(took);
+      }
     }
   }
 }
@@ -408,9 +416,14 @@ Task PagedStretchDriver::SwapRead(uint64_t blok, Pfn pfn, bool* ok, uint64_t fid
   }
   if (Obs* obs = env_.obs; fid != 0 && obs != nullptr && obs->enabled()) {
     const SimDuration took = env_.sim->Now() - start;
-    obs->Span(start, env_.domain, "usd-read", ToMilliseconds(took), fid);
-    if (Obs::DomainProbe* p = obs->probe(env_.domain)) {
-      p->usd_wait->Record(took);
+    if (IsBgTraceId(fid)) {
+      // Speculative read-ahead: categorised "bg", excluded from usd_wait.
+      obs->BgSpan(start, env_.domain, "bg-read", ToMilliseconds(took), fid);
+    } else {
+      obs->Span(start, env_.domain, "usd-read", ToMilliseconds(took), fid);
+      if (Obs::DomainProbe* p = obs->probe(env_.domain)) {
+        p->usd_wait->Record(took);
+      }
     }
   }
 }
@@ -561,7 +574,9 @@ size_t PagedStretchDriver::StartEvictBatch(size_t max_victims) {
 Task PagedStretchDriver::WritebackChainTask(std::vector<WritebackItem> items) {
   // Blok order maximizes LBA contiguity, so the channel's batch policy can
   // coalesce the whole set into few chained disk transactions. Off the fault
-  // path by design: trace_id stays 0, no fault is charged for these writes.
+  // path by design: no fault is charged for these writes — each request
+  // carries a background trace id, so its disk time lands in the "bg"
+  // category attributed to this domain instead of vanishing.
   std::sort(items.begin(), items.end(),
             [](const WritebackItem& a, const WritebackItem& b) { return a.blok < b.blok; });
   std::vector<uint64_t> io_ids;
@@ -581,6 +596,7 @@ Task PagedStretchDriver::WritebackChainTask(std::vector<WritebackItem> items) {
     req.lba = BlokLba(item.blok);
     req.nblocks = blocks_per_page_;
     req.is_write = true;
+    req.trace_id = NextBgId();
     auto data = env_.phys->FrameData(item.pfn);
     req.data.assign(data.begin(), data.end());
     swap_->Push(std::move(req));
@@ -878,7 +894,8 @@ Task PagedStretchDriver::StageTask(size_t index) {
         fifo_.size() >= 2) {
       Pfn evicted = 0;
       bool ok = false;
-      TaskHandle h = io_tasks_.Adopt(env_.sim->Spawn(EvictOne(&evicted, &ok), "prefetch-evict"));
+      TaskHandle h = io_tasks_.Adopt(
+          env_.sim->Spawn(EvictOne(&evicted, &ok, NextBgId()), "prefetch-evict"));
       co_await Join(h);
       if (ok) {
         pfn = evicted;
@@ -908,8 +925,8 @@ Task PagedStretchDriver::StageTask(size_t index) {
   Reserve(*pfn);  // reserved until consumed or cancelled
   NEM_ASSERT(pages_[index].blok.has_value());
   bool read_ok = false;
-  TaskHandle h = io_tasks_.Adopt(
-      env_.sim->Spawn(SwapRead(*pages_[index].blok, *pfn, &read_ok), "stage-swap-read"));
+  TaskHandle h = io_tasks_.Adopt(env_.sim->Spawn(
+      SwapRead(*pages_[index].blok, *pfn, &read_ok, NextBgId()), "stage-swap-read"));
   co_await Join(h);
   if (pipeline_stopped_ || !read_ok || slot->state != StageSlot::State::kLoading ||
       slot->page != index || slot->abandoned) {

@@ -238,6 +238,11 @@ class PagedStretchDriver : public PhysicalStretchDriver {
   std::unique_ptr<Condition> pipeline_cv_;  // staging / ticket / writeback events
   std::unordered_map<uint64_t, IoTicket> inflight_;
   uint64_t next_io_id_ = 1;
+  // Background (speculative) I/O trace ids: read-ahead, prefetch evictions
+  // and batched writeback carry MakeBgTraceId(domain, seq) so their disk time
+  // is attributed to this domain under the "bg" span category.
+  uint64_t next_bg_seq_ = 1;
+  uint64_t NextBgId();
   TaskHandle pump_task_;
   std::vector<TaskHandle> pipeline_tasks_;
   // Demand-path evict/swap tasks, joined by ResolveFault/RelinquishFrames.

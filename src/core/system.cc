@@ -64,8 +64,12 @@ System::System(SystemConfig config)
   MetricsRegistry& reg = obs_.registry();
   reg.RegisterGauge("kernel.events_sent", [this] { return kernel_.events_sent(); });
   reg.RegisterGauge("kernel.faults_dispatched", [this] { return kernel_.faults_dispatched(); });
-  reg.RegisterGauge("tlb.hits", [this] { return mmu_.tlb().hits(); });
-  reg.RegisterGauge("tlb.misses", [this] { return mmu_.tlb().misses(); });
+  // The TLB hit/miss split depends on which shard lane translated first under
+  // parallel_sim; tag the gauges so deterministic-only snapshots exclude them.
+  reg.RegisterGauge("tlb.hits", [this] { return mmu_.tlb().hits(); },
+                    GaugeDeterminism::kNondeterministic);
+  reg.RegisterGauge("tlb.misses", [this] { return mmu_.tlb().misses(); },
+                    GaugeDeterminism::kNondeterministic);
   reg.RegisterGauge("frames.revocations_transparent",
                     [this] { return frames_allocator_.revocations_transparent(); });
   reg.RegisterGauge("frames.revocations_intrusive",
@@ -78,6 +82,36 @@ System::System(SystemConfig config)
   reg.RegisterGauge("sim.events_executed", [this] { return sim_.events_executed(); });
   reg.RegisterGauge("trace.records", [this] { return uint64_t{trace_.size()}; });
   reg.RegisterGauge("trace.dropped", [this] { return trace_.dropped(); });
+
+  if (config_.observe) {
+    // Conformance-monitor feed: the USD's Atropos instance reports every
+    // disk charge, period refresh, and backlog edge. The sched-id -> domain
+    // map is maintained by AppDomain as swap clients come and go; unmapped
+    // ids (fig9's FS client, raw test clients) are simply not monitored.
+    AtroposScheduler& dsched = usd_.scheduler();
+    dsched.set_charge_hook([this](SchedClientId id, SimTime end, SimDuration used, bool lax) {
+      auto it = usd_sched_domains_.find(id);
+      if (it != usd_sched_domains_.end()) {
+        obs_.conformance().OnSlice(it->second, ConformanceMonitor::Resource::kDisk, end, used,
+                                   lax);
+      }
+    });
+    dsched.set_refresh_hook(
+        [this](SchedClientId id, SimTime boundary, SimDuration allocation, bool queued) {
+          auto it = usd_sched_domains_.find(id);
+          if (it != usd_sched_domains_.end()) {
+            obs_.conformance().OnPeriod(it->second, ConformanceMonitor::Resource::kDisk, boundary,
+                                        allocation, queued);
+          }
+        });
+    dsched.set_queue_hook([this](SchedClientId id, SimTime now, bool queued) {
+      auto it = usd_sched_domains_.find(id);
+      if (it != usd_sched_domains_.end()) {
+        obs_.conformance().OnBacklog(it->second, ConformanceMonitor::Resource::kDisk, now,
+                                     queued);
+      }
+    });
+  }
 
   if (config_.audit) {
     if (config_.audit_stride == 0) {
@@ -149,6 +183,15 @@ AppDomain::AppDomain(System& system, AppConfig config)
                    domain_->id(), pdom_};
   env_.obs = &system.obs();
   system.obs().RegisterDomain(domain_->id(), config_.name);
+  if (system.config().observe) {
+    // Memory-conformance accounting periods ride the domain's disk QoS period
+    // so the two verdict streams align; registration happens at the same sim
+    // time as the Atropos admission, so period boundaries coincide with the
+    // scheduler's deadline stream.
+    system.obs().conformance().RegisterContract(
+        domain_->id(), ConformanceMonitor::Resource::kMemory, config_.name, system.sim().Now(),
+        config_.disk_qos.period, config_.contract.guaranteed);
+  }
 
   mm_entry_ = std::make_unique<MmEntry>(env_, *domain_, system.stretches(), config_.mm_workers);
   mm_entry_->Start();
@@ -176,6 +219,12 @@ AppDomain::AppDomain(System& system, AppConfig config)
                                               config_.disk_qos, usd_depth, usd_batch);
       NEM_ASSERT_MSG(swap.has_value(), "swap file creation failed (QoS or space)");
       swap_file_ = *swap;
+      if (system.config().observe) {
+        system.obs().conformance().RegisterContract(
+            domain_->id(), ConformanceMonitor::Resource::kDisk, config_.name, system.sim().Now(),
+            config_.disk_qos.period, static_cast<uint64_t>(config_.disk_qos.slice));
+        system.BindUsdSchedDomain(swap_file_.client->sched_id(), domain_->id());
+      }
       PagedStretchDriver::Config driver_config;
       driver_config.max_frames = config_.driver_max_frames;
       driver_config.forgetful = config_.forgetful;
@@ -273,6 +322,18 @@ void AppDomain::Shutdown() {
 }
 
 void AppDomain::Kill() {
+  if (system_.config().observe && domain_->alive()) {
+    // Close the books: a kill mid-period surfaces as a final violated memory
+    // verdict; later scheduler refreshes for the dying swap client no longer
+    // have a contract to land on.
+    const SimTime now = system_.sim().Now();
+    ConformanceMonitor& conformance = system_.obs().conformance();
+    conformance.DeactivateContract(domain_->id(), ConformanceMonitor::Resource::kDisk, now);
+    conformance.DeactivateContract(domain_->id(), ConformanceMonitor::Resource::kMemory, now);
+    if (swap_file_.client != nullptr) {
+      system_.UnbindUsdSchedDomain(swap_file_.client->sched_id());
+    }
+  }
   for (auto& t : workloads_) {
     t.Kill();
   }

@@ -10,6 +10,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/app/mm_entry.h"
@@ -174,6 +175,14 @@ class System {
   InvariantAuditor& auditor() { return auditor_; }
   DomainAccessChecker& access_checker() { return access_checker_; }
 
+  // Conformance-monitor plumbing: maps a USD scheduler client to the app
+  // domain owning it so the Atropos hooks can attribute disk slices. Bound
+  // by AppDomain when a swap file is created, unbound at kill/teardown.
+  void BindUsdSchedDomain(SchedClientId sched_id, DomainId domain) {
+    usd_sched_domains_[sched_id] = domain;
+  }
+  void UnbindUsdSchedDomain(SchedClientId sched_id) { usd_sched_domains_.erase(sched_id); }
+
  private:
   SystemConfig config_;
   Simulator sim_;
@@ -192,6 +201,7 @@ class System {
   InvariantAuditor auditor_;  // after every structure it references
   DomainAccessChecker access_checker_;
   uint64_t audit_batches_ = 0;
+  std::unordered_map<SchedClientId, DomainId> usd_sched_domains_;
   std::vector<std::unique_ptr<AppDomain>> apps_;
 };
 

@@ -51,6 +51,11 @@ void FramesAllocator::RefreshAccounting(Client& c) {
                             : 0;
   guaranteed_outstanding_ = guaranteed_outstanding_ - c.outstanding + want;
   c.outstanding = want;
+  if (obs_ != nullptr && obs_->enabled()) {
+    // Every allocated-count mutation funnels through here, so this is the
+    // single frame-holding probe for the conformance monitor.
+    obs_->conformance().OnFramesHeld(c.domain, sim_.Now(), c.allocated);
+  }
   if (!indexed_) {
     return;
   }
@@ -303,6 +308,7 @@ Expected<Pfn, FramesError> FramesAllocator::AllocGuaranteed(Client& client) {
       // reserved prefix is simply draining towards us.
       NEM_ASSERT_MSG(!free_pool_.empty(),
                      "admission control violated: guarantee unmet with no optimistic frames in use");
+      NoteGuaranteeWait(client.domain);
       return MakeUnexpected(FramesError::kRevocationPending);
     }
     if (ReclaimUnusedTop(*victim, 1) == 1) {
@@ -329,7 +335,19 @@ Expected<Pfn, FramesError> FramesAllocator::AllocGuaranteed(Client& client) {
       return TakeFreeFrame(client);
     }
   }
+  NoteGuaranteeWait(client.domain);
   return MakeUnexpected(FramesError::kRevocationPending);
+}
+
+void FramesAllocator::NoteGuaranteeWait(DomainId domain) {
+  if (obs_ == nullptr || !obs_->enabled()) {
+    return;
+  }
+  // The requester leaves with kRevocationPending: its guarantee is unmet
+  // until a reclaim refills the pool. Attribute the wait to the in-flight
+  // revocation victim (the optimistic-surplus holder being squeezed), if any.
+  obs_->conformance().OnGuaranteeWaitStart(domain, sim_.Now(),
+                                           revocation_active_ ? revocation_victim_ : kNoDomain);
 }
 
 size_t FramesAllocator::WaiterPos(DomainId domain) const {
@@ -343,13 +361,24 @@ size_t FramesAllocator::WaiterPos(DomainId domain) const {
 
 void FramesAllocator::DropWaiter(DomainId domain) {
   std::erase(guaranteed_waiters_, domain);
+  if (obs_ != nullptr && obs_->enabled()) {
+    obs_->conformance().OnGuaranteeWaitEnd(domain, sim_.Now());
+  }
 }
 
 void FramesAllocator::PruneWaiters() {
   // Lazily drop waiters whose client is gone (killed or deregistered): a dead
   // domain never retries, and its reservation would starve the queue behind
   // it.
-  std::erase_if(guaranteed_waiters_, [this](DomainId d) { return Find(d) == nullptr; });
+  std::erase_if(guaranteed_waiters_, [this](DomainId d) {
+    if (Find(d) != nullptr) {
+      return false;
+    }
+    if (obs_ != nullptr && obs_->enabled()) {
+      obs_->conformance().OnGuaranteeWaitEnd(d, sim_.Now());
+    }
+    return true;
+  });
 }
 
 bool FramesAllocator::MayTakeFrame(DomainId domain) const {
@@ -502,6 +531,7 @@ void FramesAllocator::StartIntrusiveRevocation(Client& victim, uint64_t k, Domai
   }
   if (obs_ != nullptr) {
     obs_->Span(sim_.Now(), victim.domain, "revoke-start", 0.0, aggressor);
+    obs_->conformance().OnRevocationStart(victim.domain, sim_.Now(), aggressor);
   }
   NEM_LOG_DEBUG("frames", "intrusive revocation: victim=%u k=%llu deadline=%.2fms", victim.domain,
                 static_cast<unsigned long long>(k), ToMilliseconds(deadline));
@@ -540,6 +570,7 @@ void FramesAllocator::FinishRevocation(DomainId victim_id, bool deadline_expired
     // fault spans overlapping this window are stalls induced by `aggressor`.
     obs_->Span(revocation_started_, victim_id, "revoke-end",
                ToMilliseconds(sim_.Now() - revocation_started_), aggressor);
+    obs_->conformance().OnRevocationEnd(victim_id, sim_.Now());
   }
   Client* victim = Find(victim_id);
   if (victim == nullptr) {
@@ -559,6 +590,7 @@ void FramesAllocator::FinishRevocation(DomainId victim_id, bool deadline_expired
     domains_killed_.Inc();
     if (obs_ != nullptr) {
       obs_->Span(sim_.Now(), victim_id, "revoke-kill", 0.0, aggressor);
+      obs_->conformance().OnKill(victim_id, sim_.Now(), aggressor);
     }
     if (kill_handler_) {
       kill_handler_(victim_id);
@@ -593,6 +625,7 @@ void FramesAllocator::KillAndReclaim(Client& victim) {
       // (every revoke-start gets a revoke-end even when the victim dies).
       obs_->Span(revocation_started_, victim.domain, "revoke-end",
                  ToMilliseconds(sim_.Now() - revocation_started_), aggressor);
+      obs_->conformance().OnRevocationEnd(victim.domain, sim_.Now());
     }
   }
   // Sanctioned: teardown strips another domain's frames and mappings.

@@ -261,6 +261,8 @@ class FramesAllocator {
   size_t WaiterPos(DomainId domain) const;
   void DropWaiter(DomainId domain);
   void PruneWaiters();
+  // Conformance probe: the requester is leaving with kRevocationPending.
+  void NoteGuaranteeWait(DomainId domain);
   // True when `domain` may take a free frame now: it is within the reserved
   // FIFO prefix, or spare frames exist beyond every queued waiter's claim.
   bool MayTakeFrame(DomainId domain) const;

@@ -32,21 +32,42 @@
 #include <string>
 #include <unordered_map>
 
+#include "src/obs/conformance.h"
 #include "src/obs/metrics.h"
 #include "src/sim/trace.h"
 
 namespace nemesis {
 
+// Background (speculative) I/O trace ids. Demand fault ids are
+// (domain << 32) | seq; pipeline read-ahead and writeback I/O gets its own id
+// space with bit 52 set so reports can split demand vs speculative disk time
+// per domain. Ids stay below 2^53, so they survive the trace's double fields.
+inline constexpr uint64_t kBgTraceFlag = uint64_t{1} << 52;
+
+inline constexpr uint64_t MakeBgTraceId(uint32_t domain, uint64_t seq) {
+  return kBgTraceFlag | (uint64_t{domain} << 32) | (seq & 0xFFFFFFFFull);
+}
+inline constexpr bool IsBgTraceId(uint64_t id) { return (id & kBgTraceFlag) != 0; }
+inline constexpr uint32_t TraceDomainOf(uint64_t id) {
+  return static_cast<uint32_t>((id >> 32) & 0xFFFFF);
+}
+
 class Obs {
  public:
-  explicit Obs(TraceRecorder* trace) : trace_(trace) {}
+  explicit Obs(TraceRecorder* trace) : trace_(trace) {
+    conformance_.set_sinks(trace, &registry_);
+  }
   Obs(const Obs&) = delete;
   Obs& operator=(const Obs&) = delete;
 
-  void set_enabled(bool on) { enabled_ = on; }
+  void set_enabled(bool on) {
+    enabled_ = on;
+    conformance_.set_enabled(on);
+  }
   bool enabled() const { return enabled_; }
 
   MetricsRegistry& registry() { return registry_; }
+  ConformanceMonitor& conformance() { return conformance_; }
 
   // Emits one span record; no-op while disabled. `domain` is a DomainId (or
   // a victim domain for revoke-* events); `fid` is the fault trace id (or the
@@ -57,6 +78,29 @@ class Obs {
       return;
     }
     trace_->Record(start, "span", static_cast<int>(domain), stage, duration_ms,
+                   static_cast<double>(fid));
+  }
+
+  // Emits a disk service span for `fid`, routing by id space: demand fault
+  // ids land under category "span" (as before), background pipeline ids under
+  // category "bg" so reports can attribute speculative disk time.
+  void DiskSpan(SimTime start, uint64_t fid, double duration_ms) {
+    if (!enabled_) {
+      return;
+    }
+    trace_->Record(start, IsBgTraceId(fid) ? "bg" : "span",
+                   static_cast<int>(TraceDomainOf(fid)), "disk", duration_ms,
+                   static_cast<double>(fid));
+  }
+
+  // Emits a background pipeline span (read-ahead / writeback) under
+  // category "bg"; `fid` must be a MakeBgTraceId id.
+  void BgSpan(SimTime start, uint32_t domain, const char* stage, double duration_ms,
+              uint64_t fid) {
+    if (!enabled_) {
+      return;
+    }
+    trace_->Record(start, "bg", static_cast<int>(domain), stage, duration_ms,
                    static_cast<double>(fid));
   }
 
@@ -86,6 +130,7 @@ class Obs {
   bool enabled_ = false;
   TraceRecorder* trace_;
   MetricsRegistry registry_;
+  ConformanceMonitor conformance_;
   std::unordered_map<uint32_t, DomainProbe> probes_;
 };
 

@@ -131,6 +131,9 @@ void AtroposScheduler::Refresh(SchedClientId id) {
     trace_->Record(sim_.Now(), trace_category_, static_cast<int>(id), "alloc",
                    ToMilliseconds(c->remain), ToMilliseconds(c->deadline));
   }
+  if (refresh_hook_) {
+    refresh_hook_(id, sim_.Now(), c->remain, c->queued > 0);
+  }
   Wakeup();
 }
 
@@ -142,6 +145,9 @@ void AtroposScheduler::SetQueued(SchedClientId id, uint32_t queued) {
   const bool had_work = c->queued > 0;
   c->queued = queued;
   Reindex(id_to_index_[id]);
+  if (queue_hook_) {
+    queue_hook_(id, sim_.Now(), queued > 0);
+  }
   if (!had_work && queued > 0 && c->state == SchedClientState::kRunnable) {
     Wakeup();
   }
@@ -279,6 +285,9 @@ void AtroposScheduler::Charge(SchedClientId id, SimDuration used, bool was_lax) 
     }
   }
   Reindex(id_to_index_[id]);
+  if (charge_hook_) {
+    charge_hook_(id, sim_.Now(), used, was_lax);
+  }
 }
 
 void AtroposScheduler::Wakeup() {

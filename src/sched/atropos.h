@@ -82,6 +82,22 @@ class AtroposScheduler {
 
   void set_wakeup(std::function<void()> wakeup) { wakeup_ = std::move(wakeup); }
 
+  // Observer hooks for the conformance monitor (src/obs/conformance.h). All
+  // fire on the serial system shard; unset hooks cost one branch each.
+  //   charge hook:  (id, end = Now, used, was_lax)       — every Charge
+  //   refresh hook: (id, boundary = Now, allocation, queued) — every period
+  //                 refresh, after the refill (allocation = the new remain)
+  //   queue hook:   (id, now, queued != 0)               — every SetQueued
+  void set_charge_hook(std::function<void(SchedClientId, SimTime, SimDuration, bool)> hook) {
+    charge_hook_ = std::move(hook);
+  }
+  void set_refresh_hook(std::function<void(SchedClientId, SimTime, SimDuration, bool)> hook) {
+    refresh_hook_ = std::move(hook);
+  }
+  void set_queue_hook(std::function<void(SchedClientId, SimTime, bool)> hook) {
+    queue_hook_ = std::move(hook);
+  }
+
   // Enables/disables roll-over accounting (Ablation D). Default on, as in the
   // paper.
   void set_rollover(bool enabled) { rollover_ = enabled; }
@@ -189,6 +205,9 @@ class AtroposScheduler {
   TraceRecorder* trace_;
   std::string trace_category_;
   std::function<void()> wakeup_;
+  std::function<void(SchedClientId, SimTime, SimDuration, bool)> charge_hook_;
+  std::function<void(SchedClientId, SimTime, SimDuration, bool)> refresh_hook_;
+  std::function<void(SchedClientId, SimTime, bool)> queue_hook_;
   bool rollover_ = true;
   bool indexed_ = true;
   double reserved_fraction_ = 0.0;

@@ -215,10 +215,9 @@ Task Usd::ServiceLoop() {
                            ToMilliseconds(t), 0.0);
           }
           if (obs_ != nullptr && request.trace_id != 0) {
-            // The disk stage of the fault span; the owning domain sits in the
-            // trace id's high 32 bits.
-            obs_->Span(start, static_cast<uint32_t>(request.trace_id >> 32), "disk",
-                       ToMilliseconds(t), request.trace_id);
+            // The disk stage of the span; DiskSpan routes demand fault ids to
+            // category "span" and background pipeline ids to "bg".
+            obs_->DiskSpan(start, request.trace_id, ToMilliseconds(t));
           }
           const bool sent = client->replies_.TrySend(std::move(reply));
           NEM_ASSERT(sent);
@@ -307,8 +306,7 @@ Task Usd::ServiceLoop() {
       }
       if (obs_ != nullptr && request.trace_id != 0) {
         // Per-request disk time inside the (possibly chained) transaction.
-        obs_->Span(req_start, static_cast<uint32_t>(request.trace_id >> 32), "disk",
-                   ToMilliseconds(rt), request.trace_id);
+        obs_->DiskSpan(req_start, request.trace_id, ToMilliseconds(rt));
       }
       req_start += rt;
       const bool sent = client->replies_.TrySend(std::move(reply));

@@ -16,10 +16,13 @@
 
 #include "src/core/system.h"
 #include "src/core/workloads.h"
+#include "src/obs/conformance.h"
 #include "src/obs/counter.h"
 #include "src/obs/histogram.h"
 #include "src/obs/metrics.h"
 #include "src/obs/obs.h"
+#include "src/obs/trace_export.h"
+#include "src/sched/cpu_server.h"
 #include "src/sim/trace.h"
 
 namespace nemesis {
@@ -229,14 +232,286 @@ TEST(Obs, RegisterDomainCreatesProbeAndGauge) {
 }
 
 // ---------------------------------------------------------------------------
+// Gauge determinism tags and snapshot filtering.
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistry, DeterministicOnlyFilterSkipsNondeterministicGauges) {
+  MetricsRegistry reg;
+  reg.NewCounter("counter")->Add(3);
+  reg.RegisterGauge("stable", [] { return uint64_t{1}; });
+  reg.RegisterGauge("wallclockish", [] { return uint64_t{2}; },
+                    GaugeDeterminism::kNondeterministic);
+  const std::string all = reg.SnapshotJson();
+  EXPECT_NE(all.find("\"stable\": 1"), std::string::npos) << all;
+  EXPECT_NE(all.find("\"wallclockish\": 2"), std::string::npos) << all;
+  const std::string det = reg.SnapshotJson(SnapshotFilter::kDeterministicOnly);
+  EXPECT_NE(det.find("\"stable\": 1"), std::string::npos) << det;
+  EXPECT_EQ(det.find("wallclockish"), std::string::npos) << det;
+  EXPECT_NE(det.find("\"counter\": 3"), std::string::npos) << det;
+}
+
+// ---------------------------------------------------------------------------
+// Background trace-id space and span routing.
+// ---------------------------------------------------------------------------
+
+TEST(ObsBgIds, RoundTripAndCategoryRouting) {
+  const uint64_t bg = MakeBgTraceId(7, 42);
+  EXPECT_TRUE(IsBgTraceId(bg));
+  EXPECT_EQ(TraceDomainOf(bg), 7u);
+  const uint64_t demand = (uint64_t{7} << 32) | 42;
+  EXPECT_FALSE(IsBgTraceId(demand));
+  EXPECT_EQ(TraceDomainOf(demand), 7u);
+  // Ids must stay exact through the trace's double payload fields.
+  EXPECT_EQ(static_cast<uint64_t>(static_cast<double>(bg)), bg);
+
+  TraceRecorder tr;
+  Obs obs(&tr);
+  obs.set_enabled(true);
+  obs.DiskSpan(Milliseconds(1), demand, 2.5);
+  obs.DiskSpan(Milliseconds(2), bg, 1.5);
+  obs.BgSpan(Milliseconds(3), 7, "bg-read", 0.5, bg);
+  ASSERT_EQ(tr.size(), 3u);
+  EXPECT_EQ(tr.records()[0].category, "span");
+  EXPECT_EQ(tr.records()[0].event, "disk");
+  EXPECT_EQ(tr.records()[1].category, "bg");
+  EXPECT_EQ(tr.records()[1].client, 7);
+  EXPECT_EQ(tr.records()[2].category, "bg");
+  EXPECT_EQ(tr.records()[2].event, "bg-read");
+}
+
+// ---------------------------------------------------------------------------
+// Contract-conformance monitor.
+// ---------------------------------------------------------------------------
+
+using Res = ConformanceMonitor::Resource;
+using Ver = ConformanceMonitor::Verdict;
+
+TEST(Conformance, FullDeliveryIsMet) {
+  TraceRecorder tr;
+  MetricsRegistry reg;
+  ConformanceMonitor mon;
+  mon.set_enabled(true);
+  mon.set_sinks(&tr, &reg);
+  mon.RegisterContract(1, Res::kDisk, "app", 0, Milliseconds(100), Milliseconds(30));
+  mon.OnSlice(1, Res::kDisk, Milliseconds(40), Milliseconds(30), /*lax=*/false);
+  mon.OnPeriod(1, Res::kDisk, Milliseconds(100), Milliseconds(30), /*queued=*/false);
+  const auto s = mon.SummaryOf(1, Res::kDisk);
+  EXPECT_EQ(s.met, 1u);
+  EXPECT_EQ(s.periods(), 1u);
+  // Verdict lands in the trace and the registry.
+  const auto verdicts = tr.Filter("verdict");
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_EQ(verdicts[0].event, "disk-met");
+  EXPECT_EQ(verdicts[0].client, 1);
+  EXPECT_EQ(verdicts[0].value_a, 30.0);  // delivered ms
+  EXPECT_EQ(reg.NewCounter("conformance.app.disk.met")->value(), 1u);
+}
+
+TEST(Conformance, UnusedGuaranteeIsMet) {
+  ConformanceMonitor mon;
+  mon.set_enabled(true);
+  // Idle the whole period: no backlog, nothing delivered — the guarantee went
+  // unused, which is not a violation.
+  mon.RegisterContract(1, Res::kDisk, "idle", 0, Milliseconds(100), Milliseconds(30));
+  mon.OnPeriod(1, Res::kDisk, Milliseconds(100), Milliseconds(30), false);
+  EXPECT_EQ(mon.SummaryOf(1, Res::kDisk).met, 1u);
+}
+
+TEST(Conformance, StarvedBacklogIsViolated) {
+  ConformanceMonitor mon;
+  mon.set_enabled(true);
+  mon.RegisterContract(1, Res::kDisk, "starved", 0, Milliseconds(100), Milliseconds(30));
+  mon.OnBacklog(1, Res::kDisk, 0, /*queued=*/true);  // runnable all period
+  mon.OnPeriod(1, Res::kDisk, Milliseconds(100), Milliseconds(30), true);
+  const auto s = mon.SummaryOf(1, Res::kDisk);
+  EXPECT_EQ(s.violated, 1u);
+  EXPECT_EQ(s.met, 0u);
+  const auto recent = mon.recent();
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_EQ(recent[0].verdict, Ver::kViolated);
+  EXPECT_EQ(recent[0].other, 0u);
+}
+
+TEST(Conformance, RevocationShortfallIsDegradedWithAttribution) {
+  ConformanceMonitor mon;
+  mon.set_enabled(true);
+  mon.RegisterContract(1, Res::kDisk, "victim", 0, Milliseconds(100), Milliseconds(30));
+  mon.OnBacklog(1, Res::kDisk, 0, true);
+  mon.OnRevocationStart(1, Milliseconds(10), /*aggressor=*/7);
+  mon.OnPeriod(1, Res::kDisk, Milliseconds(100), Milliseconds(30), true);
+  const auto recent = mon.recent();
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_EQ(recent[0].verdict, Ver::kDegraded);
+  EXPECT_EQ(recent[0].other, 7u);
+  // The window outlives two more period opens, so [100,200) and [200,300)
+  // stay degraded; the first period with no overlap reverts to a plain
+  // violation.
+  mon.OnPeriod(1, Res::kDisk, Milliseconds(200), Milliseconds(30), true);
+  mon.OnRevocationEnd(1, Milliseconds(210));
+  mon.OnPeriod(1, Res::kDisk, Milliseconds(300), Milliseconds(30), true);
+  mon.OnPeriod(1, Res::kDisk, Milliseconds(400), Milliseconds(30), true);
+  const auto s = mon.SummaryOf(1, Res::kDisk);
+  EXPECT_EQ(s.degraded, 3u);
+  EXPECT_EQ(s.violated, 1u);
+}
+
+TEST(Conformance, LaxTimeCountsAsDeliveredNotService) {
+  ConformanceMonitor mon;
+  mon.set_enabled(true);
+  mon.RegisterContract(1, Res::kDisk, "lax", 0, Milliseconds(100), Milliseconds(30));
+  // The whole allocation arrives on borrowed laxity: still delivered => met.
+  mon.OnBacklog(1, Res::kDisk, 0, true);
+  mon.OnSlice(1, Res::kDisk, Milliseconds(50), Milliseconds(30), /*lax=*/true);
+  mon.OnPeriod(1, Res::kDisk, Milliseconds(100), Milliseconds(30), true);
+  EXPECT_EQ(mon.SummaryOf(1, Res::kDisk).met, 1u);
+}
+
+TEST(Conformance, MemoryWaitVerdictsDependOnWaitSpan) {
+  ConformanceMonitor mon;
+  mon.set_enabled(true);
+  mon.RegisterContract(2, Res::kMemory, "mem", 0, Milliseconds(100), 4);
+  mon.OnFramesHeld(2, Milliseconds(10), 4);
+  // Wait starts mid-second-period: [0,100) met, [100,200) degraded (partial
+  // wait), [200,300) violated (blocked on the guarantee the whole period).
+  mon.OnGuaranteeWaitStart(2, Milliseconds(150), /*other=*/7);
+  mon.Flush(Milliseconds(300));
+  const auto recent = mon.recent();
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_EQ(recent[0].verdict, Ver::kMet);
+  EXPECT_EQ(recent[1].verdict, Ver::kDegraded);
+  EXPECT_EQ(recent[1].other, 7u);
+  EXPECT_EQ(recent[2].verdict, Ver::kViolated);
+  EXPECT_EQ(recent[2].other, 7u);
+  // The wait resolving returns the stream to met.
+  mon.OnGuaranteeWaitEnd(2, Milliseconds(310));
+  mon.Flush(Milliseconds(400));
+  EXPECT_EQ(mon.SummaryOf(2, Res::kMemory).met, 2u);
+}
+
+TEST(Conformance, KillVerdictSurvivesDeactivation) {
+  TraceRecorder tr;
+  ConformanceMonitor mon;
+  mon.set_enabled(true);
+  mon.set_sinks(&tr, nullptr);
+  mon.RegisterContract(3, Res::kMemory, "killed", 0, Milliseconds(100), 4);
+  mon.OnKill(3, Milliseconds(50), /*aggressor=*/9);
+  mon.DeactivateContract(3, Res::kMemory, Milliseconds(50));
+  const auto s = mon.SummaryOf(3, Res::kMemory);
+  EXPECT_EQ(s.violated, 1u);
+  const auto verdicts = tr.Filter("verdict");
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_EQ(verdicts[0].event, "mem-violated");
+  EXPECT_EQ(static_cast<uint32_t>(verdicts[0].value_b), 9u);
+  // Deactivated contracts drop further feed silently.
+  mon.OnFramesHeld(3, Milliseconds(60), 1);
+  mon.Flush(Milliseconds(500));
+  EXPECT_EQ(mon.SummaryOf(3, Res::kMemory).periods(), 1u);
+}
+
+TEST(Conformance, DisabledMonitorIgnoresEverything) {
+  ConformanceMonitor mon;
+  mon.RegisterContract(1, Res::kDisk, "off", 0, Milliseconds(100), Milliseconds(30));
+  mon.OnBacklog(1, Res::kDisk, 0, true);
+  mon.OnPeriod(1, Res::kDisk, Milliseconds(100), Milliseconds(30), true);
+  EXPECT_EQ(mon.SummaryOf(1, Res::kDisk).periods(), 0u);
+  EXPECT_TRUE(mon.recent().empty());
+}
+
+// The CPU resource rides the same Atropos hooks the System installs for the
+// USD: drive a real CpuServer and check the verdict stream.
+TEST(Conformance, CpuFeedThroughAtroposHooks) {
+  Simulator sim;
+  CpuServer cpu(sim, Milliseconds(1));
+  ConformanceMonitor mon;
+  mon.set_enabled(true);
+  // Nonzero laxity: with l=0 the scheduler idles the client at t=0 before the
+  // burst is submitted, and paper semantics ignore an idled client until its
+  // next allocation — which would (correctly) score period one as violated.
+  auto client = cpu.AdmitClient("burst", QosSpec{Milliseconds(100), Milliseconds(30), false,
+                                                 Milliseconds(10)});
+  ASSERT_TRUE(client.has_value());
+  const SchedClientId id = (*client)->sched_id();
+  cpu.scheduler().set_charge_hook(
+      [&](SchedClientId who, SimTime now, SimDuration used, bool lax) {
+        if (who == id) {
+          mon.OnSlice(1, Res::kCpu, now, used, lax);
+        }
+      });
+  cpu.scheduler().set_refresh_hook(
+      [&](SchedClientId who, SimTime now, SimDuration allocation, bool queued) {
+        if (who == id) {
+          mon.OnPeriod(1, Res::kCpu, now, allocation, queued);
+        }
+      });
+  cpu.scheduler().set_queue_hook([&](SchedClientId who, SimTime now, bool queued) {
+    if (who == id) {
+      mon.OnBacklog(1, Res::kCpu, now, queued);
+    }
+  });
+  mon.RegisterContract(1, Res::kCpu, "burst", sim.Now(), Milliseconds(100),
+                       static_cast<uint64_t>(Milliseconds(30)));
+  cpu.Start();
+  bool done = false;
+  sim.Spawn(RunBurst(sim, *client, Milliseconds(90), &done), "burst");
+  sim.RunUntil(Milliseconds(450));
+  EXPECT_TRUE(done);
+  const auto s = mon.SummaryOf(1, Res::kCpu);
+  EXPECT_GE(s.periods(), 3u);
+  std::string detail;
+  for (const auto& v : mon.recent()) {
+    detail += std::string(ConformanceMonitor::VerdictName(v.verdict)) + " [" +
+              std::to_string(v.period_start) + "," + std::to_string(v.period_end) +
+              ") delivered=" + std::to_string(v.value) + "\n";
+  }
+  EXPECT_EQ(s.violated, 0u) << "single client can never be starved:\n" << detail;
+}
+
+// ---------------------------------------------------------------------------
+// Perfetto (catapult JSON) trace export.
+// ---------------------------------------------------------------------------
+
+TEST(TraceExport, PerfettoJsonCarriesSlicesInstantsAndMetadata) {
+  TraceRecorder tr;
+  tr.Record(Milliseconds(1), "span", 4, "raise", 0.0, 42.0);
+  tr.Record(Milliseconds(1), "span", 4, "disk", 2.5, 42.0);     // duration
+  tr.Record(Milliseconds(2), "bg", 4, "bg-read", 1.0, 9.0);     // duration
+  tr.Record(Milliseconds(3), "verdict", 4, "disk-met", 30.0, 0.0);
+  const std::string json = PerfettoJson(tr);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos) << json;
+  // Duration events become ph:"X" with microsecond ts/dur; lifecycle stages
+  // and verdicts become instants.
+  EXPECT_NE(json.find("\"name\":\"disk\",\"cat\":\"span\",\"ph\":\"X\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"dur\":2500.000"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"raise\",\"cat\":\"span\",\"ph\":\"i\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"name\":\"disk-met\""), std::string::npos) << json;
+  EXPECT_NE(json.find("process_name"), std::string::npos) << json;
+  EXPECT_NE(json.find("domain 4"), std::string::npos) << json;
+  // Every event carries the required catapult fields.
+  EXPECT_NE(json.find("\"pid\":4"), std::string::npos) << json;
+  const std::string path = ::testing::TempDir() + "perfetto.json";
+  ASSERT_TRUE(WritePerfettoJson(tr, path));
+  EXPECT_EQ(ReadFile(path), json);
+}
+
+TEST(TraceExport, EmptyTraceStillValidJson) {
+  TraceRecorder tr;
+  const std::string json = PerfettoJson(tr);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos) << json;
+}
+
+// ---------------------------------------------------------------------------
 // End-to-end: fault lifecycle spans on a miniature paging system.
 // ---------------------------------------------------------------------------
 
 struct MiniRun {
   std::vector<TraceRecord> spans;
+  std::vector<TraceRecord> verdicts;
   std::string metrics_json;
   uint64_t faults_taken = 0;
   size_t trace_records = 0;
+  size_t obs_records = 0;  // records in observe-only categories (span/bg/verdict)
 };
 
 MiniRun RunMiniPaging(bool observe, size_t parallel_sim) {
@@ -268,9 +543,18 @@ MiniRun RunMiniPaging(bool observe, size_t parallel_sim) {
     EXPECT_TRUE(primed[i]) << "app " << i;
     r.faults_taken += apps[i]->vmem().faults_taken();
   }
+  if (observe) {
+    system.obs().conformance().Flush(system.sim().Now());
+  }
   r.spans = system.trace().Filter("span");
+  r.verdicts = system.trace().Filter("verdict");
   r.metrics_json = system.obs().registry().SnapshotJson();
   r.trace_records = system.trace().size();
+  system.trace().ForEach([&](const TraceRecord& rec) {
+    if (rec.category == "span" || rec.category == "bg" || rec.category == "verdict") {
+      ++r.obs_records;
+    }
+  });
   return r;
 }
 
@@ -329,23 +613,34 @@ TEST(ObsEndToEnd, ObservationDoesNotPerturbTheSimulation) {
   const MiniRun off = RunMiniPaging(false, 0);
   const MiniRun on = RunMiniPaging(true, 0);
   EXPECT_EQ(off.faults_taken, on.faults_taken);
-  // Same non-span trace volume: observation adds spans, removes nothing.
-  EXPECT_EQ(on.trace_records - on.spans.size(), off.trace_records);
+  // Same non-observability trace volume: observation adds span / bg /
+  // conformance-verdict records, removes nothing.
+  EXPECT_EQ(on.trace_records - on.obs_records, off.trace_records);
 }
 
-TEST(ObsEndToEnd, SpansAreIdenticalAcrossSerialAndParallelExecution) {
+TEST(ObsEndToEnd, SpansAndVerdictsAreIdenticalAcrossSerialAndParallelExecution) {
   const MiniRun serial = RunMiniPaging(true, 0);
   ASSERT_FALSE(serial.spans.empty());
+  ASSERT_FALSE(serial.verdicts.empty());
+  const auto same = [](const TraceRecord& a, const TraceRecord& b) {
+    return a.time == b.time && a.client == b.client && a.event == b.event &&
+           a.value_a == b.value_a && a.value_b == b.value_b;
+  };
   for (size_t parallel : {size_t{2}, size_t{4}}) {
     const MiniRun par = RunMiniPaging(true, parallel);
     ASSERT_EQ(serial.spans.size(), par.spans.size()) << "parallel_sim=" << parallel;
     for (size_t i = 0; i < serial.spans.size(); ++i) {
-      const TraceRecord& a = serial.spans[i];
-      const TraceRecord& b = par.spans[i];
-      ASSERT_TRUE(a.time == b.time && a.client == b.client && a.event == b.event &&
-                  a.value_a == b.value_a && a.value_b == b.value_b)
-          << "parallel_sim=" << parallel << " span " << i << ": " << a.event << " vs "
-          << b.event;
+      ASSERT_TRUE(same(serial.spans[i], par.spans[i]))
+          << "parallel_sim=" << parallel << " span " << i << ": " << serial.spans[i].event
+          << " vs " << par.spans[i].event;
+    }
+    // The conformance verdict stream is emitted from system-shard probe sites
+    // only, so it must be byte-identical too.
+    ASSERT_EQ(serial.verdicts.size(), par.verdicts.size()) << "parallel_sim=" << parallel;
+    for (size_t i = 0; i < serial.verdicts.size(); ++i) {
+      ASSERT_TRUE(same(serial.verdicts[i], par.verdicts[i]))
+          << "parallel_sim=" << parallel << " verdict " << i << ": "
+          << serial.verdicts[i].event << " vs " << par.verdicts[i].event;
     }
   }
 }

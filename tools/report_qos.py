@@ -11,13 +11,18 @@ stage's duration in milliseconds, and `time` the stage's start. METRICS_JSON
 is the matching MetricsRegistry snapshot; it supplies the domain-id-to-name
 mapping (gauges named "domain.<name>.id") and is otherwise optional.
 
-The report answers three questions per domain:
+The report answers four questions per domain:
   * What fault latency did the domain actually see (p50/p90/p99/max of the
     end-to-end stall, from the "resume" spans)?
   * Where did the time go (time-in-stage breakdown: dispatch, MMEntry queue
-    wait, driver resolve, USD wait, raw disk time)?
+    wait, driver resolve, USD wait, raw disk time — split demand vs
+    speculative using the category-"bg" pipeline rows)?
   * How much of the domain's stall overlapped another domain's intrusive
     revocation, attributed to the aggressor that forced it (crosstalk)?
+  * Did every contract accounting period deliver its guarantee (the
+    category-"verdict" conformance rows: met / degraded / violated per
+    (domain, resource, period), non-met periods attributed to the aggressor
+    whose revocation explains them)?
 """
 import argparse
 import collections
@@ -42,14 +47,30 @@ def percentile(sorted_vals, p):
 
 
 def load_spans(path):
-    """Returns (span rows, revocation windows, revocation event counts)."""
+    """Returns (span rows, revocation windows, revocation event counts,
+    conformance verdicts, background-pipeline rows)."""
     spans = []
     revocations = []  # (victim, aggressor, start_ms, end_ms)
     revoke_counts = collections.Counter()  # (victim, aggressor, event) -> n
+    verdicts = []  # (domain, resource, verdict, start_ms, delivered, aggressor)
+    bg = []        # (domain, event, dur_ms)
     with open(path, newline="") as f:
         reader = csv.DictReader(f)
         for row in reader:
-            if row["category"] != "span":
+            category = row["category"]
+            if category == "verdict":
+                # event is "<res>-<verdict>" (e.g. "disk-met"); value_a is
+                # delivered ms (cpu/disk) or min frames held (mem); value_b
+                # the attributed aggressor domain (0 = none).
+                res, _, verdict = row["event"].partition("-")
+                verdicts.append((int(row["client"]), res, verdict,
+                                 float(row["time_ms"]), float(row["value_a"]),
+                                 int(float(row["value_b"]))))
+                continue
+            if category == "bg":
+                bg.append((int(row["client"]), row["event"], float(row["value_a"])))
+                continue
+            if category != "span":
                 continue
             event = row["event"]
             time_ms = float(row["time_ms"])
@@ -63,7 +84,7 @@ def load_spans(path):
                     revocations.append((client, ref, time_ms, time_ms + dur_ms))
                 continue
             spans.append((ref, event, time_ms, dur_ms, client))
-    return spans, revocations, revoke_counts
+    return spans, revocations, revoke_counts, verdicts, bg
 
 
 def load_domain_names(metrics_path):
@@ -85,7 +106,8 @@ PIPELINE_GAUGES = ["prefetch_issued", "prefetch_hits", "prefetch_wasted",
                    "writeback_batched", "cleaned_evictions", "staging_highwater"]
 
 
-def build_report(spans, revocations, revoke_counts, names, metrics=None):
+def build_report(spans, revocations, revoke_counts, names, metrics=None,
+                 verdicts=(), bg=()):
     # Group stage durations by fault id, keyed to the owning domain.
     faults = collections.defaultdict(dict)  # fid -> {event: (start, dur)}
     for fid, event, start, dur, _client in spans:
@@ -123,6 +145,12 @@ def build_report(spans, revocations, revoke_counts, names, metrics=None):
     complete = sum(d["complete"] for d in domains.values())
     pct = 100.0 * complete / total_faults if total_faults else 0.0
     out(f"faults traced: {total_faults}  complete spans: {complete} ({pct:.2f}%)")
+    # Flight-recorder honesty: a capped TraceRecorder silently overwrites its
+    # oldest rows; surface the drop count so "complete" is never read as
+    # "complete except for whatever fell out of the ring".
+    drops = int((metrics or {}).get("gauges", {}).get("trace.dropped", 0))
+    out(f"trace drops: {drops}" +
+        ("  (ring overflowed: the window is NOT fully covered)" if drops else ""))
     out("")
 
     def name_of(domain):
@@ -148,6 +176,36 @@ def build_report(spans, revocations, revoke_counts, names, metrics=None):
             " ".join(f"{d['stage_ms'][s]:>11.1f}" for s in STAGES))
     out("")
 
+    # Demand vs speculative disk time: demand faults' USD service lands under
+    # category "span" (event "disk"); the pager pipeline's read-ahead and
+    # writeback I/O carries its own bg trace-id space and lands under
+    # category "bg" with the issuing domain in the client column.
+    demand_disk = collections.Counter()
+    spec_disk = collections.Counter()
+    bg_stage = collections.defaultdict(collections.Counter)
+    for _fid, event, _start, dur, client in spans:
+        if event == "disk":
+            demand_disk[client] += dur
+    for domain, event, dur in bg:
+        if event == "disk":
+            spec_disk[domain] += dur
+        else:
+            bg_stage[domain][event] += dur
+    if spec_disk or bg_stage:
+        out("Disk time, demand vs speculative (ms; bg-read/bg-write are the")
+        out("pipeline's round-trip waits, spec-disk the raw device time):")
+        out(f"  {'domain':<16} {'demand-disk':>12} {'spec-disk':>12}"
+            f" {'bg-read':>12} {'bg-write':>12} {'spec%':>7}")
+        for domain in sorted(set(demand_disk) | set(spec_disk) | set(bg_stage)):
+            demand = demand_disk[domain]
+            spec = spec_disk[domain]
+            total = demand + spec
+            out(f"  {name_of(domain):<16} {demand:>12.1f} {spec:>12.1f}"
+                f" {bg_stage[domain]['bg-read']:>12.1f}"
+                f" {bg_stage[domain]['bg-write']:>12.1f}"
+                f" {100.0 * spec / total if total else 0.0:>6.1f}%")
+        out("")
+
     out("Revocation crosstalk (victim stall overlapping an intrusive revocation,")
     out("attributed to the aggressor that forced it):")
     any_revocation = False
@@ -171,6 +229,53 @@ def build_report(spans, revocations, revoke_counts, names, metrics=None):
         out("  (none: no revocations in this run)")
     attributed_ms = sum(attributed.values())
 
+    # Contract conformance: one verdict per (domain, resource, accounting
+    # period), emitted by the ConformanceMonitor. A non-met period should name
+    # the aggressor whose revocation explains it; one that doesn't is an
+    # unexplained QoS failure (and what --require-conformance trips on).
+    conf = {"total": 0, "met": 0, "degraded": 0, "violated": 0,
+            "unattributed_non_met": 0}
+    if verdicts:
+        out("")
+        out("Contract conformance (per-domain accounting periods):")
+        out(f"  {'domain':<16} {'res':<5} {'periods':>8} {'met':>6} {'degr':>6}"
+            f" {'viol':>6} {'met%':>7}  worst period")
+        by_contract = collections.defaultdict(list)
+        conf_attrib = collections.Counter()  # (domain, aggressor) -> periods
+        for domain, res, verdict, start, value, aggressor in verdicts:
+            by_contract[(domain, res)].append((verdict, start, value, aggressor))
+            conf["total"] += 1
+            conf[verdict] = conf.get(verdict, 0) + 1
+            if verdict != "met":
+                if aggressor:
+                    conf_attrib[(domain, aggressor)] += 1
+                else:
+                    conf["unattributed_non_met"] += 1
+        for (domain, res) in sorted(by_contract):
+            rows = by_contract[(domain, res)]
+            counts = collections.Counter(v for v, _, _, _ in rows)
+            # Worst period: the most severe verdict, lowest delivery first.
+            severity = {"violated": 2, "degraded": 1, "met": 0}
+            worst = max(rows, key=lambda r: (severity.get(r[0], 0), -r[2]))
+            if worst[0] == "met":
+                worst_txt = "-"
+            else:
+                worst_txt = (f"{worst[0]} @{worst[1]:.0f}ms"
+                             f" delivered={worst[2]:g}"
+                             + (f" <- {name_of(worst[3])}" if worst[3] else ""))
+            met_pct = 100.0 * counts["met"] / len(rows)
+            out(f"  {name_of(domain):<16} {res:<5} {len(rows):>8}"
+                f" {counts['met']:>6} {counts['degraded']:>6}"
+                f" {counts['violated']:>6} {met_pct:>6.1f}%  {worst_txt}")
+        if conf_attrib:
+            out("  Non-met periods attributed to aggressor revocations:")
+            for (domain, aggressor), n in sorted(conf_attrib.items()):
+                out(f"    {name_of(domain):<16} <- {name_of(aggressor):<16}"
+                    f" {n:>5} periods")
+        if conf["unattributed_non_met"]:
+            out(f"  WARNING: {conf['unattributed_non_met']} non-met period(s)"
+                " carry no attribution")
+
     # Pager-pipeline counters (per-app gauges from the metrics snapshot).
     # Every paged app registers them; a pipeline left off reads as zeros.
     gauges = (metrics or {}).get("gauges", {})
@@ -187,7 +292,7 @@ def build_report(spans, revocations, revoke_counts, names, metrics=None):
             out(f"  {name:<16} " + " ".join(
                 f"{int(row[g]) if row[g] is not None else '-':>18}"
                 for g in PIPELINE_GAUGES))
-    return "\n".join(lines) + "\n", pct, attributed_ms
+    return "\n".join(lines) + "\n", pct, attributed_ms, drops, conf
 
 
 def main():
@@ -203,15 +308,21 @@ def main():
                          "happened AND some victim stall was attributed to an "
                          "aggressor (guards benches whose whole point is a "
                          "populated crosstalk table)")
+    ap.add_argument("--require-conformance", action="store_true",
+                    help="exit 1 unless the trace carries conformance verdict "
+                         "rows and every non-met (degraded/violated) period "
+                         "names the aggressor revocation that explains it — "
+                         "an unattributed shortfall is an unexplained QoS "
+                         "failure")
     args = ap.parse_args()
 
-    spans, revocations, revoke_counts = load_spans(args.trace_csv)
+    spans, revocations, revoke_counts, verdicts, bg = load_spans(args.trace_csv)
     if not spans:
         sys.exit(f"error: no span records in {args.trace_csv} "
                  "(was the bench run with NEMESIS_OBS=1?)")
     names, metrics = load_domain_names(args.metrics)
-    report, complete_pct, attributed_ms = build_report(
-        spans, revocations, revoke_counts, names, metrics)
+    report, complete_pct, attributed_ms, drops, conf = build_report(
+        spans, revocations, revoke_counts, names, metrics, verdicts, bg)
 
     if args.out:
         with open(args.out, "w") as f:
@@ -219,9 +330,13 @@ def main():
         print(f"wrote {args.out}")
     else:
         sys.stdout.write(report)
-    if args.require_complete is not None and complete_pct < args.require_complete:
-        sys.exit(f"error: only {complete_pct:.2f}% of spans complete "
-                 f"(required {args.require_complete}%)")
+    if args.require_complete is not None:
+        if drops > 0:
+            sys.exit(f"error: the trace ring dropped {drops} record(s) inside "
+                     "the window; completeness cannot be certified")
+        if complete_pct < args.require_complete:
+            sys.exit(f"error: only {complete_pct:.2f}% of spans complete "
+                     f"(required {args.require_complete}%)")
     if args.require_attribution:
         if not revocations:
             sys.exit("error: --require-attribution but the trace has no "
@@ -229,6 +344,15 @@ def main():
         if attributed_ms <= 0:
             sys.exit("error: --require-attribution but no victim stall "
                      "overlapped a revocation window (empty aggressor table)")
+    if args.require_conformance:
+        if conf["total"] == 0:
+            sys.exit("error: --require-conformance but the trace has no "
+                     "verdict rows (was the bench run with NEMESIS_OBS=1 on a "
+                     "build with the conformance monitor?)")
+        if conf["unattributed_non_met"] > 0:
+            sys.exit(f"error: --require-conformance but "
+                     f"{conf['unattributed_non_met']} non-met period(s) carry "
+                     "no aggressor attribution")
 
 
 if __name__ == "__main__":

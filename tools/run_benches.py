@@ -22,8 +22,10 @@ Two layers of results go into the JSON:
     PASS/FAIL), which must not move at all — wall-clock optimizations are
     only valid if the simulated-time results stay put.
   * "obs": bench_obs_overhead's enabled-vs-disabled wall-clock delta and the
-    span-completeness percentage, plus "qos_reports": per-figure QoS-crosstalk
-    reports from NEMESIS_OBS=1 reruns (tools/report_qos.py).
+    span-completeness percentage, bench_obs_conformance's per-period verdict
+    counts (met/degraded/violated plus the revocation-storm attribution
+    check), and "qos_reports": per-figure QoS-crosstalk reports from
+    NEMESIS_OBS=1 reruns (tools/report_qos.py).
 
 Publication gate: the obs-disabled fig7 wall-clock must stay within 2% of the
 previously published number when the host block matches (--no-obs-gate
@@ -50,6 +52,7 @@ BENCH_TARGETS = [
     "bench_fig8_paging_out",
     "bench_fig9_fs_isolation",
     "bench_obs_overhead",
+    "bench_obs_conformance",
     "bench_ablation_batching",
     "bench_ablation_parallel",
     "bench_ablation_streampaging",
@@ -61,17 +64,20 @@ BENCH_TARGETS = [
 # NEMESIS_OBS=1 reruns that publish the per-domain QoS-crosstalk reports:
 # (bench binary, span-trace CSV it writes, metrics JSON, report file,
 #  extra report_qos.py flags). The revocation ablation exists to produce a
-# populated aggressor table, so its report run also gates on attribution.
+# populated aggressor table, so its report run also gates on attribution and
+# on every non-met conformance period naming its aggressor; fig7 gates on
+# conformance too (uncontended, so every period must close met).
 QOS_RUNS = [
     ("bench_fig7_paging_in", "fig7_usd_trace.csv",
-     "fig7_usd_trace_metrics.json", "fig7_qos_report.txt", []),
+     "fig7_usd_trace_metrics.json", "fig7_qos_report.txt",
+     ["--require-conformance"]),
     ("bench_fig8_paging_out", "fig8_usd_trace.csv",
      "fig8_usd_trace_metrics.json", "fig8_qos_report.txt", []),
     ("bench_fig9_fs_isolation", "fig9_trace.csv",
      "fig9_metrics.json", "fig9_qos_report.txt", []),
     ("bench_ablation_revocation", "revocation_trace.csv",
      "revocation_metrics.json", "revocation_qos_report.txt",
-     ["--require-attribution"]),
+     ["--require-attribution", "--require-conformance"]),
 ]
 
 # Golden byte-compare (--capture-golden / --check-golden): the figure
@@ -199,6 +205,29 @@ def run_obs_overhead(build_dir):
     if m:
         obs["span_completeness_pct"] = float(m.group(3))
     return obs
+
+
+def run_conformance(build_dir):
+    """Runs bench_obs_conformance and parses its verdict/overhead summary."""
+    binary = (build_dir / "bench" / "bench_obs_conformance").resolve()
+    if not binary.exists():
+        return {"error": "binary not found"}
+    out = subprocess.run([str(binary), "--smoke"], check=True,
+                         capture_output=True, text=True, cwd=build_dir).stdout
+    conf = {}
+    for key in ("conformance_met", "conformance_degraded",
+                "conformance_violated", "conformance_storm_attributed"):
+        m = re.search(rf"{key} (\d+)", out)
+        if m:
+            conf[key.removeprefix("conformance_")] = int(m.group(1))
+    for key in ("obs_disabled_ms", "obs_enabled_ms", "obs_overhead_pct"):
+        m = re.search(rf"{key} ([\d.-]+)", out)
+        if m:
+            conf[key] = float(m.group(1))
+    m = re.search(r"shape check: (\w+)", out)
+    if m:
+        conf["shape_check"] = m.group(1)
+    return conf
 
 
 def run_qos_reports(build_dir, source_dir):
@@ -360,6 +389,7 @@ def main():
             "ablation_tenants": run_figure(args.build, "bench_ablation_tenants"),
         }
         doc["obs"] = run_obs_overhead(args.build)
+        doc["obs"]["conformance"] = run_conformance(args.build)
         if not args.skip_qos:
             doc["qos_reports"] = run_qos_reports(args.build, args.source)
 
@@ -381,6 +411,13 @@ def main():
     if doc.get("obs"):
         print(f"  obs: {doc['obs'].get('obs_overhead_pct')}% enabled-vs-disabled, "
               f"{doc['obs'].get('span_completeness_pct')}% spans complete")
+        conf = doc["obs"].get("conformance", {})
+        if "met" in conf:
+            print(f"  conformance: {conf.get('met')} met / "
+                  f"{conf.get('degraded')} degraded / "
+                  f"{conf.get('violated')} violated, "
+                  f"{conf.get('storm_attributed')} storm periods attributed "
+                  f"({conf.get('shape_check')})")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,217 @@
+#!/usr/bin/env python3
+"""Unit suite for tools/report_qos.py (ctest: report_qos_suite).
+
+Covers the pure helpers (percentile math) directly and the CLI contract —
+report sections, --require-complete / --require-attribution /
+--require-conformance exit codes — via subprocess on synthetic CSV/JSON
+fixtures, so the gates CI leans on are themselves tested.
+"""
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+REPORT = os.path.join(TOOLS_DIR, "report_qos.py")
+sys.path.insert(0, TOOLS_DIR)
+
+import report_qos  # noqa: E402
+
+CSV_HEADER = "time_ms,category,client,event,value_a,value_b\n"
+
+
+def fid(domain, seq):
+    return (domain << 32) | seq
+
+
+def span_rows(domain, seq, start_ms, stall_ms, complete=True):
+    """A minimal fault lifecycle: raise + dispatch + resume."""
+    f = fid(domain, seq)
+    rows = [
+        f"{start_ms:.6f},span,{domain},raise,0.000000,{f:.6f}",
+        f"{start_ms:.6f},span,{domain},dispatch,0.100000,{f:.6f}",
+    ]
+    if complete:
+        rows.append(f"{start_ms:.6f},span,{domain},resume,{stall_ms:.6f},{f:.6f}")
+    return rows
+
+
+class PercentileMath(unittest.TestCase):
+    def test_empty_is_zero(self):
+        self.assertEqual(report_qos.percentile([], 0.5), 0.0)
+
+    def test_single_value(self):
+        self.assertEqual(report_qos.percentile([7.0], 0.5), 7.0)
+        self.assertEqual(report_qos.percentile([7.0], 0.99), 7.0)
+
+    def test_endpoints(self):
+        vals = [1.0, 2.0, 3.0, 4.0]
+        self.assertEqual(report_qos.percentile(vals, 0.0), 1.0)
+        self.assertEqual(report_qos.percentile(vals, 1.0), 4.0)
+
+    def test_linear_interpolation(self):
+        vals = [0.0, 10.0]
+        self.assertAlmostEqual(report_qos.percentile(vals, 0.5), 5.0)
+        self.assertAlmostEqual(report_qos.percentile(vals, 0.9), 9.0)
+
+
+class CliFixture(unittest.TestCase):
+    """Shared machinery: write fixture files, run the CLI, capture output."""
+
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def write_trace(self, rows):
+        path = os.path.join(self.dir.name, "trace.csv")
+        with open(path, "w") as f:
+            f.write(CSV_HEADER)
+            f.write("\n".join(rows) + "\n")
+        return path
+
+    def write_metrics(self, gauges):
+        path = os.path.join(self.dir.name, "metrics.json")
+        with open(path, "w") as f:
+            json.dump({"gauges": gauges}, f)
+        return path
+
+    def run_cli(self, trace, *flags, metrics=None):
+        cmd = [sys.executable, REPORT, trace]
+        if metrics:
+            cmd += ["--metrics", metrics]
+        cmd += list(flags)
+        return subprocess.run(cmd, capture_output=True, text=True)
+
+
+class ReportSections(CliFixture):
+    def test_basic_report_and_domain_names(self):
+        trace = self.write_trace(span_rows(1, 1, 10.0, 5.0) +
+                                 span_rows(1, 2, 20.0, 15.0))
+        metrics = self.write_metrics({"domain.video.id": 1})
+        r = self.run_cli(trace, metrics=metrics)
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("complete spans: 2 (100.00%)", r.stdout)
+        self.assertIn("video", r.stdout)
+        self.assertIn("trace drops: 0", r.stdout)
+
+    def test_no_spans_is_an_error(self):
+        trace = self.write_trace(["1.000000,usd,0,txn,1.000000,0.000000"])
+        r = self.run_cli(trace)
+        self.assertNotEqual(r.returncode, 0)
+        self.assertIn("no span records", r.stderr)
+
+    def test_bg_rows_produce_speculative_split(self):
+        trace = self.write_trace(
+            span_rows(1, 1, 10.0, 5.0) +
+            [f"10.000000,span,1,disk,2.000000,{fid(1, 1):.6f}",
+             f"12.000000,bg,1,disk,6.000000,{(1 << 52) | fid(1, 9):.6f}",
+             f"12.000000,bg,1,bg-read,7.500000,{(1 << 52) | fid(1, 9):.6f}"])
+        r = self.run_cli(trace)
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("demand vs speculative", r.stdout)
+        self.assertIn("75.0%", r.stdout)  # spec 6 of demand+spec 8
+
+    def test_conformance_section_lists_verdicts(self):
+        trace = self.write_trace(
+            span_rows(1, 1, 10.0, 5.0) +
+            ["250.000000,verdict,1,disk-met,25.000000,0.000000",
+             "500.000000,verdict,1,disk-degraded,12.000000,2.000000",
+             "500.000000,verdict,1,mem-violated,0.000000,2.000000"])
+        r = self.run_cli(trace)
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("Contract conformance", r.stdout)
+        self.assertIn("degraded @500ms", r.stdout)
+        self.assertIn("violated @500ms", r.stdout)
+        self.assertIn("attributed to aggressor revocations", r.stdout)
+
+
+class RequireComplete(CliFixture):
+    def test_passes_at_full_completeness(self):
+        trace = self.write_trace(span_rows(1, 1, 10.0, 5.0))
+        r = self.run_cli(trace, "--require-complete", "99")
+        self.assertEqual(r.returncode, 0, r.stderr)
+
+    def test_fails_on_incomplete_spans(self):
+        trace = self.write_trace(span_rows(1, 1, 10.0, 5.0) +
+                                 span_rows(1, 2, 20.0, 5.0, complete=False))
+        r = self.run_cli(trace, "--require-complete", "99")
+        self.assertNotEqual(r.returncode, 0)
+        self.assertIn("50.00%", r.stderr)
+
+    def test_fails_on_trace_ring_drops(self):
+        # 100% of surviving spans are complete, but the ring overwrote rows:
+        # completeness cannot be certified for the window.
+        trace = self.write_trace(span_rows(1, 1, 10.0, 5.0))
+        metrics = self.write_metrics({"trace.dropped": 17})
+        r = self.run_cli(trace, "--require-complete", "99", metrics=metrics)
+        self.assertNotEqual(r.returncode, 0)
+        self.assertIn("dropped 17", r.stderr)
+        # Without the gate the drops are surfaced but not fatal.
+        r = self.run_cli(trace, metrics=metrics)
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("trace drops: 17", r.stdout)
+
+
+class RequireAttribution(CliFixture):
+    def revoke_end(self, victim, aggressor, start, dur):
+        return f"{start:.6f},span,{victim},revoke-end,{dur:.6f},{aggressor:.6f}"
+
+    def test_fails_without_revocations(self):
+        trace = self.write_trace(span_rows(1, 1, 10.0, 5.0))
+        r = self.run_cli(trace, "--require-attribution")
+        self.assertNotEqual(r.returncode, 0)
+        self.assertIn("no\ncompleted intrusive revocations".replace("\n", " "),
+                      r.stderr)
+
+    def test_fails_without_overlap(self):
+        # Revocation at t=100..110, fault stall at t=10..15: no overlap.
+        trace = self.write_trace(span_rows(1, 1, 10.0, 5.0) +
+                                 [self.revoke_end(1, 2, 100.0, 10.0)])
+        r = self.run_cli(trace, "--require-attribution")
+        self.assertNotEqual(r.returncode, 0)
+        self.assertIn("empty aggressor table", r.stderr)
+
+    def test_passes_with_overlapping_stall(self):
+        trace = self.write_trace(span_rows(1, 1, 10.0, 5.0) +
+                                 [self.revoke_end(1, 2, 8.0, 10.0)])
+        r = self.run_cli(trace, "--require-attribution")
+        self.assertEqual(r.returncode, 0, r.stderr)
+
+
+class RequireConformance(CliFixture):
+    def test_fails_without_verdict_rows(self):
+        trace = self.write_trace(span_rows(1, 1, 10.0, 5.0))
+        r = self.run_cli(trace, "--require-conformance")
+        self.assertNotEqual(r.returncode, 0)
+        self.assertIn("no", r.stderr)
+        self.assertIn("verdict rows", r.stderr)
+
+    def test_passes_on_all_met(self):
+        trace = self.write_trace(
+            span_rows(1, 1, 10.0, 5.0) +
+            ["250.000000,verdict,1,disk-met,25.000000,0.000000",
+             "250.000000,verdict,1,mem-met,2.000000,0.000000"])
+        r = self.run_cli(trace, "--require-conformance")
+        self.assertEqual(r.returncode, 0, r.stderr)
+
+    def test_passes_when_non_met_is_attributed(self):
+        trace = self.write_trace(
+            span_rows(1, 1, 10.0, 5.0) +
+            ["250.000000,verdict,1,mem-degraded,1.000000,2.000000",
+             "500.000000,verdict,1,mem-violated,0.000000,2.000000"])
+        r = self.run_cli(trace, "--require-conformance")
+        self.assertEqual(r.returncode, 0, r.stderr)
+
+    def test_fails_on_unattributed_shortfall(self):
+        trace = self.write_trace(
+            span_rows(1, 1, 10.0, 5.0) +
+            ["250.000000,verdict,1,disk-violated,3.000000,0.000000"])
+        r = self.run_cli(trace, "--require-conformance")
+        self.assertNotEqual(r.returncode, 0)
+        self.assertIn("no aggressor attribution", r.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()
